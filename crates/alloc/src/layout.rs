@@ -1,0 +1,159 @@
+//! Persistent arena layout: superblock, reserved region, chunk-header
+//! table, heap chunks.
+//!
+//! ```text
+//! +------------+------------------+---------------------+----------------+
+//! | superblock | reserved region  | chunk header table  | heap chunks ...|
+//! | 1 XPLine   | (index metadata) | 4 B per heap chunk  | 256 B each     |
+//! +------------+------------------+---------------------+----------------+
+//! ```
+//!
+//! The superblock records the layout so that recovery can re-derive every
+//! region from offset 0 alone.
+
+use spash_pmem::{MemCtx, PmAddr, XPLINE};
+
+/// Magic value identifying a formatted arena.
+pub const MAGIC: u64 = 0x5350_4153_4855_4631; // "SPASHUF1"
+
+/// Bytes of chunk-header-table entry per heap chunk.
+pub const HDR_BYTES: u64 = 4;
+
+/// One heap chunk is one XPLine (256 B) — the allocation granule and the
+/// unit of the compacted-flush mechanism (paper §III-C).
+pub const CHUNK: u64 = XPLINE;
+
+/// The resolved arena layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    pub reserved_start: u64,
+    pub reserved_len: u64,
+    pub table_start: u64,
+    pub n_chunks: u64,
+    pub heap_start: u64,
+}
+
+impl Layout {
+    /// Compute the layout for an arena of `arena_size` bytes with a
+    /// caller-reserved metadata region of `reserved_len` bytes.
+    pub fn compute(arena_size: u64, reserved_len: u64) -> Layout {
+        let reserved_len = reserved_len.div_ceil(XPLINE) * XPLINE;
+        let reserved_start = XPLINE; // after the superblock
+        let table_start = reserved_start + reserved_len;
+        // Solve: table(4 B/chunk, XPLine-rounded) + chunks*256 <= remaining.
+        let remaining = arena_size
+            .checked_sub(table_start)
+            .expect("arena too small for reserved region");
+        let n_chunks = remaining / (CHUNK + HDR_BYTES);
+        let table_len = (n_chunks * HDR_BYTES).div_ceil(XPLINE) * XPLINE;
+        let heap_start = table_start + table_len;
+        let n_chunks = (arena_size - heap_start) / CHUNK;
+        assert!(n_chunks > 0, "arena too small for any heap chunk");
+        Layout {
+            reserved_start,
+            reserved_len,
+            table_start,
+            n_chunks,
+            heap_start,
+        }
+    }
+
+    /// Address of chunk `i`.
+    #[inline]
+    pub fn chunk_addr(&self, i: u64) -> PmAddr {
+        debug_assert!(i < self.n_chunks);
+        PmAddr(self.heap_start + i * CHUNK)
+    }
+
+    /// Chunk index of an address inside the heap.
+    #[inline]
+    pub fn chunk_of(&self, addr: PmAddr) -> u64 {
+        debug_assert!(addr.0 >= self.heap_start);
+        (addr.0 - self.heap_start) / CHUNK
+    }
+
+    /// Byte address of chunk `i`'s 4-byte header entry.
+    #[inline]
+    pub fn header_addr(&self, i: u64) -> u64 {
+        self.table_start + i * HDR_BYTES
+    }
+}
+
+// Superblock field offsets.
+const SB_MAGIC: u64 = 0;
+const SB_ARENA: u64 = 8;
+const SB_RESERVED_START: u64 = 16;
+const SB_RESERVED_LEN: u64 = 24;
+const SB_TABLE_START: u64 = 32;
+const SB_N_CHUNKS: u64 = 40;
+const SB_HEAP_START: u64 = 48;
+
+/// Write the superblock (format time).
+pub fn write_superblock(ctx: &mut MemCtx, arena_size: u64, l: &Layout) {
+    ctx.write_u64(PmAddr(SB_MAGIC), MAGIC);
+    ctx.write_u64(PmAddr(SB_ARENA), arena_size);
+    ctx.write_u64(PmAddr(SB_RESERVED_START), l.reserved_start);
+    ctx.write_u64(PmAddr(SB_RESERVED_LEN), l.reserved_len);
+    ctx.write_u64(PmAddr(SB_TABLE_START), l.table_start);
+    ctx.write_u64(PmAddr(SB_N_CHUNKS), l.n_chunks);
+    ctx.write_u64(PmAddr(SB_HEAP_START), l.heap_start);
+    ctx.flush_range(PmAddr(0), 64);
+    ctx.fence();
+}
+
+/// Read the superblock back (recovery). Returns `None` if the arena was
+/// never formatted.
+pub fn read_superblock(ctx: &mut MemCtx) -> Option<(u64, Layout)> {
+    if ctx.read_u64(PmAddr(SB_MAGIC)) != MAGIC {
+        return None;
+    }
+    let arena = ctx.read_u64(PmAddr(SB_ARENA));
+    Some((
+        arena,
+        Layout {
+            reserved_start: ctx.read_u64(PmAddr(SB_RESERVED_START)),
+            reserved_len: ctx.read_u64(PmAddr(SB_RESERVED_LEN)),
+            table_start: ctx.read_u64(PmAddr(SB_TABLE_START)),
+            n_chunks: ctx.read_u64(PmAddr(SB_N_CHUNKS)),
+            heap_start: ctx.read_u64(PmAddr(SB_HEAP_START)),
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spash_pmem::{PmConfig, PmDevice};
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let l = Layout::compute(16 << 20, 4096);
+        assert!(l.reserved_start >= XPLINE);
+        assert!(l.table_start >= l.reserved_start + l.reserved_len);
+        assert!(l.heap_start >= l.table_start + l.n_chunks * HDR_BYTES);
+        assert!(l.heap_start + l.n_chunks * CHUNK <= 16 << 20);
+        assert!(l.n_chunks > 60_000); // most of 16 MiB is heap
+    }
+
+    #[test]
+    fn layout_chunk_addr_roundtrip() {
+        let l = Layout::compute(1 << 20, 0);
+        for i in [0, 1, l.n_chunks - 1] {
+            let a = l.chunk_addr(i);
+            assert_eq!(l.chunk_of(a), i);
+            assert_eq!(a.0 % CHUNK, 0);
+        }
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let dev = PmDevice::new(PmConfig::small_test());
+        let mut ctx = dev.ctx();
+        assert!(read_superblock(&mut ctx).is_none());
+        let l = Layout::compute(16 << 20, 1024);
+        write_superblock(&mut ctx, 16 << 20, &l);
+        let (sz, l2) = read_superblock(&mut ctx).expect("formatted");
+        assert_eq!(sz, 16 << 20);
+        assert_eq!(l2, l);
+    }
+}

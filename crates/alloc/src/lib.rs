@@ -1,0 +1,677 @@
+//! A DCMM-style persistent allocator (paper §III-C; Ma et al., FAST'21).
+//!
+//! The paper manages variable-sized key-value blobs with DCMM, whose
+//! property Spash depends on is: **small size classes (≤128 B) are carved
+//! out of XPLine-sized chunks, per thread, append-only** — that is what
+//! makes consecutive small insertions contiguous in the persistent CPU
+//! cache so they can be flushed back in one XPLine (compacted-flush).
+//!
+//! Persistent state (crash-recoverable):
+//! * a superblock describing the arena layout ([`layout`]);
+//! * a 4-byte header per 256-byte heap chunk: state (free / small class /
+//!   segment / large run) plus, for small chunks, a 16-bit slot bitmap.
+//!
+//! Volatile state (rebuilt by [`PmAllocator::recover`]):
+//! * per-thread active chunks and slot free-caches per size class;
+//! * a global free-chunk list and allocation frontier.
+//!
+//! Slots freed into a thread's cache keep their persistent bitmap bit set;
+//! a crash leaks at most those cached slots (bounded, documented — DCMM
+//! makes the same trade).
+
+pub mod layout;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use spash_pmem::{MemCtx, PmAddr};
+
+pub use layout::{Layout, CHUNK};
+
+/// Small size classes, in bytes. Allocations ≤128 B come from XPLine
+/// chunks carved into equal slots (paper: "block classes with small sizes
+/// (≤128-byte) are managed in XPLine-sized chunks").
+pub const SMALL_CLASSES: [u64; 6] = [16, 32, 48, 64, 96, 128];
+
+// Chunk header states.
+const ST_FREE: u8 = 0;
+// 1..=6: small class index + 1.
+const ST_SEGMENT: u8 = 0xF0;
+const ST_LARGE: u8 = 0xE0;
+const ST_LARGE_CONT: u8 = 0xE1;
+/// Region start: the low 24 bits of the header hold the run length in
+/// chunks (up to 4 GiB regions). Used for baseline index tables.
+const ST_REGION: u8 = 0xD0;
+const ST_REGION_CONT: u8 = 0xD1;
+
+/// Errors from the allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// The heap has no free chunk run of the required length.
+    OutOfMemory,
+    /// Requested size exceeds the maximum large allocation (255 chunks).
+    TooLarge,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory => write!(f, "persistent heap exhausted"),
+            AllocError::TooLarge => write!(f, "allocation exceeds 255 chunks (~64 KiB)"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Result of an allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SmallAlloc {
+    /// Address of the slot.
+    pub addr: PmAddr,
+    /// When this allocation *filled* its XPLine chunk, the chunk base
+    /// address: the compacted-flush mechanism asynchronously flushes
+    /// exactly this 256-byte range (paper §III-C).
+    pub exhausted_chunk: Option<PmAddr>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct ActiveChunk {
+    chunk: u64,
+    next_slot: u32,
+    live: bool,
+}
+
+#[derive(Default)]
+struct ThreadHeap {
+    active: [ActiveChunk; SMALL_CLASSES.len()],
+    /// Freed slots cached for reuse, per class.
+    free_slots: [Vec<PmAddr>; SMALL_CLASSES.len()],
+}
+
+struct Global {
+    free_chunks: Vec<u64>,
+    /// Free large runs: (length, start chunk).
+    free_runs: Vec<(u8, u64)>,
+}
+
+/// The allocator. Shared across simulated threads.
+pub struct PmAllocator {
+    layout: Layout,
+    frontier: AtomicU64,
+    global: Mutex<Global>,
+    threads: Vec<Mutex<ThreadHeap>>,
+    n_thread_shards: usize,
+}
+
+/// What a recovery scan found.
+pub struct RecoveredHeap {
+    pub alloc: PmAllocator,
+    /// Every live 256-byte segment (for the index's directory rebuild).
+    pub segments: Vec<PmAddr>,
+}
+
+impl PmAllocator {
+    /// Format a fresh arena: write the superblock, zero the header table.
+    /// `reserved_len` bytes (XPLine-rounded) are set aside for the caller's
+    /// own persistent metadata, reachable via [`PmAllocator::reserved`].
+    pub fn format(ctx: &mut MemCtx, reserved_len: u64) -> Self {
+        let arena_size = ctx.device().arena().size();
+        let l = Layout::compute(arena_size, reserved_len);
+        // The header table is zero in a fresh arena, but formatting an
+        // arena that was used before must clear it.
+        let zeros = vec![0u8; 4096];
+        let table_len = l.heap_start - l.table_start;
+        let mut off = 0;
+        while off < table_len {
+            let n = zeros.len().min((table_len - off) as usize);
+            ctx.ntstore_bytes(PmAddr(l.table_start + off), &zeros[..n]);
+            off += n as u64;
+        }
+        ctx.fence();
+        layout::write_superblock(ctx, arena_size, &l);
+        Self::from_layout(l)
+    }
+
+    fn from_layout(l: Layout) -> Self {
+        let n_thread_shards = 64;
+        Self {
+            layout: l,
+            frontier: AtomicU64::new(0),
+            global: Mutex::new(Global {
+                free_chunks: Vec::new(),
+                free_runs: Vec::new(),
+            }),
+            threads: (0..n_thread_shards)
+                .map(|_| Mutex::new(ThreadHeap::default()))
+                .collect(),
+            n_thread_shards,
+        }
+    }
+
+    /// Rebuild volatile state from the persistent header table after a
+    /// crash (or clean restart). Returns the allocator plus the list of
+    /// live index segments.
+    pub fn recover(ctx: &mut MemCtx) -> Option<RecoveredHeap> {
+        let (_, l) = layout::read_superblock(ctx)?;
+        let alloc = Self::from_layout(l);
+        let mut segments = Vec::new();
+        let mut free_chunks = Vec::new();
+        let mut frontier = 0;
+        let mut i = 0;
+        while i < l.n_chunks {
+            let h = alloc.header_get(ctx, i);
+            let state = (h >> 24) as u8;
+            match state {
+                ST_FREE => free_chunks.push(i),
+                ST_SEGMENT => {
+                    segments.push(l.chunk_addr(i));
+                    frontier = i + 1;
+                }
+                ST_LARGE => {
+                    let len = ((h >> 16) & 0xff) as u64;
+                    i += len.max(1);
+                    frontier = i;
+                    continue;
+                }
+                ST_REGION => {
+                    let len = (h & 0xff_ffff) as u64;
+                    i += len.max(1);
+                    frontier = i;
+                    continue;
+                }
+                ST_LARGE_CONT | ST_REGION_CONT => {
+                    // Interior marker (or a corrupted start); treat
+                    // conservatively as live.
+                    frontier = i + 1;
+                }
+                _ => {
+                    // Small-class chunk: recover its free slots.
+                    let class = (state - 1) as usize;
+                    if class < SMALL_CLASSES.len() {
+                        let bitmap = (h & 0xffff) as u16;
+                        let slots = (CHUNK / SMALL_CLASSES[class]) as u32;
+                        let mut th = alloc.threads[i as usize % alloc.n_thread_shards].lock();
+                        for s in 0..slots {
+                            if bitmap & (1 << s) == 0 {
+                                th.free_slots[class].push(PmAddr(
+                                    l.chunk_addr(i).0 + s as u64 * SMALL_CLASSES[class],
+                                ));
+                            }
+                        }
+                    }
+                    frontier = i + 1;
+                }
+            }
+            i += 1;
+        }
+        // Chunks past the frontier were never allocated; list only the
+        // free chunks *below* it to keep the free list small.
+        free_chunks.retain(|&c| c < frontier);
+        alloc.frontier.store(frontier, Ordering::Relaxed);
+        alloc.global.lock().free_chunks = free_chunks;
+        Some(RecoveredHeap { alloc, segments })
+    }
+
+    /// The arena layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The caller-reserved persistent metadata region.
+    pub fn reserved(&self) -> (PmAddr, u64) {
+        (PmAddr(self.layout.reserved_start), self.layout.reserved_len)
+    }
+
+    // ---- chunk header helpers -------------------------------------------
+
+    /// Header entries are 4-byte fields packed two-per-u64.
+    fn header_get(&self, ctx: &mut MemCtx, chunk: u64) -> u32 {
+        let byte = self.layout.header_addr(chunk);
+        let word = ctx.read_u64(PmAddr(byte & !7));
+        if byte.is_multiple_of(8) {
+            word as u32
+        } else {
+            (word >> 32) as u32
+        }
+    }
+
+    fn header_set(&self, ctx: &mut MemCtx, chunk: u64, val: u32) {
+        let byte = self.layout.header_addr(chunk);
+        let addr = PmAddr(byte & !7);
+        let shift = if byte.is_multiple_of(8) { 0 } else { 32 };
+        let mask = !(0xffff_ffffu64 << shift);
+        loop {
+            let cur = ctx.device().arena().load_u64(addr);
+            let new = (cur & mask) | ((val as u64) << shift);
+            if ctx.cas_u64(addr, cur, new).is_ok() {
+                return;
+            }
+        }
+    }
+
+    #[inline]
+    fn pack_header(state: u8, aux: u8, bitmap: u16) -> u32 {
+        (state as u32) << 24 | (aux as u32) << 16 | bitmap as u32
+    }
+
+    // ---- chunk acquisition ----------------------------------------------
+
+    fn take_run(&self, len: u64) -> Result<u64, AllocError> {
+        debug_assert!(len >= 1);
+        {
+            let mut g = self.global.lock();
+            if len == 1 {
+                if let Some(c) = g.free_chunks.pop() {
+                    return Ok(c);
+                }
+            } else if let Some(pos) = g.free_runs.iter().position(|&(l, _)| l as u64 == len) {
+                let (_, c) = g.free_runs.swap_remove(pos);
+                return Ok(c);
+            }
+        }
+        let start = self.frontier.fetch_add(len, Ordering::Relaxed);
+        if start + len > self.layout.n_chunks {
+            // Roll the frontier back so later smaller requests can fit.
+            self.frontier.fetch_sub(len, Ordering::Relaxed);
+            return Err(AllocError::OutOfMemory);
+        }
+        Ok(start)
+    }
+
+    // ---- public allocation API ------------------------------------------
+
+    /// Allocate one 256-byte, XPLine-aligned index segment.
+    pub fn alloc_segment(&self, ctx: &mut MemCtx) -> Result<PmAddr, AllocError> {
+        let c = self.take_run(1)?;
+        self.header_set(ctx, c, Self::pack_header(ST_SEGMENT, 0, 0));
+        Ok(self.layout.chunk_addr(c))
+    }
+
+    /// Free a segment allocated with [`PmAllocator::alloc_segment`].
+    pub fn free_segment(&self, ctx: &mut MemCtx, addr: PmAddr) {
+        let c = self.layout.chunk_of(addr);
+        debug_assert_eq!((self.header_get(ctx, c) >> 24) as u8, ST_SEGMENT);
+        self.header_set(ctx, c, Self::pack_header(ST_FREE, 0, 0));
+        self.global.lock().free_chunks.push(c);
+    }
+
+    /// The small size class index for `size`, if `size` ≤ 128.
+    pub fn class_for(size: u64) -> Option<usize> {
+        SMALL_CLASSES.iter().position(|&c| size <= c)
+    }
+
+    /// Allocate `size` bytes. Small sizes come from the calling thread's
+    /// append-only XPLine chunk (compacted-flush, §III-C); larger sizes
+    /// take a run of whole chunks.
+    pub fn alloc(&self, ctx: &mut MemCtx, size: u64) -> Result<SmallAlloc, AllocError> {
+        if let Some(class) = Self::class_for(size) {
+            return self.alloc_small(ctx, class);
+        }
+        let nchunks = size.div_ceil(CHUNK);
+        if nchunks > 255 {
+            return Err(AllocError::TooLarge);
+        }
+        let start = self.take_run(nchunks)?;
+        self.header_set(ctx, start, Self::pack_header(ST_LARGE, nchunks as u8, 0));
+        for i in 1..nchunks {
+            self.header_set(ctx, start + i, Self::pack_header(ST_LARGE_CONT, 0, 0));
+        }
+        Ok(SmallAlloc {
+            addr: self.layout.chunk_addr(start),
+            exhausted_chunk: None,
+        })
+    }
+
+    fn alloc_small(&self, ctx: &mut MemCtx, class: usize) -> Result<SmallAlloc, AllocError> {
+        let shard = ctx.tid() as usize % self.n_thread_shards;
+        let slot_size = SMALL_CLASSES[class];
+        let slots_per_chunk = (CHUNK / slot_size) as u32;
+
+        // 1. Reuse a cached freed slot.
+        // 2. Else append within the active chunk.
+        {
+            let mut th = self.threads[shard].lock();
+            if let Some(addr) = th.free_slots[class].pop() {
+                return Ok(SmallAlloc {
+                    addr,
+                    exhausted_chunk: None,
+                });
+            }
+            let ac = &mut th.active[class];
+            if ac.live && ac.next_slot < slots_per_chunk {
+                let slot = ac.next_slot;
+                ac.next_slot += 1;
+                let chunk = ac.chunk;
+                let exhausted = ac.next_slot == slots_per_chunk;
+                if exhausted {
+                    ac.live = false;
+                }
+                drop(th);
+                // Persist the slot bit.
+                let h = self.header_get(ctx, chunk);
+                self.header_set(ctx, chunk, h | 1 << slot);
+                let base = self.layout.chunk_addr(chunk);
+                return Ok(SmallAlloc {
+                    addr: PmAddr(base.0 + slot as u64 * slot_size),
+                    exhausted_chunk: exhausted.then_some(base),
+                });
+            }
+        }
+
+        // 3. Open a fresh chunk.
+        let chunk = self.take_run(1)?;
+        self.header_set(ctx, chunk, Self::pack_header(class as u8 + 1, 0, 0b1));
+        {
+            let mut th = self.threads[shard].lock();
+            th.active[class] = ActiveChunk {
+                chunk,
+                next_slot: 1,
+                live: true,
+            };
+        }
+        let base = self.layout.chunk_addr(chunk);
+        Ok(SmallAlloc {
+            addr: base,
+            exhausted_chunk: (slots_per_chunk == 1).then_some(base),
+        })
+    }
+
+    /// Allocate a contiguous region of `size` bytes (XPLine-rounded, no
+    /// upper bound beyond the heap itself). Regions back the baseline
+    /// indexes' large tables (CCEH segments, Level/CLevel levels, Plush
+    /// levels, Halo logs). Only the *start* chunk's header records the
+    /// length, so freeing needs no size argument.
+    pub fn alloc_region(&self, ctx: &mut MemCtx, size: u64) -> Result<PmAddr, AllocError> {
+        let nchunks = size.div_ceil(CHUNK).max(1);
+        if nchunks >= 1 << 24 {
+            return Err(AllocError::TooLarge);
+        }
+        let start = self.take_run(nchunks)?;
+        self.header_set(
+            ctx,
+            start,
+            (ST_REGION as u32) << 24 | (nchunks as u32 & 0xff_ffff),
+        );
+        // Continuation headers are only needed so a recovery scan can skip
+        // the run; write one per 64 chunks to bound format cost, plus the
+        // final chunk.
+        let mut i = 64;
+        while i < nchunks {
+            self.header_set(ctx, start + i, (ST_REGION_CONT as u32) << 24);
+            i += 64;
+        }
+        if nchunks > 1 {
+            self.header_set(ctx, start + nchunks - 1, (ST_REGION_CONT as u32) << 24);
+        }
+        Ok(self.layout.chunk_addr(start))
+    }
+
+    /// Free a region allocated with [`PmAllocator::alloc_region`].
+    pub fn free_region(&self, ctx: &mut MemCtx, addr: PmAddr) {
+        let start = self.layout.chunk_of(addr);
+        let h = self.header_get(ctx, start);
+        debug_assert_eq!((h >> 24) as u8, ST_REGION, "free_region of non-region");
+        let len = (h & 0xff_ffff) as u64;
+        self.header_set(ctx, start, 0);
+        let mut i = 64;
+        while i < len {
+            self.header_set(ctx, start + i, 0);
+            i += 64;
+        }
+        if len > 1 {
+            self.header_set(ctx, start + len - 1, 0);
+        }
+        // Regions are not recycled through the run free-lists (they are
+        // few and long-lived); leak the address range deliberately unless
+        // it abuts the frontier.
+        let _ = self
+            .frontier
+            .compare_exchange(start + len, start, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Free an allocation of `size` bytes at `addr`.
+    pub fn free(&self, ctx: &mut MemCtx, addr: PmAddr, size: u64) {
+        if let Some(class) = Self::class_for(size) {
+            // Cache the slot for reuse; the persistent bit stays set (the
+            // slot is volatile-free — a crash leaks only cached slots).
+            let shard = ctx.tid() as usize % self.n_thread_shards;
+            self.threads[shard].lock().free_slots[class].push(addr);
+            return;
+        }
+        let start = self.layout.chunk_of(addr);
+        let h = self.header_get(ctx, start);
+        debug_assert_eq!((h >> 24) as u8, ST_LARGE, "free of non-allocation");
+        let len = ((h >> 16) & 0xff) as u64;
+        for i in 0..len {
+            self.header_set(ctx, start + i, Self::pack_header(ST_FREE, 0, 0));
+        }
+        let mut g = self.global.lock();
+        if len == 1 {
+            g.free_chunks.push(start);
+        } else {
+            g.free_runs.push((len as u8, start));
+        }
+    }
+
+    /// Number of chunks ever touched (diagnostic).
+    pub fn frontier_chunks(&self) -> u64 {
+        self.frontier.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spash_pmem::{PmConfig, PmDevice};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<PmDevice>, PmAllocator, MemCtx) {
+        let dev = PmDevice::new(PmConfig::small_test());
+        let mut ctx = dev.ctx();
+        let alloc = PmAllocator::format(&mut ctx, 1024);
+        (dev, alloc, ctx)
+    }
+
+    #[test]
+    fn class_for_boundaries() {
+        assert_eq!(PmAllocator::class_for(1), Some(0));
+        assert_eq!(PmAllocator::class_for(16), Some(0));
+        assert_eq!(PmAllocator::class_for(17), Some(1));
+        assert_eq!(PmAllocator::class_for(128), Some(5));
+        assert_eq!(PmAllocator::class_for(129), None);
+    }
+
+    #[test]
+    fn segments_are_xpline_aligned_and_distinct() {
+        let (_dev, alloc, mut ctx) = setup();
+        let a = alloc.alloc_segment(&mut ctx).unwrap();
+        let b = alloc.alloc_segment(&mut ctx).unwrap();
+        assert_eq!(a.0 % 256, 0);
+        assert_eq!(b.0 % 256, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn freed_segment_is_reused() {
+        let (_dev, alloc, mut ctx) = setup();
+        let a = alloc.alloc_segment(&mut ctx).unwrap();
+        alloc.free_segment(&mut ctx, a);
+        let b = alloc.alloc_segment(&mut ctx).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_allocs_are_contiguous_within_a_chunk() {
+        let (_dev, alloc, mut ctx) = setup();
+        // 64-byte class: 4 slots per chunk; consecutive allocations must
+        // be adjacent — that is what compacted-flush relies on.
+        let a = alloc.alloc(&mut ctx, 60).unwrap();
+        let b = alloc.alloc(&mut ctx, 60).unwrap();
+        let c = alloc.alloc(&mut ctx, 60).unwrap();
+        let d = alloc.alloc(&mut ctx, 60).unwrap();
+        assert_eq!(b.addr.0, a.addr.0 + 64);
+        assert_eq!(c.addr.0, b.addr.0 + 64);
+        assert_eq!(d.addr.0, c.addr.0 + 64);
+        assert!(a.exhausted_chunk.is_none());
+        assert_eq!(
+            d.exhausted_chunk,
+            Some(PmAddr(a.addr.0)),
+            "4th allocation fills the chunk and reports it for flushing"
+        );
+    }
+
+    #[test]
+    fn small_free_slots_are_recycled() {
+        let (_dev, alloc, mut ctx) = setup();
+        let a = alloc.alloc(&mut ctx, 16).unwrap();
+        alloc.free(&mut ctx, a.addr, 16);
+        let b = alloc.alloc(&mut ctx, 16).unwrap();
+        assert_eq!(a.addr, b.addr);
+    }
+
+    #[test]
+    fn large_alloc_spans_chunks_and_frees() {
+        let (_dev, alloc, mut ctx) = setup();
+        let a = alloc.alloc(&mut ctx, 1000).unwrap(); // 4 chunks
+        assert_eq!(a.addr.0 % 256, 0);
+        alloc.free(&mut ctx, a.addr, 1000);
+        let b = alloc.alloc(&mut ctx, 1000).unwrap();
+        assert_eq!(a.addr, b.addr, "freed run is reused");
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let (_dev, alloc, mut ctx) = setup();
+        assert_eq!(
+            alloc.alloc(&mut ctx, 256 * 300).unwrap_err(),
+            AllocError::TooLarge
+        );
+    }
+
+    #[test]
+    fn out_of_memory_when_exhausted() {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 64 << 10,
+            ..PmConfig::small_test()
+        });
+        let mut ctx = dev.ctx();
+        let alloc = PmAllocator::format(&mut ctx, 0);
+        let mut n = 0;
+        loop {
+            match alloc.alloc_segment(&mut ctx) {
+                Ok(_) => n += 1,
+                Err(AllocError::OutOfMemory) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            assert!(n < 100_000, "never exhausted");
+        }
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn recovery_finds_live_segments() {
+        let dev = PmDevice::new(PmConfig::eadr_test());
+        let mut ctx = dev.ctx();
+        let alloc = PmAllocator::format(&mut ctx, 0);
+        let s1 = alloc.alloc_segment(&mut ctx).unwrap();
+        let s2 = alloc.alloc_segment(&mut ctx).unwrap();
+        let s3 = alloc.alloc_segment(&mut ctx).unwrap();
+        alloc.free_segment(&mut ctx, s2);
+        dev.simulate_power_failure();
+
+        let mut ctx2 = dev.ctx();
+        let rec = PmAllocator::recover(&mut ctx2).expect("superblock present");
+        let mut segs = rec.segments.clone();
+        segs.sort();
+        let mut expect = vec![s1, s3];
+        expect.sort();
+        assert_eq!(segs, expect);
+        // The freed chunk is allocatable again.
+        let s4 = rec.alloc.alloc_segment(&mut ctx2).unwrap();
+        assert_eq!(s4, s2);
+    }
+
+    #[test]
+    fn recovery_of_unformatted_arena_is_none() {
+        let dev = PmDevice::new(PmConfig::small_test());
+        let mut ctx = dev.ctx();
+        assert!(PmAllocator::recover(&mut ctx).is_none());
+    }
+
+    #[test]
+    fn recovery_reclaims_never_used_small_slots() {
+        let dev = PmDevice::new(PmConfig::eadr_test());
+        let mut ctx = dev.ctx();
+        let alloc = PmAllocator::format(&mut ctx, 0);
+        let a = alloc.alloc(&mut ctx, 128).unwrap(); // 2 slots per chunk
+        let _b = alloc.alloc(&mut ctx, 128).unwrap();
+        let c = alloc.alloc(&mut ctx, 96).unwrap(); // 96 B class: 2 slots
+        dev.simulate_power_failure();
+
+        let mut ctx2 = dev.ctx();
+        let rec = PmAllocator::recover(&mut ctx2).unwrap();
+        // The 96-class chunk had 1 of 2 slots used; the recovered free
+        // slot must be the *other* slot of that chunk.
+        let d = rec.alloc.alloc(&mut ctx2, 96).unwrap();
+        assert_eq!(d.addr.0, c.addr.0 + 96);
+        assert_ne!(d.addr, a.addr);
+    }
+
+    #[test]
+    fn region_alloc_beyond_large_cap() {
+        let (_dev, alloc, mut ctx) = setup();
+        // 1 MiB region: far beyond the 255-chunk large-alloc cap.
+        let r = alloc.alloc_region(&mut ctx, 1 << 20).unwrap();
+        assert_eq!(r.0 % 256, 0);
+        // A subsequent allocation must not land inside the region.
+        let s = alloc.alloc_segment(&mut ctx).unwrap();
+        assert!(s.0 >= r.0 + (1 << 20) || s.0 < r.0);
+        // Freeing at the frontier rolls it back so space is reusable.
+        alloc.free_region(&mut ctx, r);
+    }
+
+    #[test]
+    fn region_survives_recovery_scan() {
+        let dev = PmDevice::new(PmConfig::eadr_test());
+        let mut ctx = dev.ctx();
+        let alloc = PmAllocator::format(&mut ctx, 0);
+        let r = alloc.alloc_region(&mut ctx, 300 * 256).unwrap();
+        let s = alloc.alloc_segment(&mut ctx).unwrap();
+        dev.simulate_power_failure();
+        let mut ctx2 = dev.ctx();
+        let rec = PmAllocator::recover(&mut ctx2).unwrap();
+        assert_eq!(rec.segments, vec![s]);
+        // New allocations go past the region.
+        let s2 = rec.alloc.alloc_segment(&mut ctx2).unwrap();
+        assert!(s2.0 >= r.0 + 300 * 256 || s2.0 < r.0);
+    }
+
+    #[test]
+    fn concurrent_allocations_do_not_collide() {
+        let dev = PmDevice::new(PmConfig::small_test());
+        let mut ctx = dev.ctx();
+        let alloc = Arc::new(PmAllocator::format(&mut ctx, 0));
+        let results: Vec<Vec<PmAddr>> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let alloc = Arc::clone(&alloc);
+                    let dev = Arc::clone(&dev);
+                    s.spawn(move |_| {
+                        let mut ctx = dev.ctx();
+                        (0..200u64)
+                            .map(|i| alloc.alloc(&mut ctx, 16 + (i % 100)).unwrap().addr)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+        let mut all: Vec<PmAddr> = results.into_iter().flatten().collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "duplicate addresses handed out");
+    }
+}

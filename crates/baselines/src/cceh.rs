@@ -1,0 +1,530 @@
+//! CCEH — Cacheline-Conscious Extendible Hashing (Nam et al., FAST'19),
+//! as characterized by the Spash paper's evaluation (§VI):
+//!
+//! * extendible hashing with **coarse 16 KiB segments** (vs Spash's 256 B):
+//!   a split rehashes a thousand slots, which is why resizing hurts;
+//! * linear probing within a 4-cacheline (16-slot) window, which caps the
+//!   achievable load factor (paper Fig 9 shows CCEH lowest);
+//! * a **per-segment reader-writer lock maintained in PM** — even search
+//!   operations dirty the lock's cacheline ("CCEH performs poorly in
+//!   read-intensive workloads as it employs the read-write locks",
+//!   "produce PM writes to maintain read locks");
+//! * lazy deletion via tombstones.
+//!
+//! Per the paper's methodology, persistence flushes are removed (eADR) and
+//! variable-size values go out-of-place behind pointers. One deviation:
+//! the directory lives in DRAM here (like every other index in this
+//! repository) so that directory traffic does not confound the
+//! segment-level comparison.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spash_alloc::PmAllocator;
+use spash_index_api::{hash_key, IndexError, PersistentIndex};
+use spash_pmem::{MemCtx, PmAddr};
+#[cfg(test)]
+use spash_pmem::PmDevice;
+
+use crate::common::{self, PmRwLock, EMPTY_KEY, TOMBSTONE};
+
+/// Segment size: 64 B header + 1020 16-byte slots.
+const SEG_BYTES: u64 = 16384;
+const SLOTS: u64 = (SEG_BYTES - 64) / 16;
+/// Linear-probing window: 4 cachelines of slots.
+const PROBE: u64 = 16;
+
+struct Seg {
+    addr: PmAddr,
+    lock: PmRwLock,
+}
+
+impl Seg {
+    fn slot_addr(&self, i: u64) -> PmAddr {
+        PmAddr(self.addr.0 + 64 + (i % SLOTS) * 16)
+    }
+}
+
+struct Dir {
+    depth: u32,
+    /// One entry per directory slot: (segment, local depth).
+    entries: Vec<(Arc<Seg>, u8)>,
+}
+
+/// The CCEH baseline.
+pub struct Cceh {
+    alloc: Arc<PmAllocator>,
+    dir: RwLock<Dir>,
+    entries: AtomicU64,
+    n_segs: AtomicU64,
+}
+
+impl Cceh {
+    /// Build with `2^depth` initial segments on an already-formatted
+    /// allocator.
+    pub fn new(
+        ctx: &mut MemCtx,
+        alloc: Arc<PmAllocator>,
+        depth: u32,
+    ) -> Result<Self, IndexError> {
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        let n = 1usize << depth;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seg = Self::alloc_seg(ctx, &alloc, lock_ns)?;
+            entries.push((seg, depth as u8));
+        }
+        Ok(Self {
+            alloc,
+            dir: RwLock::new(Dir { depth, entries }),
+            entries: AtomicU64::new(0),
+            n_segs: AtomicU64::new(n as u64),
+        })
+    }
+
+    /// Convenience: format a fresh device.
+    pub fn format(ctx: &mut MemCtx, depth: u32) -> Result<Self, IndexError> {
+        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        Self::new(ctx, alloc, depth)
+    }
+
+    fn alloc_seg(
+        ctx: &mut MemCtx,
+        alloc: &PmAllocator,
+        lock_ns: u64,
+    ) -> Result<Arc<Seg>, IndexError> {
+        let addr = alloc
+            .alloc_region(ctx, SEG_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        // Zero the slot array (fresh regions may be recycled space).
+        let zeros = [0u8; 256];
+        for off in (0..SEG_BYTES).step_by(256) {
+            ctx.ntstore_bytes(PmAddr(addr.0 + off), &zeros);
+        }
+        Ok(Arc::new(Seg {
+            addr,
+            lock: PmRwLock::new(addr, lock_ns),
+        }))
+    }
+
+    fn route(&self, ctx: &mut MemCtx, h: u64) -> (Arc<Seg>, u8, u32) {
+        ctx.charge_dram_cached();
+        let d = self.dir.read();
+        let idx = if d.depth == 0 {
+            0
+        } else {
+            (h >> (64 - d.depth)) as usize
+        };
+        let (seg, ld) = &d.entries[idx];
+        (Arc::clone(seg), *ld, d.depth)
+    }
+
+    /// Probe for `key`; returns (slot index, value word).
+    fn probe_find(&self, ctx: &mut MemCtx, seg: &Seg, h: u64, key: u64) -> Option<(u64, u64)> {
+        let start = h % SLOTS;
+        for i in 0..PROBE {
+            let s = start + i;
+            let k = ctx.read_u64(seg.slot_addr(s));
+            if k == EMPTY_KEY {
+                return None;
+            }
+            if k == key {
+                let v = ctx.read_u64(PmAddr(seg.slot_addr(s).0 + 8));
+                return Some((s, v));
+            }
+        }
+        None
+    }
+
+    /// Probe for a free (empty or tombstoned) slot.
+    fn probe_free(&self, ctx: &mut MemCtx, seg: &Seg, h: u64) -> Option<u64> {
+        let start = h % SLOTS;
+        (0..PROBE)
+            .map(|i| start + i)
+            .find(|&s| matches!(ctx.read_u64(seg.slot_addr(s)), EMPTY_KEY | TOMBSTONE))
+    }
+
+    /// Split the segment currently routed for `h`.
+    ///
+    /// Lock order is always segment-then-directory (the same order every
+    /// base operation uses), so there is no ABBA deadlock: the doubling
+    /// path takes only the directory lock.
+    fn split(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        loop {
+            let (seg, ld, depth) = self.route(ctx, h);
+            if u32::from(ld) == depth {
+                // Directory doubling (directory lock only).
+                let mut dw = self.dir.write();
+                if dw.depth == depth {
+                    let doubled: Vec<(Arc<Seg>, u8)> = dw
+                        .entries
+                        .iter()
+                        .flat_map(|e| [e.clone(), e.clone()])
+                        .collect();
+                    dw.entries = doubled;
+                    dw.depth += 1;
+                    // The whole (DRAM) directory is rewritten.
+                    ctx.charge_dram((dw.entries.len() as u64 * 8) / 64 + 1);
+                }
+                continue;
+            }
+            let new_seg = Self::alloc_seg(ctx, &self.alloc, lock_ns)?;
+            let mut homeless: Vec<(u64, u64)> = Vec::new();
+            let done = seg.lock.write(ctx, |ctx| {
+                let mut d = self.dir.write();
+                let depth_now = d.depth;
+                let idx = (h >> (64 - depth_now)) as usize;
+                let (cur, ld_now) = d.entries[idx].clone();
+                if !Arc::ptr_eq(&cur, &seg) || ld_now != ld || u32::from(ld_now) >= depth_now {
+                    return false; // raced; retry from routing
+                }
+                // Rehash: move upper-half keys to the new segment.
+                for s in 0..SLOTS {
+                    let ka = seg.slot_addr(s);
+                    let k = ctx.read_u64(ka);
+                    if k == EMPTY_KEY || k == TOMBSTONE {
+                        continue;
+                    }
+                    let kh = hash_key(k);
+                    if (kh >> (63 - u32::from(ld))) & 1 == 1 {
+                        let v = ctx.read_u64(PmAddr(ka.0 + 8));
+                        match self.probe_free(ctx, &new_seg, kh) {
+                            Some(ns) => {
+                                ctx.write_u64(PmAddr(new_seg.slot_addr(ns).0 + 8), v);
+                                ctx.write_u64(new_seg.slot_addr(ns), k);
+                            }
+                            None => homeless.push((k, v)),
+                        }
+                        ctx.write_u64(ka, TOMBSTONE);
+                    }
+                }
+                // Repoint the upper half of the range at the new segment.
+                let span = 1usize << (depth_now - u32::from(ld));
+                let base = (idx >> (depth_now - u32::from(ld))) << (depth_now - u32::from(ld));
+                for i in 0..span {
+                    let target = if i >= span / 2 {
+                        (Arc::clone(&new_seg), ld + 1)
+                    } else {
+                        (Arc::clone(&seg), ld + 1)
+                    };
+                    d.entries[base + i] = target;
+                }
+                ctx.charge_dram(span as u64 / 8 + 1);
+                true
+            });
+            if done {
+                self.n_segs.fetch_add(1, Ordering::Relaxed);
+                // Probe-window overflow during rehash is vanishingly rare
+                // (17 of ~1020 keys in one window); reinsert through the
+                // normal path. Those keys were tombstoned above, so the
+                // count is adjusted by insert_word.
+                for (k, v) in homeless {
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    self.insert_word(ctx, k, v)?;
+                }
+                return Ok(());
+            }
+            self.alloc.free_region(ctx, new_seg.addr);
+        }
+    }
+
+    /// Insert a pre-built value word.
+    fn insert_word(&self, ctx: &mut MemCtx, key: u64, vw: u64) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        loop {
+            let (seg, _ld, depth) = self.route(ctx, h);
+            enum Out {
+                Done,
+                Dup,
+                Full,
+                Moved,
+            }
+            let out = seg.lock.write(ctx, |ctx| {
+                // Re-route under the lock: the segment may have split.
+                let d = self.dir.read();
+                let idx = (h >> (64 - d.depth)) as usize;
+                if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                    return Out::Moved;
+                }
+                drop(d);
+                if self.probe_find(ctx, &seg, h, key).is_some() {
+                    return Out::Dup;
+                }
+                match self.probe_free(ctx, &seg, h) {
+                    None => Out::Full,
+                    Some(s) => {
+                        ctx.write_u64(PmAddr(seg.slot_addr(s).0 + 8), vw);
+                        ctx.write_u64(seg.slot_addr(s), key);
+                        Out::Done
+                    }
+                }
+            });
+            match out {
+                Out::Done => {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Out::Dup => return Err(IndexError::DuplicateKey),
+                Out::Moved => continue,
+                Out::Full => self.split(ctx, h)?,
+            }
+        }
+    }
+}
+
+impl PersistentIndex for Cceh {
+    fn name(&self) -> &'static str {
+        "CCEH"
+    }
+
+    fn insert(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        debug_assert!(key != EMPTY_KEY && key != TOMBSTONE);
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        match self.insert_word(ctx, key, vw) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                common::free_val(&self.alloc, ctx, vw);
+                Err(e)
+            }
+        }
+    }
+
+    fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        loop {
+            let (seg, _, depth) = self.route(ctx, h);
+            enum Out {
+                Done(u64),
+                Miss,
+                Moved,
+            }
+            let out = seg.lock.write(ctx, |ctx| {
+                let d = self.dir.read();
+                let idx = (h >> (64 - d.depth)) as usize;
+                if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                    return Out::Moved;
+                }
+                drop(d);
+                match self.probe_find(ctx, &seg, h, key) {
+                    None => Out::Miss,
+                    Some((s, old)) => {
+                        // Out-of-place update: install the new word.
+                        ctx.write_u64(PmAddr(seg.slot_addr(s).0 + 8), vw);
+                        Out::Done(old)
+                    }
+                }
+            });
+            match out {
+                Out::Moved => continue,
+                Out::Miss => {
+                    common::free_val(&self.alloc, ctx, vw);
+                    return Err(IndexError::NotFound);
+                }
+                Out::Done(old) => {
+                    common::free_val(&self.alloc, ctx, old);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let h = hash_key(key);
+        loop {
+            let (seg, _, depth) = self.route(ctx, h);
+            enum Out {
+                Hit(u64),
+                Miss,
+                Moved,
+            }
+            // The PM read-write lock: this is the PM write on the read
+            // path the paper measures.
+            let r = seg.lock.read(ctx, |ctx| {
+                let d = self.dir.read();
+                let idx = (h >> (64 - d.depth)) as usize;
+                if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                    return Out::Moved;
+                }
+                drop(d);
+                match self.probe_find(ctx, &seg, h, key) {
+                    Some((_, vw)) => Out::Hit(vw),
+                    None => Out::Miss,
+                }
+            });
+            match r {
+                Out::Moved => continue,
+                Out::Miss => return false,
+                Out::Hit(vw) => {
+                    common::append_value(ctx, vw, out);
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        let h = hash_key(key);
+        loop {
+            let (seg, _, depth) = self.route(ctx, h);
+            enum Out {
+                Hit(u64),
+                Miss,
+                Moved,
+            }
+            let r = seg.lock.write(ctx, |ctx| {
+                let d = self.dir.read();
+                let idx = (h >> (64 - d.depth)) as usize;
+                if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                    return Out::Moved;
+                }
+                drop(d);
+                match self.probe_find(ctx, &seg, h, key) {
+                    None => Out::Miss,
+                    Some((s, vw)) => {
+                        // Lazy deletion: tombstone the key word.
+                        ctx.write_u64(seg.slot_addr(s), TOMBSTONE);
+                        Out::Hit(vw)
+                    }
+                }
+            });
+            match r {
+                Out::Moved => continue,
+                Out::Miss => return false,
+                Out::Hit(vw) => {
+                    common::free_val(&self.alloc, ctx, vw);
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.n_segs.load(Ordering::Relaxed) * SLOTS
+    }
+}
+
+/// Shared helper for baseline constructors: format a device and return
+/// (device, allocator-backed index, ctx). Used by tests.
+#[cfg(test)]
+pub(crate) fn test_device() -> (Arc<PmDevice>, MemCtx) {
+    let dev = PmDevice::new(spash_pmem::PmConfig {
+        arena_size: 64 << 20,
+        ..spash_pmem::PmConfig::small_test()
+    });
+    let ctx = dev.ctx();
+    (dev, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<PmDevice>, Cceh, MemCtx) {
+        let (dev, mut ctx) = test_device();
+        let idx = Cceh::format(&mut ctx, 1).unwrap();
+        (dev, idx, ctx)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let (_d, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 1, 10).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(10));
+        idx.update_u64(&mut ctx, 1, 20).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(20));
+        assert!(idx.remove(&mut ctx, 1));
+        assert_eq!(idx.get_u64(&mut ctx, 1), None);
+        assert_eq!(idx.insert_u64(&mut ctx, 2, 1), Ok(()));
+        assert_eq!(
+            idx.insert_u64(&mut ctx, 2, 1).unwrap_err(),
+            IndexError::DuplicateKey
+        );
+    }
+
+    #[test]
+    fn grows_through_segment_splits() {
+        let (_d, idx, mut ctx) = setup();
+        let n = 4000u64;
+        for k in 1..=n {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        for k in 1..=n {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+        }
+        assert!(idx.capacity_slots() > SLOTS * 2, "must have split");
+    }
+
+    #[test]
+    fn tombstone_slots_are_reused() {
+        let (_d, idx, mut ctx) = setup();
+        for k in 1..=100u64 {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        let cap = idx.capacity_slots();
+        for k in 1..=100u64 {
+            idx.remove(&mut ctx, k);
+        }
+        for k in 101..=200u64 {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        assert_eq!(idx.capacity_slots(), cap, "reuse, no growth");
+    }
+
+    #[test]
+    fn blob_values() {
+        let (_d, idx, mut ctx) = setup();
+        let v = vec![3u8; 400];
+        idx.insert(&mut ctx, 9, &v).unwrap();
+        let mut out = Vec::new();
+        assert!(idx.get(&mut ctx, 9, &mut out));
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn reads_produce_pm_lock_writes() {
+        let (dev, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 7, 7).unwrap();
+        dev.flush_cache_all();
+        let before = dev.snapshot();
+        for _ in 0..100 {
+            idx.get_u64(&mut ctx, 7).unwrap();
+        }
+        dev.flush_cache_all();
+        let d = dev.snapshot().since(&before);
+        assert!(
+            d.cl_writes > 0,
+            "CCEH reads must dirty the PM lock word"
+        );
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let (dev, mut ctx) = test_device();
+        let idx = Arc::new(Cceh::format(&mut ctx, 1).unwrap());
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                let dev = Arc::clone(&dev);
+                s.spawn(move |_| {
+                    let mut ctx = dev.ctx();
+                    for i in 0..1000u64 {
+                        let k = 1 + t * 1000 + i;
+                        idx.insert_u64(&mut ctx, k, k).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for k in 1..=4000u64 {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+        }
+    }
+}

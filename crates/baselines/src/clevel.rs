@@ -1,0 +1,483 @@
+//! CLevel — lock-free concurrent level hashing (Chen et al., ATC'20), as
+//! characterized by the Spash paper (§VI):
+//!
+//! * slots are 8-byte CAS-able words holding pointers to out-of-place
+//!   `[key][len][value]` items — **every** key-value, however small, costs
+//!   a pointer dereference ("the performance of CLevel is still impeded by
+//!   excessive PM reads and writes");
+//! * **out-of-place updates for all entries**, so hot updates cannot be
+//!   absorbed by the CPU cache (Fig 10's write-intensive gap);
+//! * lock-free inserts/updates/deletes via CAS, growth by prepending a
+//!   double-sized level and cooperatively migrating the oldest level.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spash_alloc::PmAllocator;
+use spash_index_api::{hash_key, IndexError, PersistentIndex};
+use spash_pmem::{MemCtx, PmAddr};
+
+use crate::common;
+
+const BUCKET_BYTES: u64 = 64;
+const SLOTS: u64 = 8;
+/// Migration freeze bit: a frozen slot is being moved; readers may follow
+/// the pointer, writers must wait for the copy in the newest level.
+const FROZEN: u64 = 1 << 62;
+const ADDR_MASK: u64 = (1 << 48) - 1;
+/// An 8-bit key tag kept in the free pointer bits (48..56). CLevel's
+/// lookups deliberately do NOT use it as a filter (the original has no
+/// fingerprints — its pointer chases are the PM-read cost the paper
+/// measures); it only disambiguates words for the migration CAS protocol.
+const TAG_SHIFT: u32 = 48;
+
+#[inline]
+fn tag_of_key(key: u64) -> u64 {
+    (hash_key(key) >> 24) & 0xff
+}
+const HASH_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+/// Buckets each insert helps migrate from the oldest level.
+const MIGRATE_STEP: u64 = 2;
+
+struct LevelArr {
+    addr: PmAddr,
+    n_buckets: u64,
+    /// Next bucket to migrate (levels drain oldest-first).
+    cursor: AtomicU64,
+    /// Buckets whose migration has fully completed.
+    done: AtomicU64,
+}
+
+impl LevelArr {
+    fn bucket(&self, i: u64) -> PmAddr {
+        PmAddr(self.addr.0 + (i % self.n_buckets) * BUCKET_BYTES)
+    }
+
+    fn slot(&self, b: u64, s: u64) -> PmAddr {
+        PmAddr(self.bucket(b).0 + s * 8)
+    }
+}
+
+/// The CLevel baseline.
+pub struct CLevel {
+    alloc: Arc<PmAllocator>,
+    /// Newest level first.
+    levels: RwLock<Vec<Arc<LevelArr>>>,
+    entries: AtomicU64,
+    /// Bumped on every grow/pop; a failed lookup only counts as a miss if
+    /// the level list was stable across the whole scan (otherwise
+    /// migration may have moved the key into a level the scan's snapshot
+    /// did not contain).
+    structure_gen: AtomicU64,
+    /// Append-only item log: CLevel allocates every key-value item at a
+    /// fresh location (its persistent allocator hands out new space), so
+    /// hot updates can never be absorbed by the CPU cache — the exact
+    /// behaviour the paper contrasts with Spash's in-place updates.
+    log_base: PmAddr,
+    log_len: u64,
+    log_head: AtomicU64,
+}
+
+impl CLevel {
+    pub fn new(ctx: &mut MemCtx, alloc: Arc<PmAllocator>, pow: u32) -> Result<Self, IndexError> {
+        let lvl = Self::alloc_level(ctx, &alloc, 1 << pow)?;
+        let log_len = ctx.device().arena().size() / 2;
+        let log_base = alloc
+            .alloc_region(ctx, log_len)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        Ok(Self {
+            alloc,
+            levels: RwLock::new(vec![lvl]),
+            entries: AtomicU64::new(0),
+            structure_gen: AtomicU64::new(0),
+            log_base,
+            log_len,
+            log_head: AtomicU64::new(0),
+        })
+    }
+
+    /// Append an `[key][len][value]` item at a fresh log position.
+    fn append_item(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<PmAddr, IndexError> {
+        let need = (16 + value.len() as u64).div_ceil(16) * 16;
+        let off = self.log_head.fetch_add(need, Ordering::Relaxed);
+        if off + need > self.log_len {
+            return Err(IndexError::OutOfMemory);
+        }
+        let a = PmAddr(self.log_base.0 + off);
+        ctx.write_u64(a, key);
+        ctx.write_u64(PmAddr(a.0 + 8), value.len() as u64);
+        ctx.write_bytes(PmAddr(a.0 + 16), value);
+        Ok(a)
+    }
+
+    pub fn format(ctx: &mut MemCtx, pow: u32) -> Result<Self, IndexError> {
+        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        Self::new(ctx, alloc, pow)
+    }
+
+    fn alloc_level(
+        ctx: &mut MemCtx,
+        alloc: &PmAllocator,
+        n_buckets: u64,
+    ) -> Result<Arc<LevelArr>, IndexError> {
+        let addr = alloc
+            .alloc_region(ctx, n_buckets * BUCKET_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let zeros = [0u8; 256];
+        let len = n_buckets * BUCKET_BYTES;
+        let mut off = 0;
+        while off < len {
+            let n = 256.min(len - off) as usize;
+            ctx.ntstore_bytes(PmAddr(addr.0 + off), &zeros[..n]);
+            off += n as u64;
+        }
+        Ok(Arc::new(LevelArr {
+            addr,
+            n_buckets,
+            cursor: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+        }))
+    }
+
+    #[inline]
+    fn hashes(key: u64) -> (u64, u64) {
+        (hash_key(key), hash_key(key ^ HASH_SALT))
+    }
+
+    fn snapshot(&self) -> Vec<Arc<LevelArr>> {
+        self.levels.read().clone()
+    }
+
+    /// Find `key`, dereferencing every occupied slot of the candidate
+    /// buckets — CLevel items carry no fingerprints, so each lookup pays
+    /// the pointer chases the paper measures ("impeded by excessive PM
+    /// reads"). Returns (slot address, raw slot word — which may carry the
+    /// FROZEN bit).
+    ///
+    /// Levels are scanned OLDEST first: migration moves items old-to-new
+    /// and keeps the old copy visible (frozen) until the new one is
+    /// placed, so an old-first scan can never miss a key mid-migration.
+    /// (Keys are unique across levels, so scan order does not affect
+    /// freshness.)
+    fn find(&self, ctx: &mut MemCtx, key: u64) -> Option<(PmAddr, u64)> {
+        let (h1, h2) = Self::hashes(key);
+        loop {
+            let g1 = self.structure_gen.load(Ordering::Acquire);
+            for lvl in self.snapshot().iter().rev() {
+                for h in [h1, h2] {
+                    let b = h % lvl.n_buckets;
+                    for s in 0..SLOTS {
+                        let w = ctx.read_u64(lvl.slot(b, s));
+                        if w & ADDR_MASK != 0
+                            && ctx.read_u64(PmAddr(w & ADDR_MASK)) == key
+                        {
+                            return Some((lvl.slot(b, s), w));
+                        }
+                    }
+                }
+            }
+            // A miss is authoritative only if no level was added or
+            // retired while we scanned; otherwise migration may have
+            // carried the key into a level our snapshot lacked.
+            if self.structure_gen.load(Ordering::Acquire) == g1 {
+                return None;
+            }
+            ctx.charge_compute(20);
+        }
+    }
+
+    /// CAS a tagged item word into a free slot of the newest level.
+    ///
+    /// The snapshot's "newest" may already be stale — concurrent grows can
+    /// have prepended fresher levels and migration may already be draining
+    /// the one we placed into. If the drain cursor has passed our bucket,
+    /// the migrator will never see the item and the level could be retired
+    /// with it inside; take the item back and retry against a fresher
+    /// snapshot.
+    fn try_place(&self, ctx: &mut MemCtx, word: u64, key: u64) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        let mut word = word & !FROZEN;
+        loop {
+            let levels = self.snapshot();
+            let newest = &levels[0];
+            let mut placed: Option<(PmAddr, u64)> = None;
+            'outer: for h in [h1, h2] {
+                let b = h % newest.n_buckets;
+                for s in 0..SLOTS {
+                    let sa = newest.slot(b, s);
+                    if ctx.read_u64(sa) == 0 && ctx.cas_u64(sa, 0, word).is_ok() {
+                        placed = Some((sa, b));
+                        break 'outer;
+                    }
+                }
+            }
+            let (sa, b) = match placed {
+                None => return false,
+                Some(p) => p,
+            };
+            if newest.cursor.load(Ordering::Acquire) <= b {
+                return true; // a future drain pass will see the item
+            }
+            // The bucket was already claimed by a drainer, which may have
+            // scanned past our slot: take the item back and retry on a
+            // fresher snapshot. Three outcomes per attempt:
+            //   * retract succeeds           → re-place (possibly a value
+            //     a concurrent update swapped in — carry it forward);
+            //   * slot is 0 or FROZEN        → a drainer owns the item and
+            //     re-places it itself;
+            //   * slot holds an updated word → retract *that* word.
+            loop {
+                match ctx.cas_u64(sa, word, 0) {
+                    Ok(_) => {
+                        std::thread::yield_now();
+                        break; // retry outer placement with `word`
+                    }
+                    Err(actual) => {
+                        if actual & ADDR_MASK == 0 || actual & FROZEN != 0 {
+                            return true;
+                        }
+                        // A concurrent update replaced the value in place;
+                        // the new word is now ours to rescue.
+                        word = actual;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Prepend a level twice the size of the newest. `expected_newest`
+    /// guards against concurrent growers stacking levels.
+    fn grow(&self, ctx: &mut MemCtx, expected_newest: u64) -> Result<(), IndexError> {
+        let mut levels = self.levels.write();
+        if levels[0].n_buckets != expected_newest {
+            return Ok(()); // someone else already grew
+        }
+        let lvl = Self::alloc_level(ctx, &self.alloc, expected_newest * 2)?;
+        levels.insert(0, lvl);
+        self.structure_gen.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Cooperatively migrate a few buckets from the oldest level into the
+    /// newest (every writer chips in, like CLevel's background helpers).
+    fn help_migrate(&self, ctx: &mut MemCtx) {
+        let levels = self.snapshot();
+        if levels.len() < 2 {
+            return;
+        }
+        let oldest = levels.last().unwrap();
+        let start = oldest.cursor.fetch_add(MIGRATE_STEP, Ordering::Relaxed);
+        if start >= oldest.n_buckets {
+            // Every bucket has been claimed; retire the level only when
+            // every claimant has finished (items are visible in the new
+            // level before the old copy is cleared). The region is
+            // deliberately not returned to the allocator — CLevel proper
+            // reclaims with epochs; the leak is one drained level.
+            if oldest.done.load(Ordering::Acquire) >= oldest.n_buckets {
+                let mut l = self.levels.write();
+                if l.len() >= 2 && Arc::ptr_eq(l.last().unwrap(), oldest) {
+                    l.pop();
+                    self.structure_gen.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+            return;
+        }
+        let claimed = (start + MIGRATE_STEP).min(oldest.n_buckets) - start;
+        for b in start..start + claimed {
+            let mut bucket_drained = true;
+            for s in 0..SLOTS {
+                let sa = oldest.slot(b, s);
+                loop {
+                    let w = ctx.read_u64(sa);
+                    if w & ADDR_MASK == 0 {
+                        break;
+                    }
+                    // Freeze the slot: writers now wait for the new copy,
+                    // readers may still follow the pointer.
+                    if w & FROZEN == 0 && ctx.cas_u64(sa, w, w | FROZEN).is_err() {
+                        continue; // raced with an update; re-read
+                    }
+                    let item = w & ADDR_MASK;
+                    let key = ctx.read_u64(PmAddr(item));
+                    if self.try_place(ctx, w & !FROZEN, key) {
+                        // The new copy is visible; retire the old slot.
+                        ctx.write_u64(sa, 0);
+                    } else {
+                        // Newest level full mid-migration: unfreeze and
+                        // leave the item. The bucket does not count as
+                        // done, so the level is never retired with the
+                        // item still inside.
+                        ctx.write_u64(sa, w & !FROZEN);
+                        bucket_drained = false;
+                    }
+                    break;
+                }
+            }
+            if bucket_drained {
+                oldest.done.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+impl PersistentIndex for CLevel {
+    fn name(&self) -> &'static str {
+        "CLevel"
+    }
+
+    fn insert(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        if self.find(ctx, key).is_some() {
+            return Err(IndexError::DuplicateKey);
+        }
+        // Everything is out-of-place in CLevel, even tiny values.
+        let item = self.append_item(ctx, key, value)?;
+        let word = item.0 | tag_of_key(key) << TAG_SHIFT;
+        loop {
+            let newest_n = self.snapshot()[0].n_buckets;
+            if self.try_place(ctx, word, key) {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                self.help_migrate(ctx);
+                return Ok(());
+            }
+            self.grow(ctx, newest_n)?;
+        }
+    }
+
+    fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        let new_item = self.append_item(ctx, key, value)?;
+        let new_word = new_item.0 | tag_of_key(key) << TAG_SHIFT;
+        loop {
+            match self.find(ctx, key) {
+                None => {
+                    // Abandoned log space (reclaimed by CLevel's GC, which
+                    // is out of scope here).
+                    return Err(IndexError::NotFound);
+                }
+                Some((_, w)) if w & FROZEN != 0 => {
+                    // Mid-migration: the copy in the newest level is about
+                    // to appear; wait for it.
+                    std::thread::yield_now();
+                    ctx.charge_compute(20);
+                }
+                Some((slot, w)) => {
+                    if ctx.cas_u64(slot, w, new_word).is_ok() {
+                        // The old item becomes log garbage.
+                        return Ok(());
+                    }
+                    ctx.charge_compute(20); // CAS retry
+                }
+            }
+        }
+    }
+
+    fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        match self.find(ctx, key) {
+            None => false,
+            Some((_, w)) => {
+                common::read_blob_value(ctx, PmAddr(w & ADDR_MASK), out);
+                true
+            }
+        }
+    }
+
+    fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        loop {
+            match self.find(ctx, key) {
+                None => return false,
+                Some((_, w)) if w & FROZEN != 0 => {
+                    std::thread::yield_now();
+                    ctx.charge_compute(20);
+                }
+                Some((slot, w)) => {
+                    if ctx.cas_u64(slot, w, 0).is_ok() {
+                        self.entries.fetch_sub(1, Ordering::Relaxed);
+                        return true;
+                    }
+                    ctx.charge_compute(20);
+                }
+            }
+        }
+    }
+
+    fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.snapshot().iter().map(|l| l.n_buckets * SLOTS).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cceh::test_device;
+
+    fn setup() -> (Arc<spash_pmem::PmDevice>, CLevel, MemCtx) {
+        let (dev, mut ctx) = test_device();
+        let idx = CLevel::format(&mut ctx, 4).unwrap();
+        (dev, idx, ctx)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let (_d, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 1, 10).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(10));
+        idx.update_u64(&mut ctx, 1, 20).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(20));
+        assert!(idx.remove(&mut ctx, 1));
+        assert_eq!(idx.get_u64(&mut ctx, 1), None);
+    }
+
+    #[test]
+    fn grows_and_migrates() {
+        let (_d, idx, mut ctx) = setup();
+        let n = 3000u64;
+        for k in 1..=n {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        for k in 1..=n {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn every_value_is_out_of_place() {
+        // Even a 6-byte value costs a pointer dereference: two PM reads
+        // minimum per get (slot + item).
+        let (dev, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 5, 50).unwrap();
+        dev.invalidate_cache();
+        let before = dev.snapshot();
+        idx.get_u64(&mut ctx, 5).unwrap();
+        let d = dev.snapshot().since(&before);
+        assert!(d.cl_reads >= 2, "slot read + item read, got {}", d.cl_reads);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops() {
+        let (dev, mut ctx) = test_device();
+        let idx = Arc::new(CLevel::format(&mut ctx, 4).unwrap());
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                let dev = Arc::clone(&dev);
+                s.spawn(move |_| {
+                    let mut ctx = dev.ctx();
+                    for i in 0..600u64 {
+                        let k = 1 + t * 600 + i;
+                        idx.insert_u64(&mut ctx, k, k).unwrap();
+                        idx.update_u64(&mut ctx, k, k + 1).unwrap();
+                        assert_eq!(idx.get_u64(&mut ctx, k), Some(k + 1));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for k in 1..=2400u64 {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k + 1), "key {k}");
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! Dash — scalable extendible hashing on PM (Lu et al., VLDB'20), with
+//! the traits the Spash paper measures (§VI):
+//!
+//! * 16 KiB segments of 256-byte buckets (one XPLine each), 14 records per
+//!   bucket behind a metadata header with **fingerprints** and an
+//!   allocation bitmap — metadata maintenance is PM write traffic Spash
+//!   avoids;
+//! * **balanced insert** (target or neighbour, whichever is emptier),
+//!   **displacement**, and **stash buckets**, which buy load factor at the
+//!   cost of extra probing ("Dash incurs multiple XPLine-sized
+//!   bucket-reads for each search");
+//! * **optimistic lock-free reads** (version validation, no PM writes)
+//!   but **lock-based writes** — why its write-intensive YCSB numbers trail
+//!   its read-intensive ones (Fig 10).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spash_alloc::PmAllocator;
+use spash_index_api::{hash_key, IndexError, PersistentIndex};
+use spash_pmem::{MemCtx, PmAddr, VLock, VRwLock};
+
+use crate::common::{self, EMPTY_KEY};
+
+const BUCKETS: u64 = 60;
+const STASH: u64 = 4;
+const SLOTS: u64 = 14;
+const BUCKET_BYTES: u64 = 256;
+/// 64-byte segment header (version word) + 64 buckets.
+const SEG_BYTES: u64 = 64 + (BUCKETS + STASH) * BUCKET_BYTES;
+
+struct Seg {
+    addr: PmAddr,
+    /// Structural lock: writers share it, splits take it exclusively.
+    rw: VRwLock<()>,
+    /// Per-bucket write locks (virtual-time; the PM version word in the
+    /// bucket header carries the optimistic-read protocol).
+    bucket_locks: Vec<VLock<()>>,
+}
+
+impl Seg {
+    fn bucket_addr(&self, b: u64) -> PmAddr {
+        PmAddr(self.addr.0 + 64 + b * BUCKET_BYTES)
+    }
+
+    /// PM version word of bucket `b` (header word 0).
+    fn ver_addr(&self, b: u64) -> PmAddr {
+        self.bucket_addr(b)
+    }
+
+    /// Bitmap word (header word 1): low 14 bits allocation bitmap.
+    fn meta_addr(&self, b: u64) -> PmAddr {
+        PmAddr(self.bucket_addr(b).0 + 8)
+    }
+
+    /// Fingerprint bytes (header words 2-3).
+    fn fp_addr(&self, b: u64) -> PmAddr {
+        PmAddr(self.bucket_addr(b).0 + 16)
+    }
+
+    fn slot_addr(&self, b: u64, s: u64) -> PmAddr {
+        PmAddr(self.bucket_addr(b).0 + 32 + s * 16)
+    }
+}
+
+struct Dir {
+    depth: u32,
+    entries: Vec<(Arc<Seg>, u8)>,
+}
+
+/// The Dash baseline.
+pub struct Dash {
+    alloc: Arc<PmAllocator>,
+    dir: RwLock<Dir>,
+    entries: AtomicU64,
+    n_segs: AtomicU64,
+}
+
+#[inline]
+fn fp8(h: u64) -> u8 {
+    ((h >> 48) & 0xff) as u8
+}
+
+impl Dash {
+    pub fn new(ctx: &mut MemCtx, alloc: Arc<PmAllocator>, depth: u32) -> Result<Self, IndexError> {
+        let n = 1usize << depth;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((Self::alloc_seg(ctx, &alloc)?, depth as u8));
+        }
+        Ok(Self {
+            alloc,
+            dir: RwLock::new(Dir { depth, entries }),
+            entries: AtomicU64::new(0),
+            n_segs: AtomicU64::new(n as u64),
+        })
+    }
+
+    pub fn format(ctx: &mut MemCtx, depth: u32) -> Result<Self, IndexError> {
+        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        Self::new(ctx, alloc, depth)
+    }
+
+    fn alloc_seg(ctx: &mut MemCtx, alloc: &PmAllocator) -> Result<Arc<Seg>, IndexError> {
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        let addr = alloc
+            .alloc_region(ctx, SEG_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let zeros = [0u8; 256];
+        let mut off = 0;
+        while off < SEG_BYTES {
+            let n = 256.min(SEG_BYTES - off) as usize;
+            ctx.ntstore_bytes(PmAddr(addr.0 + off), &zeros[..n]);
+            off += n as u64;
+        }
+        Ok(Arc::new(Seg {
+            addr,
+            rw: VRwLock::new((), lock_ns),
+            bucket_locks: (0..BUCKETS + STASH).map(|_| VLock::new((), lock_ns)).collect(),
+        }))
+    }
+
+    fn route(&self, ctx: &mut MemCtx, h: u64) -> (Arc<Seg>, u8, u32) {
+        ctx.charge_dram_cached();
+        let d = self.dir.read();
+        let idx = (h >> (64 - d.depth)) as usize;
+        let (seg, ld) = &d.entries[idx];
+        (Arc::clone(seg), *ld, d.depth)
+    }
+
+    fn home_bucket(h: u64) -> u64 {
+        (h >> 8) % BUCKETS
+    }
+
+    /// Scan one bucket for `key` using the fingerprint filter. Returns
+    /// (slot, value word).
+    fn scan_bucket(
+        &self,
+        ctx: &mut MemCtx,
+        seg: &Seg,
+        b: u64,
+        key: u64,
+        h: u64,
+    ) -> Option<(u64, u64)> {
+        let bitmap = ctx.read_u64(seg.meta_addr(b)) as u16;
+        if bitmap == 0 {
+            return None;
+        }
+        let mut fps = [0u8; 16];
+        ctx.read_bytes(seg.fp_addr(b), &mut fps);
+        let want = fp8(h);
+        for s in 0..SLOTS {
+            if bitmap & (1 << s) != 0 && fps[s as usize] == want {
+                let k = ctx.read_u64(seg.slot_addr(b, s));
+                if k == key {
+                    let v = ctx.read_u64(PmAddr(seg.slot_addr(b, s).0 + 8));
+                    return Some((s, v));
+                }
+            }
+        }
+        None
+    }
+
+    /// Find `key` across home, neighbour and stash buckets. Returns
+    /// (bucket, slot, value word).
+    fn find(&self, ctx: &mut MemCtx, seg: &Seg, key: u64, h: u64) -> Option<(u64, u64, u64)> {
+        let b = Self::home_bucket(h);
+        for cand in [b, (b + 1) % BUCKETS] {
+            if let Some((s, v)) = self.scan_bucket(ctx, seg, cand, key, h) {
+                return Some((cand, s, v));
+            }
+        }
+        for st in BUCKETS..BUCKETS + STASH {
+            if let Some((s, v)) = self.scan_bucket(ctx, seg, st, key, h) {
+                return Some((st, s, v));
+            }
+        }
+        None
+    }
+
+    /// Write a record into bucket `b` (slot chosen from the bitmap).
+    /// Caller holds the bucket lock. Returns false if full.
+    fn bucket_insert(
+        &self,
+        ctx: &mut MemCtx,
+        seg: &Seg,
+        b: u64,
+        key: u64,
+        h: u64,
+        vw: u64,
+    ) -> bool {
+        let bitmap = ctx.read_u64(seg.meta_addr(b));
+        let free = (!bitmap & ((1 << SLOTS) - 1)).trailing_zeros() as u64;
+        if free >= SLOTS {
+            return false;
+        }
+        // Bump the PM version (odd = busy) around the mutation: Dash's
+        // optimistic readers validate against it.
+        let v = ctx.read_u64(seg.ver_addr(b));
+        ctx.write_u64(seg.ver_addr(b), v + 1);
+        ctx.write_u64(PmAddr(seg.slot_addr(b, free).0 + 8), vw);
+        ctx.write_u64(seg.slot_addr(b, free), key);
+        // Fingerprint byte + bitmap: the metadata PM writes Spash avoids.
+        let mut fp = [0u8; 1];
+        fp[0] = fp8(h);
+        ctx.write_bytes(PmAddr(seg.fp_addr(b).0 + free), &fp);
+        ctx.write_u64(seg.meta_addr(b), bitmap | 1 << free);
+        ctx.write_u64(seg.ver_addr(b), v + 2);
+        true
+    }
+
+    fn bucket_fill(&self, ctx: &mut MemCtx, seg: &Seg, b: u64) -> u32 {
+        (ctx.read_u64(seg.meta_addr(b)) as u16).count_ones()
+    }
+
+    fn bucket_remove(&self, ctx: &mut MemCtx, seg: &Seg, b: u64, s: u64) {
+        let v = ctx.read_u64(seg.ver_addr(b));
+        ctx.write_u64(seg.ver_addr(b), v + 1);
+        let bitmap = ctx.read_u64(seg.meta_addr(b));
+        ctx.write_u64(seg.meta_addr(b), bitmap & !(1 << s));
+        ctx.write_u64(seg.slot_addr(b, s), EMPTY_KEY);
+        ctx.write_u64(seg.ver_addr(b), v + 2);
+    }
+
+    /// Insert with balanced insert → displacement → stash → split.
+    fn insert_word(&self, ctx: &mut MemCtx, key: u64, vw: u64) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        loop {
+            let (seg, _ld, depth) = self.route(ctx, h);
+            enum Out {
+                Done,
+                Dup,
+                Full,
+                Moved,
+            }
+            let out = seg.rw.read(ctx, |ctx, _| {
+                // Validate routing under the structural lock.
+                {
+                    let d = self.dir.read();
+                    let idx = (h >> (64 - d.depth)) as usize;
+                    if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                        return Out::Moved;
+                    }
+                }
+                let b = Self::home_bucket(h);
+                let nb = (b + 1) % BUCKETS;
+                let (first, second) = if b <= nb { (b, nb) } else { (nb, b) };
+                seg.bucket_locks[first as usize].with(ctx, |ctx, _| {
+                    seg.bucket_locks[second as usize].with(ctx, |ctx, _| {
+                        // Duplicate check must cover the stash too: a key
+                        // stashed while its buckets were full stays there
+                        // even after deletes reopen them.
+                        if self.scan_bucket(ctx, seg.as_ref(), b, key, h).is_some()
+                            || self.scan_bucket(ctx, seg.as_ref(), nb, key, h).is_some()
+                        {
+                            return Out::Dup;
+                        }
+                        for st in BUCKETS..BUCKETS + STASH {
+                            if self.scan_bucket(ctx, &seg, st, key, h).is_some() {
+                                return Out::Dup;
+                            }
+                        }
+                        // Balanced insert: the emptier of the two.
+                        let (fb, fnb) = (
+                            self.bucket_fill(ctx, &seg, b),
+                            self.bucket_fill(ctx, &seg, nb),
+                        );
+                        let target = if fb <= fnb { b } else { nb };
+                        if self.bucket_insert(ctx, &seg, target, key, h, vw) {
+                            return Out::Done;
+                        }
+                        let other = if target == b { nb } else { b };
+                        if self.bucket_insert(ctx, &seg, other, key, h, vw) {
+                            return Out::Done;
+                        }
+                        for st in BUCKETS..BUCKETS + STASH {
+                            let done = seg.bucket_locks[st as usize].with(ctx, |ctx, _| {
+                                self.bucket_insert(ctx, &seg, st, key, h, vw)
+                            });
+                            if done {
+                                return Out::Done;
+                            }
+                        }
+                        Out::Full
+                    })
+                })
+            });
+            match out {
+                Out::Done => {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Out::Dup => return Err(IndexError::DuplicateKey),
+                Out::Moved => continue,
+                Out::Full => self.split(ctx, h)?,
+            }
+        }
+    }
+
+    fn split(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        loop {
+            let (seg, ld, depth) = self.route(ctx, h);
+            if u32::from(ld) == depth {
+                let mut dw = self.dir.write();
+                if dw.depth == depth {
+                    let doubled: Vec<(Arc<Seg>, u8)> = dw
+                        .entries
+                        .iter()
+                        .flat_map(|e| [e.clone(), e.clone()])
+                        .collect();
+                    dw.entries = doubled;
+                    dw.depth += 1;
+                    ctx.charge_dram((dw.entries.len() as u64 * 8) / 64 + 1);
+                }
+                continue;
+            }
+            let new_seg = Self::alloc_seg(ctx, &self.alloc)?;
+            let mut homeless: Vec<(u64, u64)> = Vec::new();
+            let done = seg.rw.write(ctx, |ctx, _| {
+                let mut d = self.dir.write();
+                let depth_now = d.depth;
+                let idx = (h >> (64 - depth_now)) as usize;
+                let (cur, ld_now) = d.entries[idx].clone();
+                if !Arc::ptr_eq(&cur, &seg) || ld_now != ld || u32::from(ld_now) >= depth_now {
+                    return false;
+                }
+                // Rehash every record whose next prefix bit is 1.
+                for b in 0..BUCKETS + STASH {
+                    let bitmap = ctx.read_u64(seg.meta_addr(b)) as u16;
+                    for s in 0..SLOTS {
+                        if bitmap & (1 << s) == 0 {
+                            continue;
+                        }
+                        let k = ctx.read_u64(seg.slot_addr(b, s));
+                        let kh = hash_key(k);
+                        if (kh >> (63 - u32::from(ld))) & 1 == 1 {
+                            let vw = ctx.read_u64(PmAddr(seg.slot_addr(b, s).0 + 8));
+                            // Move: home bucket, neighbour, then stash.
+                            let nb = Self::home_bucket(kh);
+                            let mut placed = self.bucket_insert(ctx, &new_seg, nb, k, kh, vw)
+                                || self.bucket_insert(
+                                    ctx,
+                                    &new_seg,
+                                    (nb + 1) % BUCKETS,
+                                    k,
+                                    kh,
+                                    vw,
+                                );
+                            if !placed {
+                                for st in BUCKETS..BUCKETS + STASH {
+                                    if self.bucket_insert(ctx, &new_seg, st, k, kh, vw) {
+                                        placed = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if !placed {
+                                // Essentially unreachable (84 collision
+                                // slots); reinsert through the normal path
+                                // after the split.
+                                homeless.push((k, vw));
+                            }
+                            self.bucket_remove(ctx, &seg, b, s);
+                        }
+                    }
+                }
+                let span = 1usize << (depth_now - u32::from(ld));
+                let base = (idx >> (depth_now - u32::from(ld))) << (depth_now - u32::from(ld));
+                for i in 0..span {
+                    d.entries[base + i] = if i >= span / 2 {
+                        (Arc::clone(&new_seg), ld + 1)
+                    } else {
+                        (Arc::clone(&seg), ld + 1)
+                    };
+                }
+                ctx.charge_dram(span as u64 / 8 + 1);
+                true
+            });
+            if done {
+                self.n_segs.fetch_add(1, Ordering::Relaxed);
+                for (k, vw) in homeless {
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    self.insert_word(ctx, k, vw)?;
+                }
+                return Ok(());
+            }
+            self.alloc.free_region(ctx, new_seg.addr);
+        }
+    }
+}
+
+impl PersistentIndex for Dash {
+    fn name(&self) -> &'static str {
+        "Dash"
+    }
+
+    fn insert(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        debug_assert_ne!(key, EMPTY_KEY);
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        match self.insert_word(ctx, key, vw) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                common::free_val(&self.alloc, ctx, vw);
+                Err(e)
+            }
+        }
+    }
+
+    fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        loop {
+            let (seg, _, depth) = self.route(ctx, h);
+            enum Out {
+                Done(u64),
+                Miss,
+                Moved,
+            }
+            let out = seg.rw.read(ctx, |ctx, _| {
+                {
+                    let d = self.dir.read();
+                    let idx = (h >> (64 - d.depth)) as usize;
+                    if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                        return Out::Moved;
+                    }
+                }
+                match self.find(ctx, &seg, key, h) {
+                    None => Out::Miss,
+                    Some((b, s, old)) => seg.bucket_locks[b as usize].with(ctx, |ctx, _| {
+                        // Re-verify under the bucket lock.
+                        let k = ctx.read_u64(seg.slot_addr(b, s));
+                        if k != key {
+                            return Out::Moved; // displaced; retry
+                        }
+                        let v = ctx.read_u64(seg.ver_addr(b));
+                        ctx.write_u64(seg.ver_addr(b), v + 1);
+                        ctx.write_u64(PmAddr(seg.slot_addr(b, s).0 + 8), vw);
+                        ctx.write_u64(seg.ver_addr(b), v + 2);
+                        Out::Done(old)
+                    }),
+                }
+            });
+            match out {
+                Out::Moved => continue,
+                Out::Miss => {
+                    common::free_val(&self.alloc, ctx, vw);
+                    return Err(IndexError::NotFound);
+                }
+                Out::Done(old) => {
+                    common::free_val(&self.alloc, ctx, old);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let h = hash_key(key);
+        loop {
+            let (seg, _, depth) = self.route(ctx, h);
+            // Optimistic read: sample the bucket versions, read, validate.
+            let b = Self::home_bucket(h);
+            let v1a = ctx.read_u64(seg.ver_addr(b));
+            let v1b = ctx.read_u64(seg.ver_addr((b + 1) % BUCKETS));
+            if v1a % 2 == 1 || v1b % 2 == 1 {
+                std::thread::yield_now();
+                continue;
+            }
+            let hit = self.find(ctx, &seg, key, h);
+            let v2a = ctx.read_u64(seg.ver_addr(b));
+            let v2b = ctx.read_u64(seg.ver_addr((b + 1) % BUCKETS));
+            if v1a != v2a || v1b != v2b {
+                ctx.charge_compute(20);
+                continue;
+            }
+            // Routing may have changed mid-read (split).
+            {
+                let d = self.dir.read();
+                let idx = (h >> (64 - d.depth)) as usize;
+                if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                    continue;
+                }
+            }
+            return match hit {
+                None => false,
+                Some((_, _, vw)) => {
+                    common::append_value(ctx, vw, out);
+                    true
+                }
+            };
+        }
+    }
+
+    fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        let h = hash_key(key);
+        loop {
+            let (seg, _, depth) = self.route(ctx, h);
+            enum Out {
+                Hit(u64),
+                Miss,
+                Moved,
+            }
+            let out = seg.rw.read(ctx, |ctx, _| {
+                {
+                    let d = self.dir.read();
+                    let idx = (h >> (64 - d.depth)) as usize;
+                    if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                        return Out::Moved;
+                    }
+                }
+                match self.find(ctx, &seg, key, h) {
+                    None => Out::Miss,
+                    Some((b, s, vw)) => seg.bucket_locks[b as usize].with(ctx, |ctx, _| {
+                        if ctx.read_u64(seg.slot_addr(b, s)) != key {
+                            return Out::Moved;
+                        }
+                        self.bucket_remove(ctx, &seg, b, s);
+                        Out::Hit(vw)
+                    }),
+                }
+            });
+            match out {
+                Out::Moved => continue,
+                Out::Miss => return false,
+                Out::Hit(vw) => {
+                    common::free_val(&self.alloc, ctx, vw);
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.n_segs.load(Ordering::Relaxed) * (BUCKETS + STASH) * SLOTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cceh::test_device;
+
+    fn setup() -> (Arc<spash_pmem::PmDevice>, Dash, MemCtx) {
+        let (dev, mut ctx) = test_device();
+        let idx = Dash::format(&mut ctx, 1).unwrap();
+        (dev, idx, ctx)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let (_d, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 1, 10).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(10));
+        idx.update_u64(&mut ctx, 1, 20).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(20));
+        assert!(idx.remove(&mut ctx, 1));
+        assert!(!idx.remove(&mut ctx, 1));
+        assert_eq!(
+            idx.update_u64(&mut ctx, 99, 0).unwrap_err(),
+            IndexError::NotFound
+        );
+    }
+
+    #[test]
+    fn grows_through_splits_with_high_load_factor() {
+        let (_d, idx, mut ctx) = setup();
+        let n = 5000u64;
+        for k in 1..=n {
+            idx.insert_u64(&mut ctx, k, k * 7).unwrap();
+        }
+        for k in 1..=n {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k * 7), "key {k}");
+        }
+        // Dash's balanced insert + stash keep the load factor high
+        // (paper Fig 9).
+        assert!(idx.load_factor() > 0.5, "lf {}", idx.load_factor());
+    }
+
+    #[test]
+    fn reads_do_not_write_pm() {
+        let (dev, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 7, 7).unwrap();
+        dev.flush_cache_all();
+        let before = dev.snapshot();
+        for _ in 0..100 {
+            idx.get_u64(&mut ctx, 7).unwrap();
+        }
+        dev.flush_cache_all();
+        let d = dev.snapshot().since(&before);
+        assert_eq!(d.cl_writes, 0, "Dash reads are lock-free (no PM writes)");
+    }
+
+    #[test]
+    fn concurrent_inserts_and_gets() {
+        let (dev, mut ctx) = test_device();
+        let idx = Arc::new(Dash::format(&mut ctx, 1).unwrap());
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                let dev = Arc::clone(&dev);
+                s.spawn(move |_| {
+                    let mut ctx = dev.ctx();
+                    for i in 0..1000u64 {
+                        let k = 1 + t * 1000 + i;
+                        idx.insert_u64(&mut ctx, k, k).unwrap();
+                        assert_eq!(idx.get_u64(&mut ctx, k), Some(k));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for k in 1..=4000u64 {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+        }
+    }
+}

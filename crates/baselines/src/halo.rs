@@ -1,0 +1,351 @@
+//! Halo — a hybrid DRAM/PM hash index with a log-structured value store
+//! (Hu et al., SIGMOD'22), as characterized by the Spash paper (§VI):
+//!
+//! * the **entire hash table lives in DRAM** (fast traversal, fast
+//!   recovery via snapshots) — which is also why "Halo ... crashes during
+//!   the executions [of the 20 M-key micro-benchmark]: Halo needs to
+//!   maintain a complete hash table in DRAM ... resulting in the
+//!   exhaustion of DRAM space". A configurable DRAM budget
+//!   reproduces that failure mode as a clean `OutOfMemory`;
+//! * values are **appended to a PM log**; updates append a new version and
+//!   *invalidate* the old one with a PM write; deletes likewise —
+//!   "notable PM writes for ... the creation, invalidation, and
+//!   reclamation of log entries";
+//! * periodic **snapshots** of the DRAM index to PM add background write
+//!   traffic;
+//! * writes are **lock-based** (per-shard), reads lock-free from DRAM.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spash_alloc::PmAllocator;
+use spash_index_api::{hash_key, IndexError, PersistentIndex};
+use spash_pmem::{MemCtx, PmAddr, VRwLock};
+
+const SHARDS: usize = 64;
+/// Log extent handed to a thread at a time.
+const EXTENT: u64 = 4096;
+/// Mutations per shard between incremental index snapshots.
+const SNAP_EVERY: u64 = 4096;
+/// Log-entry header: [key: u64][len+flags: u64].
+const HDR: u64 = 16;
+const DEAD_FLAG: u64 = 1 << 63;
+
+struct ShardMap {
+    map: HashMap<u64, (u64, u32)>, // key -> (log offset, value len)
+    muts: u64,
+}
+
+/// The Halo baseline.
+pub struct Halo {
+    #[allow(dead_code)] // kept: owns the region backing the log
+    alloc: Arc<PmAllocator>,
+    shards: Vec<VRwLock<ShardMap>>,
+    log_base: PmAddr,
+    log_len: u64,
+    log_head: AtomicU64,
+    /// Snapshot area (ring).
+    snap_base: PmAddr,
+    snap_len: u64,
+    garbage_bytes: AtomicU64,
+    entries: AtomicU64,
+    /// Max entries before simulated DRAM exhaustion.
+    dram_budget: u64,
+}
+
+impl Halo {
+    pub fn new(
+        ctx: &mut MemCtx,
+        alloc: Arc<PmAllocator>,
+        log_bytes: u64,
+        dram_budget: u64,
+    ) -> Result<Self, IndexError> {
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        let log_base = alloc
+            .alloc_region(ctx, log_bytes)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let snap_len = log_bytes / 4;
+        let snap_base = alloc
+            .alloc_region(ctx, snap_len)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        Ok(Self {
+            alloc,
+            shards: (0..SHARDS)
+                .map(|_| {
+                    VRwLock::new(
+                        ShardMap {
+                            map: HashMap::new(),
+                            muts: 0,
+                        },
+                        lock_ns,
+                    )
+                })
+                .collect(),
+            log_base,
+            log_len: log_bytes,
+            log_head: AtomicU64::new(0),
+            snap_base,
+            snap_len,
+            garbage_bytes: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            dram_budget,
+        })
+    }
+
+    pub fn format(ctx: &mut MemCtx, log_bytes: u64, dram_budget: u64) -> Result<Self, IndexError> {
+        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        Self::new(ctx, alloc, log_bytes, dram_budget)
+    }
+
+    #[inline]
+    fn shard_of(h: u64) -> usize {
+        (h >> 58) as usize % SHARDS
+    }
+
+    /// Append `[key][len][value]` to the log; returns the entry offset.
+    fn log_append(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<u64, IndexError> {
+        let need = HDR + value.len() as u64;
+        let off = self.log_head.fetch_add(need.div_ceil(16) * 16, Ordering::Relaxed);
+        if off + need > self.log_len {
+            return Err(IndexError::OutOfMemory);
+        }
+        let a = self.log_base.0 + off;
+        ctx.write_u64(PmAddr(a), key);
+        ctx.write_u64(PmAddr(a + 8), value.len() as u64);
+        ctx.write_bytes(PmAddr(a + 16), value);
+        let _ = EXTENT; // extent-grained allocation folded into the head bump
+        Ok(off)
+    }
+
+    /// Invalidate the log entry at `off` (the PM write the paper counts).
+    fn log_invalidate(&self, ctx: &mut MemCtx, off: u64, len: u32) {
+        let a = self.log_base.0 + off + 8;
+        let w = ctx.read_u64(PmAddr(a));
+        ctx.write_u64(PmAddr(a), w | DEAD_FLAG);
+        self.garbage_bytes
+            .fetch_add(HDR + len as u64, Ordering::Relaxed);
+    }
+
+    /// Incremental snapshot: dump one shard's index to the snapshot ring
+    /// (sequential ntstores) — Halo's background persistence traffic.
+    fn maybe_snapshot(&self, ctx: &mut MemCtx, sh: &ShardMap) {
+        if !sh.muts.is_multiple_of(SNAP_EVERY) || sh.muts == 0 {
+            return;
+        }
+        let bytes = (sh.map.len() as u64 * 16).min(self.snap_len / 2);
+        let mut buf = vec![0u8; 256];
+        let mut off = (sh.muts * 7919) % (self.snap_len / 2); // ring position
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let n = 256.min(remaining) as usize;
+            buf.truncate(n);
+            ctx.ntstore_bytes(PmAddr(self.snap_base.0 + off), &buf);
+            off = (off + n as u64) % (self.snap_len / 2);
+            remaining -= n as u64;
+        }
+        ctx.fence();
+    }
+}
+
+impl PersistentIndex for Halo {
+    fn name(&self) -> &'static str {
+        "Halo"
+    }
+
+    fn insert(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        if self.entries.load(Ordering::Relaxed) >= self.dram_budget {
+            // The paper's observed failure mode: DRAM exhaustion.
+            return Err(IndexError::OutOfMemory);
+        }
+        let h = hash_key(key);
+        let off = self.log_append(ctx, key, value)?;
+        let len = value.len() as u32;
+        let r = self.shards[Self::shard_of(h)].write(ctx, |ctx, sh| {
+            ctx.charge_dram(1);
+            if sh.map.contains_key(&key) {
+                return Err(IndexError::DuplicateKey);
+            }
+            sh.map.insert(key, (off, len));
+            sh.muts += 1;
+            self.maybe_snapshot(ctx, sh);
+            Ok(())
+        });
+        match r {
+            Ok(()) => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.log_invalidate(ctx, off, len);
+                Err(e)
+            }
+        }
+    }
+
+    fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        let off = self.log_append(ctx, key, value)?;
+        let len = value.len() as u32;
+        let old = self.shards[Self::shard_of(h)].write(ctx, |ctx, sh| {
+            ctx.charge_dram(1);
+            match sh.map.get_mut(&key) {
+                None => None,
+                Some(slot) => {
+                    let old = *slot;
+                    *slot = (off, len);
+                    sh.muts += 1;
+                    self.maybe_snapshot(ctx, sh);
+                    Some(old)
+                }
+            }
+        });
+        match old {
+            None => {
+                self.log_invalidate(ctx, off, len);
+                Err(IndexError::NotFound)
+            }
+            Some((old_off, old_len)) => {
+                self.log_invalidate(ctx, old_off, old_len);
+                Ok(())
+            }
+        }
+    }
+
+    fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let h = hash_key(key);
+        // Lock-free read of the DRAM table (a read lock with no PM word;
+        // virtual-time cost only from writer serialization).
+        let hit = self.shards[Self::shard_of(h)].read(ctx, |ctx, sh| {
+            ctx.charge_dram(1);
+            sh.map.get(&key).copied()
+        });
+        match hit {
+            None => false,
+            Some((off, len)) => {
+                let start = out.len();
+                out.resize(start + len as usize, 0);
+                ctx.read_bytes(PmAddr(self.log_base.0 + off + HDR), &mut out[start..]);
+                true
+            }
+        }
+    }
+
+    fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        let h = hash_key(key);
+        let old = self.shards[Self::shard_of(h)].write(ctx, |ctx, sh| {
+            ctx.charge_dram(1);
+            let old = sh.map.remove(&key);
+            if old.is_some() {
+                sh.muts += 1;
+                self.maybe_snapshot(ctx, sh);
+            }
+            old
+        });
+        match old {
+            None => false,
+            Some((off, len)) => {
+                self.log_invalidate(ctx, off, len);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                true
+            }
+        }
+    }
+
+    fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        // Halo has no slot capacity in the extendible sense; the paper
+        // excludes it from the load-factor study (Fig 9).
+        self.entries.load(Ordering::Relaxed).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cceh::test_device;
+
+    fn setup() -> (Arc<spash_pmem::PmDevice>, Halo, MemCtx) {
+        let (dev, mut ctx) = test_device();
+        let idx = Halo::format(&mut ctx, 16 << 20, u64::MAX).unwrap();
+        (dev, idx, ctx)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let (_d, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 1, 10).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(10));
+        idx.update_u64(&mut ctx, 1, 20).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(20));
+        assert!(idx.remove(&mut ctx, 1));
+        assert_eq!(idx.get_u64(&mut ctx, 1), None);
+        assert_eq!(
+            idx.update_u64(&mut ctx, 1, 0).unwrap_err(),
+            IndexError::NotFound
+        );
+    }
+
+    #[test]
+    fn values_live_in_the_log() {
+        let (_d, idx, mut ctx) = setup();
+        let v = vec![7u8; 300];
+        idx.insert(&mut ctx, 5, &v).unwrap();
+        let mut out = Vec::new();
+        assert!(idx.get(&mut ctx, 5, &mut out));
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn updates_grow_garbage() {
+        let (_d, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 1, 1).unwrap();
+        let g0 = idx.garbage_bytes.load(Ordering::Relaxed);
+        for i in 0..10 {
+            idx.update_u64(&mut ctx, 1, i).unwrap();
+        }
+        let g1 = idx.garbage_bytes.load(Ordering::Relaxed);
+        assert!(g1 > g0, "invalidations must accumulate garbage");
+    }
+
+    #[test]
+    fn dram_budget_reproduces_paper_crash() {
+        let (_d, mut ctx) = test_device();
+        let idx = Halo::format(&mut ctx, 1 << 20, 100).unwrap();
+        let mut failed = false;
+        for k in 1..=200u64 {
+            if idx.insert_u64(&mut ctx, k, k) == Err(IndexError::OutOfMemory) {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "must hit the DRAM budget like the paper's crash");
+    }
+
+    #[test]
+    fn concurrent_mixed() {
+        let (dev, mut ctx) = test_device();
+        let idx = Arc::new(Halo::format(&mut ctx, 32 << 20, u64::MAX).unwrap());
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                let dev = Arc::clone(&dev);
+                s.spawn(move |_| {
+                    let mut ctx = dev.ctx();
+                    for i in 0..800u64 {
+                        let k = 1 + t * 800 + i;
+                        idx.insert_u64(&mut ctx, k, k).unwrap();
+                        idx.update_u64(&mut ctx, k, k + 1).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for k in 1..=3200u64 {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k + 1), "key {k}");
+        }
+    }
+}

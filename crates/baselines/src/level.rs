@@ -1,0 +1,416 @@
+//! Level hashing — write-optimized PM hashing (Zuo et al., OSDI'18), as
+//! characterized by the Spash paper (§VI):
+//!
+//! * two levels (the bottom half the top's size); every key has **four
+//!   candidate buckets** (two hash functions × two levels), so a search
+//!   "needs to read at most four buckets ... costly because these buckets
+//!   do not reside in a contiguous memory region";
+//! * **locks on both reads and writes**, maintained in PM ("Level hashing
+//!   performs poorly across all three YCSB workloads because it uses locks
+//!   for both read and write operations");
+//! * **full-table rehash** when an insert finds all four candidates full —
+//!   the resizing cost Spash's fine-grained splits avoid (Fig 7b).
+//!
+//! Buckets are 128 bytes: a metadata word (allocation bitmap — more of the
+//! metadata PM traffic Spash eliminates), four 16-byte slots, padding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spash_alloc::PmAllocator;
+use spash_index_api::{hash_key, IndexError, PersistentIndex};
+use spash_pmem::{MemCtx, PmAddr};
+
+use crate::common::{self, PmRwLock};
+
+const BUCKET_BYTES: u64 = 128;
+const SLOTS: u64 = 4;
+const HASH_SALT: u64 = 0x5bd1_e995_9e37_79b9;
+/// Sharded bucket locks (a lock per bucket would be DRAM-prohibitive; the
+/// original shards fine-grained locks too).
+const LOCK_SHARDS: usize = 4096;
+
+struct Table {
+    /// Top level: `n_top` buckets; bottom level: `n_top / 2`.
+    top: PmAddr,
+    bottom: PmAddr,
+    n_top: u64,
+}
+
+impl Table {
+    fn bucket(&self, level: usize, i: u64) -> PmAddr {
+        let (base, n) = if level == 0 {
+            (self.top, self.n_top)
+        } else {
+            (self.bottom, self.n_top / 2)
+        };
+        PmAddr(base.0 + (i % n) * BUCKET_BYTES)
+    }
+
+    /// The four candidate buckets of a key: (level, index).
+    fn candidates(&self, h1: u64, h2: u64) -> [(usize, u64); 4] {
+        [
+            (0, h1 % self.n_top),
+            (0, h2 % self.n_top),
+            (1, h1 % (self.n_top / 2)),
+            (1, h2 % (self.n_top / 2)),
+        ]
+    }
+}
+
+/// The Level hashing baseline.
+pub struct Level {
+    alloc: Arc<PmAllocator>,
+    table: RwLock<Table>,
+    locks: Vec<PmRwLock>,
+    entries: AtomicU64,
+}
+
+impl Level {
+    /// `pow` sets the initial top-level size (`2^pow` buckets; must be ≥2).
+    pub fn new(ctx: &mut MemCtx, alloc: Arc<PmAllocator>, pow: u32) -> Result<Self, IndexError> {
+        assert!(pow >= 2);
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        let n_top = 1u64 << pow;
+        let table = Self::alloc_table(ctx, &alloc, n_top)?;
+        // The PM words backing the sharded locks live in one dedicated
+        // region.
+        let lock_region = alloc
+            .alloc_region(ctx, LOCK_SHARDS as u64 * 8)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let locks = (0..LOCK_SHARDS)
+            .map(|i| PmRwLock::new(PmAddr(lock_region.0 + i as u64 * 8), lock_ns))
+            .collect();
+        Ok(Self {
+            alloc,
+            table: RwLock::new(table),
+            locks,
+            entries: AtomicU64::new(0),
+        })
+    }
+
+    pub fn format(ctx: &mut MemCtx, pow: u32) -> Result<Self, IndexError> {
+        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        Self::new(ctx, alloc, pow)
+    }
+
+    fn alloc_table(ctx: &mut MemCtx, alloc: &PmAllocator, n_top: u64) -> Result<Table, IndexError> {
+        let top = alloc
+            .alloc_region(ctx, n_top * BUCKET_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let bottom = alloc
+            .alloc_region(ctx, (n_top / 2) * BUCKET_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let zeros = [0u8; 256];
+        for (base, len) in [(top, n_top * BUCKET_BYTES), (bottom, n_top / 2 * BUCKET_BYTES)] {
+            let mut off = 0;
+            while off < len {
+                let n = 256.min(len - off) as usize;
+                ctx.ntstore_bytes(PmAddr(base.0 + off), &zeros[..n]);
+                off += n as u64;
+            }
+        }
+        Ok(Table { top, bottom, n_top })
+    }
+
+    #[inline]
+    fn hashes(key: u64) -> (u64, u64) {
+        (hash_key(key), hash_key(key ^ HASH_SALT))
+    }
+
+    fn lock_of(&self, level: usize, i: u64) -> &PmRwLock {
+        &self.locks[(level as u64 * 31 + i) as usize % LOCK_SHARDS]
+    }
+
+    /// Scan a bucket for `key`. Returns (slot, value word).
+    fn scan(&self, ctx: &mut MemCtx, b: PmAddr, key: u64) -> Option<(u64, u64)> {
+        let bitmap = ctx.read_u64(b);
+        for s in 0..SLOTS {
+            if bitmap & (1 << s) != 0 {
+                let k = ctx.read_u64(PmAddr(b.0 + 8 + s * 16));
+                if k == key {
+                    return Some((s, ctx.read_u64(PmAddr(b.0 + 16 + s * 16))));
+                }
+            }
+        }
+        None
+    }
+
+    /// Insert into a bucket if it has room (caller holds its lock).
+    fn bucket_insert(&self, ctx: &mut MemCtx, b: PmAddr, key: u64, vw: u64) -> bool {
+        let bitmap = ctx.read_u64(b);
+        let free = (!bitmap & ((1 << SLOTS) - 1)).trailing_zeros() as u64;
+        if free >= SLOTS {
+            return false;
+        }
+        ctx.write_u64(PmAddr(b.0 + 16 + free * 16), vw);
+        ctx.write_u64(PmAddr(b.0 + 8 + free * 16), key);
+        ctx.write_u64(b, bitmap | 1 << free); // metadata PM write
+        true
+    }
+
+    /// Full-table rehash: new top = 2 × old top, old top becomes the new
+    /// bottom, old bottom's entries are re-inserted. Holds the global
+    /// table write lock for the duration (the stall the paper measures).
+    fn rehash(&self, ctx: &mut MemCtx) -> Result<(), IndexError> {
+        let mut t = self.table.write();
+        let new_n = t.n_top * 2;
+        let new_top = self
+            .alloc
+            .alloc_region(ctx, new_n * BUCKET_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let zeros = [0u8; 256];
+        let mut off = 0;
+        while off < new_n * BUCKET_BYTES {
+            let n = 256.min(new_n * BUCKET_BYTES - off) as usize;
+            ctx.ntstore_bytes(PmAddr(new_top.0 + off), &zeros[..n]);
+            off += n as u64;
+        }
+        let new_table = Table {
+            top: new_top,
+            bottom: t.top,
+            n_top: new_n,
+        };
+        // Move every old-bottom entry into the new top.
+        let old_bottom_n = t.n_top / 2;
+        for i in 0..old_bottom_n {
+            let b = PmAddr(t.bottom.0 + i * BUCKET_BYTES);
+            let bitmap = ctx.read_u64(b);
+            for s in 0..SLOTS {
+                if bitmap & (1 << s) == 0 {
+                    continue;
+                }
+                let k = ctx.read_u64(PmAddr(b.0 + 8 + s * 16));
+                let vw = ctx.read_u64(PmAddr(b.0 + 16 + s * 16));
+                let (h1, h2) = Self::hashes(k);
+                let placed = self.bucket_insert(ctx, new_table.bucket(0, h1 % new_n), k, vw)
+                    || self.bucket_insert(ctx, new_table.bucket(0, h2 % new_n), k, vw);
+                if !placed {
+                    // Rare; the original moves an occupant. Place in the
+                    // new bottom (= old top) via its candidates.
+                    let ok = self
+                        .bucket_insert(ctx, new_table.bucket(1, h1 % t.n_top), k, vw)
+                        || self.bucket_insert(ctx, new_table.bucket(1, h2 % t.n_top), k, vw);
+                    if !ok {
+                        return Err(IndexError::OutOfMemory);
+                    }
+                }
+            }
+        }
+        self.alloc.free_region(ctx, t.bottom);
+        *t = new_table;
+        Ok(())
+    }
+}
+
+impl PersistentIndex for Level {
+    fn name(&self) -> &'static str {
+        "Level"
+    }
+
+    fn insert(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        let (h1, h2) = Self::hashes(key);
+        loop {
+            enum Out {
+                Done,
+                Dup,
+                Full,
+            }
+            let out = {
+                let t = self.table.read();
+                let cands = t.candidates(h1, h2);
+                // Duplicate check + insert, locking candidates one at a
+                // time (the original's per-bucket fine-grained locks).
+                let mut dup = false;
+                for &(lvl, i) in &cands {
+                    let b = t.bucket(lvl, i);
+                    if self
+                        .lock_of(lvl, i)
+                        .read(ctx, |ctx| self.scan(ctx, b, key).is_some())
+                    {
+                        dup = true;
+                        break;
+                    }
+                }
+                if dup {
+                    Out::Dup
+                } else {
+                    let mut done = false;
+                    for &(lvl, i) in &cands {
+                        let b = t.bucket(lvl, i);
+                        if self
+                            .lock_of(lvl, i)
+                            .write(ctx, |ctx| self.bucket_insert(ctx, b, key, vw))
+                        {
+                            done = true;
+                            break;
+                        }
+                    }
+                    if done {
+                        Out::Done
+                    } else {
+                        Out::Full
+                    }
+                }
+            };
+            match out {
+                Out::Done => {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Out::Dup => {
+                    common::free_val(&self.alloc, ctx, vw);
+                    return Err(IndexError::DuplicateKey);
+                }
+                Out::Full => self.rehash(ctx)?,
+            }
+        }
+    }
+
+    fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        let (h1, h2) = Self::hashes(key);
+        let t = self.table.read();
+        for &(lvl, i) in &t.candidates(h1, h2) {
+            let b = t.bucket(lvl, i);
+            let hit = self.lock_of(lvl, i).write(ctx, |ctx| {
+                self.scan(ctx, b, key).map(|(s, old)| {
+                    ctx.write_u64(PmAddr(b.0 + 16 + s * 16), vw);
+                    old
+                })
+            });
+            if let Some(old) = hit {
+                drop(t);
+                common::free_val(&self.alloc, ctx, old);
+                return Ok(());
+            }
+        }
+        drop(t);
+        common::free_val(&self.alloc, ctx, vw);
+        Err(IndexError::NotFound)
+    }
+
+    fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        let t = self.table.read();
+        for &(lvl, i) in &t.candidates(h1, h2) {
+            let b = t.bucket(lvl, i);
+            // Read lock per bucket: the PM lock writes on the read path.
+            let hit = self
+                .lock_of(lvl, i)
+                .read(ctx, |ctx| self.scan(ctx, b, key).map(|(_, vw)| vw));
+            if let Some(vw) = hit {
+                drop(t);
+                common::append_value(ctx, vw, out);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        let (h1, h2) = Self::hashes(key);
+        let t = self.table.read();
+        for &(lvl, i) in &t.candidates(h1, h2) {
+            let b = t.bucket(lvl, i);
+            let hit = self.lock_of(lvl, i).write(ctx, |ctx| {
+                self.scan(ctx, b, key).map(|(s, vw)| {
+                    let bitmap = ctx.read_u64(b);
+                    ctx.write_u64(b, bitmap & !(1 << s));
+                    ctx.write_u64(PmAddr(b.0 + 8 + s * 16), 0);
+                    vw
+                })
+            });
+            if let Some(vw) = hit {
+                drop(t);
+                common::free_val(&self.alloc, ctx, vw);
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        let t = self.table.read();
+        (t.n_top + t.n_top / 2) * SLOTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cceh::test_device;
+
+    fn setup() -> (Arc<spash_pmem::PmDevice>, Level, MemCtx) {
+        let (dev, mut ctx) = test_device();
+        let idx = Level::format(&mut ctx, 4).unwrap();
+        (dev, idx, ctx)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let (_d, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 1, 10).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(10));
+        idx.update_u64(&mut ctx, 1, 20).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(20));
+        assert!(idx.remove(&mut ctx, 1));
+        assert_eq!(idx.get_u64(&mut ctx, 1), None);
+        assert_eq!(
+            idx.insert_u64(&mut ctx, 2, 0)
+                .and(idx.insert_u64(&mut ctx, 2, 0))
+                .unwrap_err(),
+            IndexError::DuplicateKey
+        );
+    }
+
+    #[test]
+    fn grows_through_full_table_rehash() {
+        let (_d, idx, mut ctx) = setup();
+        let cap0 = idx.capacity_slots();
+        let n = 3000u64;
+        for k in 1..=n {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        for k in 1..=n {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+        }
+        assert!(idx.capacity_slots() > cap0, "rehash must have grown");
+    }
+
+    #[test]
+    fn reads_produce_pm_lock_writes() {
+        let (dev, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 7, 7).unwrap();
+        dev.flush_cache_all();
+        let before = dev.snapshot();
+        for _ in 0..100 {
+            idx.get_u64(&mut ctx, 7).unwrap();
+        }
+        dev.flush_cache_all();
+        let d = dev.snapshot().since(&before);
+        assert!(d.cl_writes > 0, "Level reads must dirty the PM lock word");
+    }
+
+    #[test]
+    fn values_survive_rehash() {
+        let (_d, idx, mut ctx) = setup();
+        let blob = vec![0x42u8; 200];
+        idx.insert(&mut ctx, 999, &blob).unwrap();
+        for k in 1..=2000u64 {
+            if k != 999 {
+                idx.insert_u64(&mut ctx, k, k).unwrap();
+            }
+        }
+        let mut out = Vec::new();
+        assert!(idx.get(&mut ctx, 999, &mut out));
+        assert_eq!(out, blob);
+    }
+}

@@ -1,0 +1,437 @@
+//! Plush — a write-optimized persistent log-structured hash table (Vogel
+//! et al., VLDB'22), as characterized by the Spash paper (§VI):
+//!
+//! * writes land in a **DRAM buffer** guarded by a **write-ahead log** in
+//!   PM (sequential appends — cheap), then flush in batches to level 0;
+//! * levels form an LSM: level *i+1* is **16× larger**; a full level
+//!   merges downward, "which leads to a large volume of PM writes when
+//!   flushing DRAM buffer to PM and merging PM-based hash tables across
+//!   different levels";
+//! * lookups walk buffer → L0 → L1 → …, "requiring an average traversal
+//!   of O(logN) levels to retrieve a key-value entry" — the search-cost
+//!   trade Plush makes for sequential writes;
+//! * partition locks on the buffer and a table lock during merges
+//!   ("lock-based out-of-place write and shared write-ahead logs").
+//!
+//! LSM semantics: newer versions shadow older ones; deletes write
+//! tombstones; stale versions linger in deeper levels until a merge drops
+//! them (visible as Plush's low, fluctuating load factor, Fig 9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use spash_alloc::PmAllocator;
+use spash_index_api::{hash_key, IndexError, PersistentIndex};
+use spash_pmem::{MemCtx, PmAddr, VLock};
+
+use crate::common::{self};
+
+const SHARDS: usize = 64;
+/// Buffered entries per shard before a flush to level 0.
+const BUF_CAP: usize = 64;
+/// WAL bytes per shard (a ring; sequential appends).
+const WAL_BYTES: u64 = BUF_CAP as u64 * 16 * 4;
+/// Bucket: count word + 15 (key, value-word) pairs + padding = one XPLine.
+const BUCKET_BYTES: u64 = 256;
+const BUCKET_SLOTS: u64 = 15;
+/// Level fanout (the paper: "Plush allocates a 16× larger level").
+const FANOUT: u64 = 16;
+/// Value-word tombstone (LSM delete marker).
+const TOMB: u64 = u64::MAX;
+/// Linear-probe window within a level: a bucket that fills spills into its
+/// neighbours; only a full window triggers a level merge.
+const PROBE: u64 = 8;
+
+struct Shard {
+    buf: Vec<(u64, u64)>,
+    wal_off: u64,
+    /// A flush of this shard is in flight (one at a time).
+    flushing: bool,
+}
+
+struct Lvl {
+    addr: PmAddr,
+    n_buckets: u64,
+}
+
+impl Lvl {
+    fn bucket(&self, i: u64) -> PmAddr {
+        PmAddr(self.addr.0 + (i % self.n_buckets) * BUCKET_BYTES)
+    }
+}
+
+/// The Plush baseline.
+pub struct Plush {
+    alloc: Arc<PmAllocator>,
+    shards: Vec<VLock<Shard>>,
+    wal_base: PmAddr,
+    levels: RwLock<Vec<Lvl>>,
+    level0_buckets: u64,
+    entries: AtomicU64,
+}
+
+impl Plush {
+    /// `pow` sets level-0 size (`2^pow` buckets).
+    pub fn new(ctx: &mut MemCtx, alloc: Arc<PmAllocator>, pow: u32) -> Result<Self, IndexError> {
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        let wal_base = alloc
+            .alloc_region(ctx, SHARDS as u64 * WAL_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let level0_buckets = 1u64 << pow;
+        let l0 = Self::alloc_level(ctx, &alloc, level0_buckets)?;
+        Ok(Self {
+            alloc,
+            shards: (0..SHARDS)
+                .map(|_| {
+                    VLock::new(
+                        Shard {
+                            buf: Vec::with_capacity(BUF_CAP),
+                            wal_off: 0,
+                            flushing: false,
+                        },
+                        lock_ns,
+                    )
+                })
+                .collect(),
+            wal_base,
+            levels: RwLock::new(vec![l0]),
+            level0_buckets,
+            entries: AtomicU64::new(0),
+        })
+    }
+
+    pub fn format(ctx: &mut MemCtx, pow: u32) -> Result<Self, IndexError> {
+        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        Self::new(ctx, alloc, pow)
+    }
+
+    fn alloc_level(ctx: &mut MemCtx, alloc: &PmAllocator, n: u64) -> Result<Lvl, IndexError> {
+        let addr = alloc
+            .alloc_region(ctx, n * BUCKET_BYTES)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        let zeros = [0u8; 256];
+        for i in 0..n {
+            ctx.ntstore_bytes(PmAddr(addr.0 + i * BUCKET_BYTES), &zeros);
+        }
+        Ok(Lvl { addr, n_buckets: n })
+    }
+
+    #[inline]
+    fn shard_of(h: u64) -> usize {
+        (h >> 58) as usize % SHARDS
+    }
+
+    /// Append one (key, value-word) record to the shard's WAL — the
+    /// sequential PM write every Plush mutation pays.
+    fn wal_append(&self, ctx: &mut MemCtx, shard: usize, off: &mut u64, k: u64, vw: u64) {
+        let base = self.wal_base.0 + shard as u64 * WAL_BYTES + (*off % WAL_BYTES);
+        ctx.write_u64(PmAddr(base), k);
+        ctx.write_u64(PmAddr(base + 8), vw);
+        *off += 16;
+    }
+
+    /// Scan the probe window of `key`'s home bucket, returning the newest
+    /// version. Appends go to the first non-full bucket of the window, so
+    /// later windows positions (and later slots) hold newer versions; the
+    /// scan stops at the first non-full bucket.
+    fn bucket_find(&self, ctx: &mut MemCtx, lvl: &Lvl, home: u64, key: u64) -> Option<u64> {
+        let mut newest = None;
+        for p in 0..PROBE {
+            let ba = lvl.bucket(home + p);
+            let count = ctx.read_u64(ba).min(BUCKET_SLOTS);
+            for s in 0..count {
+                let k = ctx.read_u64(PmAddr(ba.0 + 8 + s * 16));
+                if k == key {
+                    newest = Some(ctx.read_u64(PmAddr(ba.0 + 16 + s * 16)));
+                }
+            }
+            if count < BUCKET_SLOTS {
+                break; // nothing was ever pushed past a non-full bucket
+            }
+        }
+        newest
+    }
+
+    /// Append a record into the probe window of home bucket `home`;
+    /// false when the whole window is full (time to merge the level).
+    fn bucket_append(&self, ctx: &mut MemCtx, lvl: &Lvl, home: u64, k: u64, vw: u64) -> bool {
+        for p in 0..PROBE {
+            let ba = lvl.bucket(home + p);
+            let count = ctx.read_u64(ba);
+            if count >= BUCKET_SLOTS {
+                continue;
+            }
+            ctx.write_u64(PmAddr(ba.0 + 8 + count * 16), k);
+            ctx.write_u64(PmAddr(ba.0 + 16 + count * 16), vw);
+            ctx.write_u64(ba, count + 1);
+            return true;
+        }
+        false
+    }
+
+    /// Insert into level `li`, merging downward when a bucket fills.
+    /// Caller holds the levels write lock.
+    fn level_insert(
+        &self,
+        ctx: &mut MemCtx,
+        levels: &mut Vec<Lvl>,
+        li: usize,
+        k: u64,
+        vw: u64,
+    ) -> Result<(), IndexError> {
+        loop {
+            if li >= levels.len() {
+                let n = self.level0_buckets * FANOUT.pow(li as u32);
+                let lvl = Self::alloc_level(ctx, &self.alloc, n)?;
+                levels.push(lvl);
+            }
+            let h = hash_key(k);
+            let b = h % levels[li].n_buckets;
+            if self.bucket_append(ctx, &levels[li], b, k, vw) {
+                return Ok(());
+            }
+            // Bucket full: merge this whole level into the next, then
+            // retry. "It still produces a substantial volume of PM writes
+            // ... when merging PM-based hash tables across different
+            // levels."
+            self.merge_level(ctx, levels, li)?;
+        }
+    }
+
+    fn merge_level(
+        &self,
+        ctx: &mut MemCtx,
+        levels: &mut Vec<Lvl>,
+        li: usize,
+    ) -> Result<(), IndexError> {
+        if li + 1 >= levels.len() {
+            let n = self.level0_buckets * FANOUT.pow(li as u32 + 1);
+            let lvl = Self::alloc_level(ctx, &self.alloc, n)?;
+            levels.push(lvl);
+        }
+        // Records are pushed down in window order (older windows first),
+        // which preserves newest-wins in the target level's append order.
+        for b in 0..levels[li].n_buckets {
+            let ba = levels[li].bucket(b);
+            let count = ctx.read_u64(ba).min(BUCKET_SLOTS);
+            for s in 0..count {
+                let k = ctx.read_u64(PmAddr(ba.0 + 8 + s * 16));
+                let vw = ctx.read_u64(PmAddr(ba.0 + 16 + s * 16));
+                let h = hash_key(k);
+                let nb = h % levels[li + 1].n_buckets;
+                if !self.bucket_append(ctx, &levels[li + 1], nb, k, vw) {
+                    self.merge_level(ctx, levels, li + 1)?;
+                    let nb = h % levels[li + 1].n_buckets;
+                    if !self.bucket_append(ctx, &levels[li + 1], nb, k, vw) {
+                        return Err(IndexError::OutOfMemory);
+                    }
+                }
+            }
+            ctx.write_u64(ba, 0); // empty the merged bucket
+        }
+        Ok(())
+    }
+
+    /// Upsert through the buffer + WAL (LSM write path).
+    fn put(&self, ctx: &mut MemCtx, key: u64, vw: u64) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        let shard = Self::shard_of(h);
+        enum After {
+            None,
+            Flush(Vec<(u64, u64)>),
+        }
+        let after = self.shards[shard].with(ctx, |ctx, sh| {
+            // WAL first, then the volatile buffer.
+            let mut off = sh.wal_off;
+            self.wal_append(ctx, shard, &mut off, key, vw);
+            sh.wal_off = off;
+            // Shadow any buffered version.
+            if let Some(e) = sh.buf.iter_mut().find(|e| e.0 == key) {
+                e.1 = vw;
+                return After::None;
+            }
+            sh.buf.push((key, vw));
+            if sh.buf.len() >= BUF_CAP && !sh.flushing {
+                sh.flushing = true;
+                // Snapshot, don't drain: entries must stay visible in the
+                // buffer until they are queryable from level 0.
+                After::Flush(sh.buf.clone())
+            } else {
+                After::None
+            }
+        });
+        if let After::Flush(batch) = after {
+            {
+                let mut levels = self.levels.write();
+                for &(k, vw) in &batch {
+                    self.level_insert(ctx, &mut levels, 0, k, vw)?;
+                }
+            }
+            self.shards[shard].with(ctx, |_, sh| {
+                // Drop exactly what was flushed; entries updated while the
+                // flush ran stay buffered (their newer value flushes later).
+                sh.buf.retain(|e| !batch.contains(e));
+                sh.flushing = false;
+            });
+        }
+        Ok(())
+    }
+
+    /// LSM lookup: buffer, then every level, newest first.
+    fn lookup(&self, ctx: &mut MemCtx, key: u64) -> Option<u64> {
+        let h = hash_key(key);
+        let shard = Self::shard_of(h);
+        let hit = self.shards[shard].with(ctx, |ctx, sh| {
+            ctx.charge_dram_cached();
+            sh.buf.iter().rev().find(|e| e.0 == key).map(|e| e.1)
+        });
+        if let Some(vw) = hit {
+            return (vw != TOMB).then_some(vw);
+        }
+        let levels = self.levels.read();
+        for lvl in levels.iter() {
+            if let Some(vw) = self.bucket_find(ctx, lvl, h % lvl.n_buckets, key) {
+                return (vw != TOMB).then_some(vw);
+            }
+        }
+        None
+    }
+}
+
+impl PersistentIndex for Plush {
+    fn name(&self) -> &'static str {
+        "Plush"
+    }
+
+    fn insert(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        if self.lookup(ctx, key).is_some() {
+            return Err(IndexError::DuplicateKey);
+        }
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        self.put(ctx, key, vw)?;
+        self.entries.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
+        if self.lookup(ctx, key).is_none() {
+            return Err(IndexError::NotFound);
+        }
+        // Out-of-place: the old version is shadowed, not freed (reclaimed
+        // at merge in the original; the blob itself leaks here like any
+        // LSM until compaction).
+        let vw = common::make_val(&self.alloc, ctx, key, value)?;
+        self.put(ctx, key, vw)
+    }
+
+    fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        match self.lookup(ctx, key) {
+            None => false,
+            Some(vw) => {
+                common::append_value(ctx, vw, out);
+                true
+            }
+        }
+    }
+
+    fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        if self.lookup(ctx, key).is_none() {
+            return false;
+        }
+        if self.put(ctx, key, TOMB).is_err() {
+            return false;
+        }
+        self.entries.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    fn entries(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        let levels = self.levels.read();
+        levels.iter().map(|l| l.n_buckets * BUCKET_SLOTS).sum::<u64>()
+            + (SHARDS * BUF_CAP) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cceh::test_device;
+
+    fn setup() -> (Arc<spash_pmem::PmDevice>, Plush, MemCtx) {
+        let (dev, mut ctx) = test_device();
+        let idx = Plush::format(&mut ctx, 4).unwrap();
+        (dev, idx, ctx)
+    }
+
+    #[test]
+    fn basic_crud() {
+        let (_d, idx, mut ctx) = setup();
+        idx.insert_u64(&mut ctx, 1, 10).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(10));
+        idx.update_u64(&mut ctx, 1, 20).unwrap();
+        assert_eq!(idx.get_u64(&mut ctx, 1), Some(20));
+        assert!(idx.remove(&mut ctx, 1));
+        assert_eq!(idx.get_u64(&mut ctx, 1), None);
+        assert!(!idx.remove(&mut ctx, 1));
+    }
+
+    #[test]
+    fn flushes_and_merges_preserve_newest_version() {
+        let (_d, idx, mut ctx) = setup();
+        let n = 3000u64;
+        for k in 1..=n {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        // Update a subset so older versions linger in deeper levels.
+        for k in (1..=n).step_by(3) {
+            idx.update_u64(&mut ctx, k, k + 100_000).unwrap();
+        }
+        for k in 1..=n {
+            let want = if k % 3 == 1 { k + 100_000 } else { k };
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(want), "key {k}");
+        }
+    }
+
+    #[test]
+    fn deletes_shadow_older_versions_across_levels() {
+        let (_d, idx, mut ctx) = setup();
+        for k in 1..=2000u64 {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        for k in 1..=2000u64 {
+            assert!(idx.remove(&mut ctx, k), "remove {k}");
+        }
+        for k in 1..=2000u64 {
+            assert_eq!(idx.get_u64(&mut ctx, k), None, "key {k} returned");
+        }
+        assert_eq!(idx.entries(), 0);
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let (dev, mut ctx) = test_device();
+        let idx = Arc::new(Plush::format(&mut ctx, 4).unwrap());
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                let dev = Arc::clone(&dev);
+                s.spawn(move |_| {
+                    let mut ctx = dev.ctx();
+                    for i in 0..800u64 {
+                        let k = 1 + t * 800 + i;
+                        idx.insert_u64(&mut ctx, k, k).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for k in 1..=3200u64 {
+            assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Extension bench: collaborative vs blocking staged doubling (see
+//! experiments::ext). Custom harness: prints the comparison table.
+
+use spash_bench::experiments::ext;
+use spash_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "# ext_doubling: keys={} ops={} threads={:?}",
+        scale.keys, scale.ops, scale.threads
+    );
+    ext::run(&scale);
+}

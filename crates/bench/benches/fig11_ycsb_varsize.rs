@@ -1,0 +1,11 @@
+//! Bench target regenerating the paper's fig11 (see DESIGN.md §3).
+//! Custom harness: prints the figure's rows/series to stdout.
+
+use spash_bench::experiments::fig11;
+use spash_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# fig11_ycsb_varsize: keys={} ops={} threads={:?}", scale.keys, scale.ops, scale.threads);
+    fig11::run(&scale);
+}

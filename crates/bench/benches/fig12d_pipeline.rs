@@ -1,0 +1,11 @@
+//! Bench target regenerating the paper's fig12d (see DESIGN.md §3).
+//! Custom harness: prints the figure's rows/series to stdout.
+
+use spash_bench::experiments::fig12;
+use spash_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# fig12d_pipeline: keys={} ops={} threads={:?}", scale.keys, scale.ops, scale.threads);
+    fig12::run_d(&scale);
+}

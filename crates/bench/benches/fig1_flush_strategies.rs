@@ -1,0 +1,11 @@
+//! Bench target regenerating the paper's fig1 (see DESIGN.md §3).
+//! Custom harness: prints the figure's rows/series to stdout.
+
+use spash_bench::experiments::fig1;
+use spash_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# fig1_flush_strategies: keys={} ops={} threads={:?}", scale.keys, scale.ops, scale.threads);
+    fig1::run(&scale);
+}

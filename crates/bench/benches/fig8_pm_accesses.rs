@@ -1,0 +1,11 @@
+//! Bench target regenerating the paper's fig8 (see DESIGN.md §3).
+//! Custom harness: prints the figure's rows/series to stdout.
+
+use spash_bench::experiments::fig8;
+use spash_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# fig8_pm_accesses: keys={} ops={} threads={:?}", scale.keys, scale.ops, scale.threads);
+    fig8::run(&scale);
+}

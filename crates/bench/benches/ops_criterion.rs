@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks of single Spash operations (wall-clock of
+//! the *simulation*, complementary to the virtual-time figures — useful
+//! for catching performance regressions in the simulator itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spash::{Spash, SpashConfig};
+use spash_bench::bench_device;
+use spash_index_api::PersistentIndex;
+
+fn bench_ops(c: &mut Criterion) {
+    let dev = bench_device(100_000, 16);
+    let mut ctx = dev.ctx();
+    let idx = Spash::format(&mut ctx, SpashConfig::default()).unwrap();
+    for k in 1..=100_000u64 {
+        idx.insert_u64(&mut ctx, k, k).unwrap();
+    }
+
+    let mut group = c.benchmark_group("spash_ops");
+    let mut k = 0u64;
+    group.bench_function("get_hit", |b| {
+        b.iter(|| {
+            k = k % 100_000 + 1;
+            std::hint::black_box(idx.get_u64(&mut ctx, k))
+        })
+    });
+    group.bench_function("update_inline", |b| {
+        b.iter(|| {
+            k = k % 100_000 + 1;
+            idx.update_u64(&mut ctx, k, k + 1).unwrap();
+        })
+    });
+    let mut next = 1_000_000u64;
+    group.bench_function("insert_then_remove", |b| {
+        b.iter(|| {
+            next += 1;
+            idx.insert_u64(&mut ctx, next, next).unwrap();
+            assert!(idx.remove(&mut ctx, next));
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_ops
+}
+criterion_main!(benches);

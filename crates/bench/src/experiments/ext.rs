@@ -1,0 +1,111 @@
+//! Extension experiments beyond the paper's figures.
+//!
+//! **Doubling ablation** — §IV-B claims collaborative staged doubling
+//! "significantly improves the overall throughput and reduces the tail
+//! latency" versus blocking behind the doubling thread, but the paper has
+//! no figure isolating it. This experiment inserts through repeated
+//! directory doublings and reports throughput plus per-op latency
+//! percentiles for both modes.
+
+use std::sync::Mutex;
+
+use spash::{Spash, SpashConfig};
+use spash_index_api::PersistentIndex;
+use spash_workloads::{load_keys, Distribution, Mix, ValueSize, WorkloadConfig};
+
+use crate::experiments::my_chunk;
+use crate::harness::{print_table, run_phase, Scale};
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() - 1) as f64 * p) as usize;
+    sorted[i] as f64 / 1e3
+}
+
+/// Insert-only growth run; returns (Mops, p50 µs, p99 µs, p999 µs, max µs).
+fn run_mode(scale: &Scale, collaborative: bool) -> [f64; 5] {
+    let threads = scale.max_threads();
+    // A small initial directory forces many doublings during the load. A
+    // generous cache keeps the run CPU-bound so the doubling serialization
+    // (not PM bandwidth) sets the tail.
+    let dev = spash_pmem::PmDevice::new(spash_pmem::PmConfig {
+        arena_size: (scale.keys * 256).next_power_of_two().max(512 << 20),
+        cache_capacity: 64 << 20,
+        ..spash_pmem::PmConfig::default()
+    });
+    let mut ctx = dev.ctx();
+    let idx = std::sync::Arc::new(
+        Spash::format(
+            &mut ctx,
+            SpashConfig {
+                initial_depth: 2,
+                collaborative_doubling: collaborative,
+                ..SpashConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let cfg = WorkloadConfig::new(
+        scale.keys,
+        Distribution::Uniform,
+        Mix::SEARCH_ONLY,
+        ValueSize::Inline,
+    );
+    let keys = load_keys(&cfg);
+    let lats: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let index = std::sync::Arc::clone(&idx);
+    let r = run_phase(&dev, threads, |tid, ctx| {
+        let mine = my_chunk(&keys, threads, tid);
+        let mut local = Vec::with_capacity(mine.len());
+        for (i, &k) in mine.iter().enumerate() {
+            let t0 = ctx.now();
+            index.insert(ctx, k, &k.to_le_bytes()[..6]).unwrap();
+            // Only the steady-state second half counts: the first half is
+            // dominated by cold-cache fills, which would mask the doubling
+            // stalls this experiment isolates.
+            if i >= mine.len() / 2 {
+                local.push(ctx.now() - t0);
+            }
+        }
+        lats.lock().unwrap().extend(local);
+        mine.len() as u64
+    });
+    eprintln!(
+        "  [{}] stage assists={} awaits={} fallbacks={}",
+        if collaborative { "collab" } else { "block" },
+        idx.dir_assist_count(),
+        idx.dir_await_count(),
+        idx.fallback_count(),
+    );
+    let mut lats = lats.into_inner().unwrap();
+    lats.sort_unstable();
+    [
+        r.mops(),
+        percentile(&lats, 0.50),
+        percentile(&lats, 0.99),
+        percentile(&lats, 0.999),
+        *lats.last().unwrap_or(&0) as f64 / 1e3,
+    ]
+}
+
+pub fn run(scale: &Scale) {
+    let columns = vec![
+        "Mops".into(),
+        "p50 µs".into(),
+        "p99 µs".into(),
+        "p999 µs".into(),
+        "max µs".into(),
+    ];
+    let rows = vec![
+        ("collaborative".to_string(), run_mode(scale, true).to_vec()),
+        ("blocking".to_string(), run_mode(scale, false).to_vec()),
+    ];
+    print_table(
+        "Ext: staged doubling — collaborative vs blocking (insert-only growth)",
+        &columns,
+        &rows,
+        "per-op latency in virtual µs",
+    );
+}

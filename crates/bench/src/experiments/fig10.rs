@@ -1,0 +1,87 @@
+//! Fig. 10 — YCSB throughput with inlined key-value entries (paper
+//! §VI-C): load phase plus read-intensive (90:10), balanced (50:50) and
+//! write-intensive (10:90) run phases, zipfian(0.99).
+//!
+//! Expected shape: Spash leads every phase (HTM lock elision + in-place
+//! hot updates served from the persistent cache); Level worst everywhere
+//! (read+write locks); Dash/Halo better on reads than writes; CLevel flat
+//! (out-of-place updates defeat the cache); Plush competitive only in
+//! load.
+
+
+use spash_workloads::{load_keys, Distribution, Mix, OpStream, ValueSize, WorkloadConfig};
+
+use crate::experiments::{exec_stream, my_chunk};
+use crate::harness::{print_table, run_phase, PhaseResult, Scale};
+use crate::indexes::{bench_device, build_index, IndexKind};
+
+pub const PHASES: [(&str, Option<Mix>); 4] = [
+    ("Load", None),
+    ("Read-int 90:10", Some(Mix::READ_INTENSIVE)),
+    ("Balanced 50:50", Some(Mix::BALANCED)),
+    ("Write-int 10:90", Some(Mix::WRITE_INTENSIVE)),
+];
+
+/// One index through all four phases at `threads`.
+pub fn run_one(scale: &Scale, kind: IndexKind, value: ValueSize) -> Vec<PhaseResult> {
+    let threads = scale.max_threads();
+    let vbytes = match value {
+        ValueSize::Inline => 16,
+        ValueSize::Fixed(n) => n as u64,
+    };
+    let dev = bench_device(scale.keys, vbytes);
+    let idx = build_index(&dev, kind);
+    let index = idx.as_ref();
+    let cfg = WorkloadConfig::new(scale.keys, Distribution::Zipfian, Mix::BALANCED, value);
+    let keys = load_keys(&cfg);
+    let mut out = Vec::with_capacity(PHASES.len());
+
+    // Load phase.
+    out.push(run_phase(&dev, threads, |tid, ctx| {
+        let mine = my_chunk(&keys, threads, tid);
+        let mut s = OpStream::new(&cfg, tid as u64);
+        for &k in mine {
+            let v = s.expected_value(k);
+            if index.insert(ctx, k, &v) == Err(spash_index_api::IndexError::OutOfMemory) {
+                // Halo's documented DRAM-exhaustion failure mode; count
+                // what we could.
+                break;
+            }
+        }
+        mine.len() as u64
+    }));
+
+    for (_, mix) in PHASES.iter().skip(1) {
+        let cfg = WorkloadConfig {
+            mix: mix.unwrap(),
+            ..cfg.clone()
+        };
+        out.push(run_phase(&dev, threads, |tid, ctx| {
+            let mut s = OpStream::new(&cfg, tid as u64);
+            exec_stream(index, ctx, &mut s, scale.ops / threads as u64)
+        }));
+    }
+    out
+}
+
+pub fn run(scale: &Scale) {
+    let kinds = IndexKind::ALL;
+    let columns: Vec<String> = kinds.iter().map(|k| k.label().to_string()).collect();
+    let results: Vec<Vec<PhaseResult>> = kinds
+        .iter()
+        .map(|&k| run_one(scale, k, ValueSize::Inline))
+        .collect();
+    let mut rows = Vec::new();
+    for (p, (label, _)) in PHASES.iter().enumerate() {
+        rows.push((
+            label.to_string(),
+            results.iter().map(|r| r[p].mops()).collect(),
+        ));
+    }
+    print_table(
+        "Fig 10: YCSB, inlined KV, zipfian 0.99",
+        &columns,
+        &rows,
+        "Mops/s (virtual time)",
+    );
+}

@@ -1,0 +1,97 @@
+//! Fig. 7 — micro-benchmark throughput of each base operation
+//! (insert / search / update / delete), uniform distribution, inline
+//! key-values, swept over thread counts (paper §VI-B).
+//!
+//! Expected shape: Spash on top everywhere; the pipeline roughly doubles
+//! search throughput; Level/CLevel collapse on inserts (full-table
+//! rehash); CCEH and Level reads trail badly (PM read-locks).
+
+
+use spash_workloads::{load_keys, Distribution, Mix, OpStream, ValueSize, WorkloadConfig};
+
+use crate::experiments::{exec_stream, my_chunk};
+use crate::harness::{print_table, run_phase, PhaseResult, Scale};
+use crate::indexes::{bench_device, build_index, IndexKind};
+
+/// One index, one thread count: returns (insert, search, update, delete)
+/// results.
+pub fn run_one(scale: &Scale, kind: IndexKind, threads: usize) -> [PhaseResult; 4] {
+    let dev = bench_device(scale.keys, 16);
+    let idx = build_index(&dev, kind);
+    let index = idx.as_ref();
+    let cfg = WorkloadConfig::new(
+        scale.keys,
+        Distribution::Uniform,
+        Mix::SEARCH_ONLY,
+        ValueSize::Inline,
+    );
+    let keys = load_keys(&cfg);
+
+    // Insert phase: the load itself, partitioned over threads.
+    let insert = run_phase(&dev, threads, |tid, ctx| {
+        let mine = my_chunk(&keys, threads, tid);
+        for &k in mine {
+            index
+                .insert(ctx, k, &k.to_le_bytes()[..6])
+                .expect("load insert");
+        }
+        mine.len() as u64
+    });
+
+    // Search phase.
+    let search = run_phase(&dev, threads, |tid, ctx| {
+        let mut s = OpStream::new(&cfg, tid as u64);
+        exec_stream(index, ctx, &mut s, scale.ops / threads as u64)
+    });
+
+    // Update phase.
+    let ucfg = WorkloadConfig {
+        mix: Mix::UPDATE_ONLY,
+        ..cfg.clone()
+    };
+    let update = run_phase(&dev, threads, |tid, ctx| {
+        let mut s = OpStream::new(&ucfg, tid as u64);
+        exec_stream(index, ctx, &mut s, scale.ops / threads as u64)
+    });
+
+    // Delete phase: each thread deletes its own loaded keys (each key
+    // exactly once).
+    let delete = run_phase(&dev, threads, |tid, ctx| {
+        let mine = my_chunk(&keys, threads, tid);
+        let n = (mine.len() as u64).min(scale.ops / threads as u64 + 1);
+        for &k in &mine[..n as usize] {
+            assert!(index.remove(ctx, k), "{}: delete of loaded key {k}", index.name());
+        }
+        n
+    });
+
+    [insert, search, update, delete]
+}
+
+/// The full Fig 7 sweep: four tables (one per operation), rows = indexes,
+/// columns = thread counts.
+pub fn run(scale: &Scale) {
+    let ops = ["(b) insert", "(a) search", "(c) update", "(d) delete"];
+    let columns: Vec<String> = scale.threads.iter().map(|t| format!("{t} thr")).collect();
+    let mut tables: [Vec<(String, Vec<f64>)>; 4] = Default::default();
+    for kind in IndexKind::MICRO {
+        let mut series: [Vec<f64>; 4] = Default::default();
+        for &t in &scale.threads {
+            let rs = run_one(scale, kind, t);
+            for (i, r) in rs.iter().enumerate() {
+                series[i].push(r.mops());
+            }
+        }
+        for i in 0..4 {
+            tables[i].push((kind.label().to_string(), std::mem::take(&mut series[i])));
+        }
+    }
+    for (i, t) in tables.iter().enumerate() {
+        print_table(
+            &format!("Fig 7{}: micro throughput, uniform, inline KV", ops[i]),
+            &columns,
+            t,
+            "Mops/s (virtual time)",
+        );
+    }
+}

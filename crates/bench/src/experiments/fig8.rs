@@ -1,0 +1,121 @@
+//! Fig. 8 — average cacheline and XPLine accesses to PM per hash
+//! operation (paper §VI-B, measured there with ipmctl; here with the
+//! media model's counters).
+//!
+//! The headline numbers the paper reports for Spash: search ≈ 1.1
+//! cacheline / 1.0 XPLine reads; update/delete ≈ 1.0/1.0 writes; insert ≈
+//! 2.0 cachelines but only ≈ 1.1 XPLines written (split writes coalesce
+//! within XPLine-sized segments).
+
+
+use spash_workloads::{load_keys, Distribution, Mix, OpStream, ValueSize, WorkloadConfig};
+
+use crate::experiments::{exec_stream, my_chunk};
+use crate::harness::{print_table, run_phase, PhaseResult, Scale};
+use crate::indexes::{bench_device, build_index, IndexKind};
+
+pub struct AccessCounts {
+    pub insert: PhaseResult,
+    pub search: PhaseResult,
+    pub update: PhaseResult,
+    pub delete: PhaseResult,
+}
+
+pub fn run_one(scale: &Scale, kind: IndexKind) -> AccessCounts {
+    let threads = scale.max_threads();
+    let dev = bench_device(scale.keys, 16);
+    let idx = build_index(&dev, kind);
+    let index = idx.as_ref();
+    let cfg = WorkloadConfig::new(
+        scale.keys,
+        Distribution::Uniform,
+        Mix::SEARCH_ONLY,
+        ValueSize::Inline,
+    );
+    let keys = load_keys(&cfg);
+
+    let insert = run_phase(&dev, threads, |tid, ctx| {
+        let mine = my_chunk(&keys, threads, tid);
+        for &k in mine {
+            index.insert(ctx, k, &k.to_le_bytes()[..6]).unwrap();
+        }
+        mine.len() as u64
+    });
+    // Evict everything so steady-state (cold) access counts are measured,
+    // like the paper's 20M-key working set exceeding the LLC.
+    dev.invalidate_cache();
+    let search = run_phase(&dev, threads, |tid, ctx| {
+        let mut s = OpStream::new(&cfg, tid as u64);
+        exec_stream(index, ctx, &mut s, scale.ops / threads as u64)
+    });
+    dev.invalidate_cache();
+    let ucfg = WorkloadConfig {
+        mix: Mix::UPDATE_ONLY,
+        ..cfg.clone()
+    };
+    let update = run_phase(&dev, threads, |tid, ctx| {
+        let mut s = OpStream::new(&ucfg, tid as u64);
+        exec_stream(index, ctx, &mut s, scale.ops / threads as u64)
+    });
+    dev.invalidate_cache();
+    let delete = run_phase(&dev, threads, |tid, ctx| {
+        let mine = my_chunk(&keys, threads, tid);
+        for &k in mine {
+            index.remove(ctx, k);
+        }
+        mine.len() as u64
+    });
+    AccessCounts {
+        insert,
+        search,
+        update,
+        delete,
+    }
+}
+
+/// Full Fig 8: for every index, the per-op cacheline/XPLine read+write
+/// counts for each operation. For write phases the cache is flushed into
+/// the delta so in-cache dirty data is accounted.
+pub fn run(scale: &Scale) {
+    let columns = vec![
+        "CL rd".into(),
+        "CL wr".into(),
+        "XP rd".into(),
+        "XP wr".into(),
+    ];
+    let counts: Vec<(IndexKind, AccessCounts)> = IndexKind::MICRO
+        .into_iter()
+        .map(|k| (k, run_one(scale, k)))
+        .collect();
+    for (name, pick) in [
+        ("search", 1usize),
+        ("insert", 0),
+        ("update", 2),
+        ("delete", 3),
+    ] {
+        let mut rows = Vec::new();
+        for (kind, c) in &counts {
+            let r = match pick {
+                0 => &c.insert,
+                1 => &c.search,
+                2 => &c.update,
+                _ => &c.delete,
+            };
+            rows.push((
+                kind.label().to_string(),
+                vec![
+                    r.per_op(r.delta.cl_reads),
+                    r.per_op(r.delta.cl_writes + r.delta.ntstores),
+                    r.per_op(r.delta.xp_reads),
+                    r.per_op(r.delta.xp_writes),
+                ],
+            ));
+        }
+        print_table(
+            &format!("Fig 8: PM accesses per {name} operation"),
+            &columns,
+            &rows,
+            "accesses/op",
+        );
+    }
+}

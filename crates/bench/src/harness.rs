@@ -1,0 +1,216 @@
+//! Shared benchmark machinery: parallel execution over simulated threads,
+//! virtual-time throughput computation, and table printing.
+//!
+//! **How throughput is computed** (DESIGN.md §4): every simulated thread
+//! accumulates virtual time; media byte counters impose the PM bandwidth
+//! ceiling. For a phase that executed `ops` operations,
+//!
+//! ```text
+//! elapsed = max(max per-thread virtual time, bandwidth floor)
+//! Mops/s  = ops / elapsed
+//! ```
+//!
+//! Absolute numbers are model outputs calibrated to the paper's testbed
+//! constants; the reproduced claims are ratios and shapes.
+
+use std::sync::Arc;
+
+use spash_pmem::{MemCtx, PmDevice, StatsDelta};
+
+/// Scale knobs, overridable from the environment so `cargo bench` stays
+/// fast by default:
+/// * `SPASH_BENCH_KEYS` — load-phase keys (default 400k, paper 20M/100M);
+/// * `SPASH_BENCH_OPS` — run-phase ops (default 200k, paper 8G/100M);
+/// * `SPASH_BENCH_THREADS` — simulated thread counts, comma-separated
+///   (default `1,8,56`, matching the paper's 56-thread tables).
+#[derive(Clone, Debug)]
+pub struct Scale {
+    pub keys: u64,
+    pub ops: u64,
+    pub threads: Vec<usize>,
+}
+
+impl Scale {
+    pub fn from_env() -> Self {
+        let env_u64 = |k: &str, d: u64| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        let threads = std::env::var("SPASH_BENCH_THREADS")
+            .ok()
+            .map(|v| {
+                v.split(',')
+                    .filter_map(|t| t.trim().parse().ok())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| vec![1, 8, 56]);
+        Self {
+            keys: env_u64("SPASH_BENCH_KEYS", 400_000),
+            ops: env_u64("SPASH_BENCH_OPS", 200_000),
+            threads,
+        }
+    }
+
+    /// The largest thread count in the sweep (used for single-point
+    /// experiments like the paper's 56-thread YCSB tables).
+    pub fn max_threads(&self) -> usize {
+        self.threads.iter().copied().max().unwrap_or(1)
+    }
+}
+
+/// The outcome of one measured phase.
+#[derive(Clone, Debug)]
+pub struct PhaseResult {
+    pub ops: u64,
+    pub elapsed_ns: u64,
+    pub delta: StatsDelta,
+}
+
+impl PhaseResult {
+    /// Million operations per second of virtual time.
+    pub fn mops(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 * 1e3 / self.elapsed_ns as f64
+    }
+
+    /// GB/s of payload bytes (Fig 1).
+    pub fn gbps(&self, payload_bytes: u64) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        payload_bytes as f64 / self.elapsed_ns as f64
+    }
+
+    pub fn per_op(&self, counter: u64) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            counter as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Run `body` on `threads` simulated threads, measuring virtual time and
+/// media-counter deltas. `body(tid, ctx)` returns the number of operations
+/// it performed. The XPBuffer is drained before and after so the delta is
+/// self-contained.
+pub fn run_phase<F>(dev: &Arc<PmDevice>, threads: usize, body: F) -> PhaseResult
+where
+    F: Fn(usize, &mut MemCtx) -> u64 + Sync,
+{
+    dev.quiesce();
+    let before = dev.snapshot();
+    let cost = dev.config().cost.clone();
+    // All phase threads start at the device's virtual-time floor; the
+    // floor advances to the phase's end so virtual timestamps persisted in
+    // lock/HTM metadata by this phase can never stall the next one.
+    let phase_start = dev.vtime_floor();
+    let results: Vec<(u64, u64)> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let dev = Arc::clone(dev);
+                let body = &body;
+                s.spawn(move |_| {
+                    let mut ctx = dev.ctx();
+                    ctx.reset_clock();
+                    let ops = body(tid, &mut ctx);
+                    (ops, ctx.now())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("benchmark thread panicked");
+    dev.quiesce();
+    let delta = dev.snapshot().since(&before);
+    let ops: u64 = results.iter().map(|r| r.0).sum();
+    let max_clock = results
+        .iter()
+        .map(|r| r.1)
+        .max()
+        .unwrap_or(phase_start)
+        .max(dev.sim_horizon());
+    dev.raise_vtime_floor(max_clock);
+    let span = max_clock.saturating_sub(phase_start);
+    let elapsed_ns = span.max(delta.bandwidth_floor_ns(&cost));
+    PhaseResult {
+        ops,
+        elapsed_ns,
+        delta,
+    }
+}
+
+/// Print a table: first column = row label, then one column per series.
+pub fn print_table(title: &str, columns: &[String], rows: &[(String, Vec<f64>)], unit: &str) {
+    println!();
+    println!("== {title} ({unit}) ==");
+    print!("{:<22}", "");
+    for c in columns {
+        print!("{c:>14}");
+    }
+    println!();
+    for (label, vals) in rows {
+        print!("{label:<22}");
+        for v in vals {
+            if *v >= 100.0 {
+                print!("{v:>14.1}");
+            } else {
+                print!("{v:>14.3}");
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spash_pmem::{PmAddr, PmConfig};
+
+    #[test]
+    fn run_phase_aggregates_ops_and_time() {
+        let dev = PmDevice::new(PmConfig::small_test());
+        let r = run_phase(&dev, 4, |tid, ctx| {
+            for i in 0..100u64 {
+                ctx.write_u64(PmAddr(4096 + (tid as u64 * 100 + i) * 64), i);
+            }
+            100
+        });
+        assert_eq!(r.ops, 400);
+        assert!(r.elapsed_ns > 0);
+        assert!(r.mops() > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_floor_dominates_for_write_floods() {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 64 << 20,
+            cache_capacity: 1 << 20,
+            ..PmConfig::small_test()
+        });
+        // A single thread ntstores 16 MiB: the floor must be at least
+        // bytes / write-bw.
+        let r = run_phase(&dev, 1, |_, ctx| {
+            let buf = [7u8; 256];
+            for i in 0..65536u64 {
+                ctx.ntstore_bytes(PmAddr(i * 256), &buf);
+            }
+            65536
+        });
+        let cost = dev.config().cost.clone();
+        let floor = r.delta.bandwidth_floor_ns(&cost);
+        assert!(r.elapsed_ns >= floor);
+        assert!(floor > 0);
+    }
+
+    #[test]
+    fn scale_defaults_sane() {
+        let s = Scale::from_env();
+        assert!(s.keys > 0 && s.ops > 0 && !s.threads.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§VI). See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! Run everything: `cargo bench --workspace`, or individual figures:
+//! `cargo bench -p spash-bench --bench fig7_micro_throughput`. The CLI
+//! binary (`cargo run -p spash-bench --release -- fig10`) exposes the
+//! same experiments with `SPASH_BENCH_KEYS` / `SPASH_BENCH_OPS` /
+//! `SPASH_BENCH_THREADS` scale knobs.
+
+pub mod experiments;
+pub mod harness;
+pub mod indexes;
+
+pub use harness::{print_table, run_phase, PhaseResult, Scale};
+pub use indexes::{bench_device, build_index, IndexKind};

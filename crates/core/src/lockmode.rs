@@ -1,0 +1,413 @@
+//! Lock-based operation paths.
+//!
+//! Two distinct things live here:
+//!
+//! 1. **Fallback bodies** for the HTM mode (§IV-A): when an operation
+//!    exceeds its conflict-retry budget it takes the routed directory
+//!    partition's non-transactional lock and runs these plain versions.
+//!    Mutual exclusion holds because every transaction read-guards its
+//!    routed partition.
+//!
+//! 2. **Ablation protocols** for Fig 12c: `WriteLock` serializes writers
+//!    per segment but keeps optimistic (seqlock) readers — Dash's
+//!    protocol; `WriteReadLock` takes the per-segment lock for reads too —
+//!    Level hashing's protocol. Both use virtual-time locks so contention
+//!    scales the way the paper's lock-based baselines do.
+
+use std::sync::atomic::Ordering;
+
+use spash_index_api::{hash_key, IndexError};
+use spash_pmem::{MemCtx, PmAddr};
+
+use crate::config::UpdatePolicy;
+use crate::ops::{Found, Payload, Placement, Spash};
+use crate::slot::{
+    bucket_of, bucket_slots, fp14, key_addr, make_hint, value_addr, value_word, SlotKey,
+    INLINE_VALUE_LEN, SLOTS_PER_BUCKET,
+};
+
+impl Spash {
+    // =====================================================================
+    // plain bodies used under a held lock (HTM fallback path)
+    // =====================================================================
+
+    /// Insert body under a held partition lock. `None` = segment full
+    /// (split required), `Some(false)` = duplicate, `Some(true)` = done.
+    pub(crate) fn locked_insert(
+        &self,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        key: u64,
+        h: u64,
+        kw_new: u64,
+        vw_payload: u64,
+    ) -> Option<bool> {
+        if self.find_in_segment(ctx, seg, key, h).is_some() {
+            return Some(false);
+        }
+        match self.find_placement(ctx, seg, h) {
+            Placement::Full => None,
+            Placement::Main(idx) => {
+                let vw = ctx.read_u64(value_addr(seg, idx));
+                ctx.write_u64(value_addr(seg, idx), value_word::with_payload(vw, vw_payload));
+                ctx.write_u64(key_addr(seg, idx), kw_new);
+                Some(true)
+            }
+            Placement::Overflow { idx, hint_slot } => {
+                let vw = ctx.read_u64(value_addr(seg, idx));
+                ctx.write_u64(value_addr(seg, idx), value_word::with_payload(vw, vw_payload));
+                ctx.write_u64(key_addr(seg, idx), kw_new);
+                let hvw = ctx.read_u64(value_addr(seg, hint_slot));
+                ctx.write_u64(
+                    value_addr(seg, hint_slot),
+                    value_word::with_hint(hvw, make_hint(h, idx)),
+                );
+                Some(true)
+            }
+        }
+    }
+
+    /// Remove body under a held lock. Returns the removed words.
+    pub(crate) fn locked_remove(
+        &self,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        key: u64,
+        h: u64,
+    ) -> Option<(u64, u64)> {
+        let f = self.find_in_segment(ctx, seg, key, h)?;
+        ctx.write_u64(key_addr(seg, f.idx), 0);
+        let b = bucket_of(h);
+        if f.idx / SLOTS_PER_BUCKET != b {
+            let target_hint = make_hint(h, f.idx);
+            for s in bucket_slots(b) {
+                let vw = ctx.read_u64(value_addr(seg, s));
+                if value_word::hint(vw) == target_hint {
+                    ctx.write_u64(value_addr(seg, s), value_word::with_hint(vw, 0));
+                    break;
+                }
+            }
+        }
+        Some((f.kw, f.vw))
+    }
+
+    // =====================================================================
+    // Fig 12c ablation protocols
+    // =====================================================================
+
+    /// Insert under the per-segment write lock (both lock modes).
+    pub(crate) fn insert_lockmode(
+        &self,
+        ctx: &mut MemCtx,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        let payload = self.make_payload(ctx, key, value)?;
+        let (kw_new, vw_payload) = match payload {
+            Payload::Inline(v) => (SlotKey::Inline { key, fp: fp14(h) }.pack(), v),
+            Payload::Blob { addr, val_len, .. } => {
+                (SlotKey::Ptr { addr, fp: fp14(h) }.pack(), val_len)
+            }
+        };
+        loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let lock = self.seg_lock(seg);
+            let outcome = lock.rw.write(ctx, |ctx, _| {
+                // Re-route under the lock: a concurrent split may have
+                // moved the keys.
+                let routed2 = self.dir.lookup(ctx, h);
+                if routed2.seg() != seg {
+                    return Err(()); // retry
+                }
+                lock.ver.fetch_add(1, Ordering::AcqRel); // seqlock: odd
+                let r = self.locked_insert(ctx, seg, key, h, kw_new, vw_payload);
+                lock.ver.fetch_add(1, Ordering::AcqRel); // even
+                Ok(r)
+            });
+            match outcome {
+                Err(()) => continue,
+                Ok(None) => {
+                    self.split(ctx, h)?;
+                    continue;
+                }
+                Ok(Some(false)) => {
+                    self.free_payload(ctx, &payload);
+                    return Err(IndexError::DuplicateKey);
+                }
+                Ok(Some(true)) => {
+                    self.entries.fetch_add(1, Ordering::Relaxed);
+                    if let Payload::Blob {
+                        flush_chunk: Some(c),
+                        ..
+                    } = payload
+                    {
+                        if self.cfg.insert_policy == crate::config::InsertPolicy::CompactedFlush {
+                            ctx.flush_range(c, spash_alloc::CHUNK);
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Lookup with optimistic seqlock readers (`WriteLock` mode).
+    pub(crate) fn get_seqlock(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let h = hash_key(key);
+        loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let lock = self.seg_lock(seg);
+            let v1 = lock.ver.load(Ordering::Acquire);
+            if v1 % 2 == 1 {
+                std::thread::yield_now();
+                continue;
+            }
+            let found = self.find_in_segment(ctx, seg, key, h);
+            let val = found.map(|f| self.read_value_plain_pub(ctx, f));
+            let v2 = lock.ver.load(Ordering::Acquire);
+            if v1 != v2 {
+                ctx.charge_compute(20); // retry penalty
+                continue;
+            }
+            // Validate routing too (split may have moved the segment).
+            if self.dir.lookup(ctx, h).seg() != seg {
+                continue;
+            }
+            return match val {
+                None => false,
+                Some(v) => {
+                    v.append_to(out);
+                    true
+                }
+            };
+        }
+    }
+
+    /// Lookup under the shared read lock (`WriteReadLock` mode).
+    pub(crate) fn get_readlock(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let h = hash_key(key);
+        loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let lock = self.seg_lock(seg);
+            let r = lock.rw.read(ctx, |ctx, _| {
+                if self.dir.lookup(ctx, h).seg() != seg {
+                    return Err(());
+                }
+                Ok(self.find_in_segment(ctx, seg, key, h).map(|f| self.read_value_plain_pub(ctx, f)))
+            });
+            match r {
+                Err(()) => continue,
+                Ok(None) => return false,
+                Ok(Some(v)) => {
+                    v.append_to(out);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Update under the per-segment write lock.
+    pub(crate) fn update_lockmode(
+        &self,
+        ctx: &mut MemCtx,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        let flush_after = match &self.cfg.update_policy {
+            UpdatePolicy::Adaptive(det) => {
+                let hot = det.access(ctx, h);
+                !hot && value.len() > 64
+            }
+            UpdatePolicy::AlwaysFlush => true,
+            UpdatePolicy::NeverFlush => false,
+        };
+        let inline_ok = value.len() == INLINE_VALUE_LEN && key <= crate::slot::MAX_INLINE_KEY;
+        loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let lock = self.seg_lock(seg);
+            enum Out {
+                Retry,
+                NotFound,
+                Done { flush: Option<(PmAddr, u64)>, free: Option<(PmAddr, u64)> },
+            }
+            let r = lock.rw.write(ctx, |ctx, _| {
+                if self.dir.lookup(ctx, h).seg() != seg {
+                    return Out::Retry;
+                }
+                let f = match self.find_in_segment(ctx, seg, key, h) {
+                    None => return Out::NotFound,
+                    Some(f) => f,
+                };
+                lock.ver.fetch_add(1, Ordering::AcqRel);
+                let out = self.locked_apply_update(ctx, seg, f, key, h, value, inline_ok);
+                lock.ver.fetch_add(1, Ordering::AcqRel);
+                match out {
+                    Ok((flush, free)) => Out::Done { flush, free },
+                    Err(_) => Out::Retry,
+                }
+            });
+            match r {
+                Out::Retry => continue,
+                Out::NotFound => return Err(IndexError::NotFound),
+                Out::Done { flush, free } => {
+                    if flush_after {
+                        if let Some((a, l)) = flush {
+                            ctx.flush_range(a, l);
+                        }
+                    }
+                    if let Some((a, s)) = free {
+                        self.alloc.free(ctx, a, s);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Apply an update in place under a held write lock. Returns
+    /// (flush range, blob to free).
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    fn locked_apply_update(
+        &self,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        f: Found,
+        key: u64,
+        h: u64,
+        value: &[u8],
+        inline_ok: bool,
+    ) -> Result<(Option<(PmAddr, u64)>, Option<(PmAddr, u64)>), IndexError> {
+        let mut inline_payload = 0u64;
+        if inline_ok {
+            let mut le = [0u8; 8];
+            le[..INLINE_VALUE_LEN].copy_from_slice(value);
+            inline_payload = u64::from_le_bytes(le);
+        }
+        match SlotKey::unpack(f.kw) {
+            SlotKey::Inline { .. } if inline_ok => {
+                ctx.write_u64(
+                    value_addr(seg, f.idx),
+                    value_word::with_payload(f.vw, inline_payload),
+                );
+                Ok((Some((value_addr(seg, f.idx), 8)), None))
+            }
+            SlotKey::Ptr { addr, .. } if inline_ok => {
+                let old_size = self.blob_alloc_size(16 + value_word::payload(f.vw));
+                ctx.write_u64(key_addr(seg, f.idx), SlotKey::Inline { key, fp: fp14(h) }.pack());
+                ctx.write_u64(
+                    value_addr(seg, f.idx),
+                    value_word::with_payload(f.vw, inline_payload),
+                );
+                Ok((Some((value_addr(seg, f.idx), 8)), Some((addr, old_size))))
+            }
+            SlotKey::Ptr { addr, .. } => {
+                let old_len = value_word::payload(f.vw);
+                let old_size = self.blob_alloc_size(16 + old_len);
+                let new_size = self.blob_alloc_size(16 + value.len() as u64);
+                if old_size == new_size {
+                    ctx.write_bytes(PmAddr(addr.0 + 16), value);
+                    if old_len != value.len() as u64 {
+                        ctx.write_u64(PmAddr(addr.0 + 8), value.len() as u64);
+                        ctx.write_u64(
+                            value_addr(seg, f.idx),
+                            value_word::with_payload(f.vw, value.len() as u64),
+                        );
+                    }
+                    Ok((Some((addr, 16 + value.len() as u64)), None))
+                } else {
+                    let a = self
+                        .alloc
+                        .alloc(ctx, new_size)
+                        .map_err(|_| IndexError::OutOfMemory)?;
+                    ctx.write_u64(a.addr, key);
+                    ctx.write_u64(PmAddr(a.addr.0 + 8), value.len() as u64);
+                    ctx.write_bytes(PmAddr(a.addr.0 + 16), value);
+                    ctx.write_u64(
+                        key_addr(seg, f.idx),
+                        SlotKey::Ptr {
+                            addr: a.addr,
+                            fp: fp14(h),
+                        }
+                        .pack(),
+                    );
+                    ctx.write_u64(
+                        value_addr(seg, f.idx),
+                        value_word::with_payload(f.vw, value.len() as u64),
+                    );
+                    Ok((
+                        Some((a.addr, 16 + value.len() as u64)),
+                        Some((addr, old_size)),
+                    ))
+                }
+            }
+            SlotKey::Inline { .. } => {
+                let a = self
+                    .alloc
+                    .alloc(ctx, self.blob_alloc_size(16 + value.len() as u64))
+                    .map_err(|_| IndexError::OutOfMemory)?;
+                ctx.write_u64(a.addr, key);
+                ctx.write_u64(PmAddr(a.addr.0 + 8), value.len() as u64);
+                ctx.write_bytes(PmAddr(a.addr.0 + 16), value);
+                ctx.write_u64(
+                    key_addr(seg, f.idx),
+                    SlotKey::Ptr {
+                        addr: a.addr,
+                        fp: fp14(h),
+                    }
+                    .pack(),
+                );
+                ctx.write_u64(
+                    value_addr(seg, f.idx),
+                    value_word::with_payload(f.vw, value.len() as u64),
+                );
+                Ok((Some((a.addr, 16 + value.len() as u64)), None))
+            }
+            SlotKey::Empty => unreachable!("found slot cannot be empty"),
+        }
+    }
+
+    /// Remove under the per-segment write lock.
+    pub(crate) fn remove_lockmode(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        let h = hash_key(key);
+        loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let lock = self.seg_lock(seg);
+            enum Out {
+                Retry,
+                Miss,
+                Hit(u64, u64),
+            }
+            let r = lock.rw.write(ctx, |ctx, _| {
+                if self.dir.lookup(ctx, h).seg() != seg {
+                    return Out::Retry;
+                }
+                lock.ver.fetch_add(1, Ordering::AcqRel);
+                let out = self.locked_remove(ctx, seg, key, h);
+                lock.ver.fetch_add(1, Ordering::AcqRel);
+                match out {
+                    None => Out::Miss,
+                    Some((kw, vw)) => Out::Hit(kw, vw),
+                }
+            });
+            match r {
+                Out::Retry => continue,
+                Out::Miss => return false,
+                Out::Hit(kw, vw) => {
+                    self.entries.fetch_sub(1, Ordering::Relaxed);
+                    if let SlotKey::Ptr { addr, .. } = SlotKey::unpack(kw) {
+                        let size = self.blob_alloc_size(16 + value_word::payload(vw));
+                        self.alloc.free(ctx, addr, size);
+                    }
+                    return true;
+                }
+            }
+        }
+    }
+}

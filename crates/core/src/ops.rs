@@ -1,0 +1,1114 @@
+//! The Spash index: five-step execution flow (§III-D) under the two-phase
+//! concurrency protocol (§IV-A).
+//!
+//! Every base operation is split into:
+//!
+//! * a **preparation phase** outside any transaction — hash the key, route
+//!   through the volatile directory (step 1), load the main bucket
+//!   (step 2), locate the compound slot (step 3), dereference out-of-place
+//!   blobs (step 4), and for inserts allocate + fill the new blob;
+//! * a **transaction phase** (step 5) — a short HTM transaction that first
+//!   *validates* the preparation snapshot (directory entry unchanged, slot
+//!   unchanged) and then processes the entry. Stale snapshots abort
+//!   explicitly and the operation retries from preparation; after
+//!   `max_tx_retries` conflict aborts the operation falls back to a
+//!   non-transactional lock on the routed directory partition (§IV-A's
+//!   segment lock).
+//!
+//! Adaptive in-place update (§III-B, Table I) and compacted-flush
+//! insertion (§III-C) run in the post-commit step: flushes are issued
+//! *after* the transaction, never inside it (flushes abort real HTM).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spash_alloc::PmAllocator;
+use spash_htm::{Abort, Htm, LineId, Tx};
+use spash_index_api::{hash_key, IndexError};
+use spash_pmem::{MemCtx, PmAddr, PmDevice, VRwLock};
+
+use crate::config::{InsertPolicy, SpashConfig, UpdatePolicy};
+use crate::dir::{Directory, Routed, VALIDATE_SLOT_CHANGED};
+use crate::seginfo::SegInfoTable;
+use crate::slot::{
+    self, bucket_of, bucket_slots, fp14, hint_matches, key_addr, make_hint, probe_order,
+    value_addr, value_word, SlotKey, INLINE_VALUE_LEN, MAX_INLINE_KEY, SLOTS_PER_BUCKET,
+};
+
+/// Explicit-abort code: the key turned out to be present (insert) or
+/// absent (update/delete) when re-checked transactionally.
+pub(crate) const AB_STATE_CHANGED: u32 = VALIDATE_SLOT_CHANGED;
+
+/// Number of lock-table entries for the lock-mode ablations.
+pub(crate) const SEG_LOCK_TABLE: usize = 4096;
+
+pub(crate) struct SegLock {
+    pub rw: VRwLock<()>,
+    /// Seqlock version for WriteLock-mode optimistic readers.
+    pub ver: AtomicU64,
+}
+
+/// The Spash persistent hash index.
+pub struct Spash {
+    pub(crate) dev: Arc<PmDevice>,
+    pub(crate) alloc: Arc<PmAllocator>,
+    pub(crate) htm: Htm,
+    pub(crate) dir: Directory,
+    pub(crate) seginfo: SegInfoTable,
+    pub(crate) cfg: SpashConfig,
+    pub(crate) entries: AtomicU64,
+    pub(crate) n_segments: AtomicU64,
+    pub(crate) seg_locks: Box<[SegLock]>,
+    /// Diagnostic: how many operations took the lock fallback.
+    pub(crate) fallbacks: AtomicU64,
+}
+
+/// A slot located during preparation.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Found {
+    pub idx: u8,
+    pub kw: u64,
+    pub vw: u64,
+}
+
+/// Where an insert will place its entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Placement {
+    /// A free slot in the key's main bucket.
+    Main(u8),
+    /// A free slot in an overflow bucket plus the main-bucket slot whose
+    /// value word will carry the overflow hint.
+    Overflow { idx: u8, hint_slot: u8 },
+    /// No placement possible: the segment must split.
+    Full,
+}
+
+/// An insert payload prepared before the transaction phase.
+pub(crate) enum Payload {
+    Inline(u64),
+    Blob {
+        addr: PmAddr,
+        val_len: u64,
+        alloc_size: u64,
+        flush_chunk: Option<PmAddr>,
+    },
+}
+
+impl Spash {
+    // =====================================================================
+    // construction
+    // =====================================================================
+
+    /// Format the device's arena and build an empty index with
+    /// `2^initial_depth` segments.
+    pub fn format(ctx: &mut MemCtx, cfg: SpashConfig) -> Result<Self, IndexError> {
+        let dev = Arc::clone(ctx.device());
+        // Reserve one 8-byte segment-info record per possible chunk.
+        let reserved = dev.arena().size() / 32;
+        let alloc = Arc::new(PmAllocator::format(ctx, reserved));
+        let l = *alloc.layout();
+        let (res_base, res_len) = alloc.reserved();
+        let seginfo = SegInfoTable::new(res_base, res_len, l.heap_start, l.n_chunks);
+
+        let n = 1usize << cfg.initial_depth;
+        let mut segs = Vec::with_capacity(n);
+        for prefix in 0..n {
+            let seg = alloc
+                .alloc_segment(ctx)
+                .map_err(|_| IndexError::OutOfMemory)?;
+            // Fresh arena is zeroed; recycled chunks are not: clear.
+            for w in 0..32 {
+                ctx.write_u64(PmAddr(seg.0 + w * 8), 0);
+            }
+            seginfo.set(ctx, seg, cfg.initial_depth as u8, prefix as u64);
+            segs.push(seg);
+        }
+        let dir = Directory::new(cfg.initial_depth, &segs);
+        let htm = Htm::new(cfg.htm.clone());
+        let lock_ns = dev.config().cost.lock_ns;
+        Ok(Self {
+            dev,
+            alloc,
+            htm,
+            dir,
+            seginfo,
+            entries: AtomicU64::new(0),
+            n_segments: AtomicU64::new(n as u64),
+            seg_locks: (0..SEG_LOCK_TABLE)
+                .map(|_| SegLock {
+                    rw: VRwLock::new((), lock_ns),
+                    ver: AtomicU64::new(0),
+                })
+                .collect(),
+            fallbacks: AtomicU64::new(0),
+            cfg,
+        })
+    }
+
+    /// Shared handles used internally and by diagnostics.
+    pub fn device(&self) -> &Arc<PmDevice> {
+        &self.dev
+    }
+
+    /// The allocator (examples may co-allocate their own blobs).
+    pub fn allocator(&self) -> &Arc<PmAllocator> {
+        &self.alloc
+    }
+
+    /// HTM commit/abort statistics.
+    pub fn htm_stats(&self) -> spash_htm::HtmStats {
+        self.htm.stats()
+    }
+
+    /// Operations that took the lock fallback path.
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Stages completed collaboratively by non-doubling threads (§IV-B).
+    pub fn dir_assist_count(&self) -> u64 {
+        self.dir.assist_count.load(Ordering::Relaxed)
+    }
+
+    /// Times an operation blocked behind the doubling thread (only in the
+    /// blocking-doubling ablation).
+    pub fn dir_await_count(&self) -> u64 {
+        self.dir.await_count.load(Ordering::Relaxed)
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> u64 {
+        self.entries.load(Ordering::Relaxed)
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocated slot capacity (for the load factor, Fig 9).
+    pub fn capacity(&self) -> u64 {
+        self.n_segments.load(Ordering::Relaxed) * slot::SLOTS_PER_SEG as u64
+    }
+
+    /// Diagnostic: where does `key` actually live? Scans every segment
+    /// reachable from the directory plus the routed entry.
+    pub fn debug_dump_key(&self, ctx: &mut MemCtx, key: u64) {
+        use crate::slot::{key_addr, SlotKey, SLOTS_PER_SEG};
+        let h = hash_key(key);
+        let routed = self.dir.lookup(ctx, h);
+        eprintln!(
+            "  routed: seg={:#x} depth={} idx={} gen={}",
+            routed.seg().0,
+            routed.local_depth(),
+            routed.idx,
+            routed.dir.gen
+        );
+        // Scan every distinct segment in the directory.
+        let mut seen = std::collections::HashSet::new();
+        let (dir, _) = self.dir.write_target();
+        for i in 0..dir.entries.len() {
+            let (seg, d) = crate::dir::unpack_entry(
+                dir.entries[i].load(std::sync::atomic::Ordering::Acquire),
+            );
+            if !seen.insert(seg) {
+                continue;
+            }
+            for idx in 0..SLOTS_PER_SEG {
+                let kw = ctx.read_u64(key_addr(seg, idx));
+                let hit = match SlotKey::unpack(kw) {
+                    SlotKey::Inline { key: k, .. } => k == key,
+                    SlotKey::Ptr { addr, .. } => ctx.read_u64(addr) == key,
+                    SlotKey::Empty => false,
+                };
+                if hit {
+                    eprintln!(
+                        "  FOUND in seg={:#x} (dir idx {i}, depth {d}) slot {idx};                          key prefix route idx should be {}",
+                        seg.0,
+                        dir.index_of(h)
+                    );
+                }
+            }
+        }
+        eprintln!("  (scan complete over {} distinct segments)", seen.len());
+    }
+
+    pub(crate) fn seg_lock(&self, seg: PmAddr) -> &SegLock {
+        let i = (seg.0 / slot::SEG_SIZE) as usize;
+        &self.seg_locks[i % SEG_LOCK_TABLE]
+    }
+
+    // =====================================================================
+    // preparation-phase helpers (no transactions)
+    // =====================================================================
+
+    /// Read bucket `b` of `seg`: steps 2–3 of the execution flow. One
+    /// cacheline of PM traffic.
+    pub(crate) fn read_bucket(
+        &self,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        b: u8,
+    ) -> [(u64, u64); SLOTS_PER_BUCKET as usize] {
+        let mut out = [(0u64, 0u64); SLOTS_PER_BUCKET as usize];
+        for (i, s) in bucket_slots(b).enumerate() {
+            out[i] = (
+                ctx.read_u64(key_addr(seg, s)),
+                ctx.read_u64(value_addr(seg, s)),
+            );
+        }
+        out
+    }
+
+    /// Does the key word match `key`? Dereferences the blob for pointer
+    /// entries whose fingerprint matches (step 4).
+    pub(crate) fn key_word_matches(&self, ctx: &mut MemCtx, kw: u64, key: u64, h: u64) -> bool {
+        match SlotKey::unpack(kw) {
+            SlotKey::Empty => false,
+            SlotKey::Inline { key: k, .. } => k == key && key <= MAX_INLINE_KEY,
+            SlotKey::Ptr { addr, fp } => fp == fp14(h) && ctx.read_u64(addr) == key,
+        }
+    }
+
+    /// Locate `key` in `seg` (preparation). Checks the main bucket first,
+    /// then follows overflow hints (§III-A); never probes blindly.
+    pub(crate) fn find_in_segment(
+        &self,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        key: u64,
+        h: u64,
+    ) -> Option<Found> {
+        let b = bucket_of(h);
+        let words = self.read_bucket(ctx, seg, b);
+        for (i, &(kw, vw)) in words.iter().enumerate() {
+            if self.key_word_matches(ctx, kw, key, h) {
+                return Some(Found {
+                    idx: b * SLOTS_PER_BUCKET + i as u8,
+                    kw,
+                    vw,
+                });
+            }
+        }
+        // Overflow hints: the value words of the main bucket carry
+        // [fp12|slot] hints for entries that circular probing pushed into
+        // other buckets of the segment (same XPLine: cheap to chase).
+        for &(_, vw) in &words {
+            if let Some(tidx) = hint_matches(value_word::hint(vw), h) {
+                if tidx / SLOTS_PER_BUCKET == b {
+                    continue; // hints never point into the main bucket
+                }
+                let kw = ctx.read_u64(key_addr(seg, tidx));
+                if self.key_word_matches(ctx, kw, key, h) {
+                    let vw = ctx.read_u64(value_addr(seg, tidx));
+                    return Some(Found { idx: tidx, kw, vw });
+                }
+            }
+        }
+        None
+    }
+
+    /// Find a free slot for an insert (preparation).
+    pub(crate) fn find_placement(&self, ctx: &mut MemCtx, seg: PmAddr, h: u64) -> Placement {
+        let b = bucket_of(h);
+        let words = self.read_bucket(ctx, seg, b);
+        for (i, &(kw, _)) in words.iter().enumerate() {
+            if SlotKey::unpack(kw).is_empty() {
+                return Placement::Main(b * SLOTS_PER_BUCKET + i as u8);
+            }
+        }
+        // Main bucket full: we need both a free overflow slot and a free
+        // hint slot in the main bucket (every overflow entry must be
+        // findable through a hint).
+        let hint_slot = match words
+            .iter()
+            .position(|&(_, vw)| value_word::hint(vw) == 0)
+        {
+            Some(i) => b * SLOTS_PER_BUCKET + i as u8,
+            None => return Placement::Full,
+        };
+        for &ob in &probe_order(b)[1..] {
+            for s in bucket_slots(ob) {
+                let kw = ctx.read_u64(key_addr(seg, s));
+                if SlotKey::unpack(kw).is_empty() {
+                    return Placement::Overflow { idx: s, hint_slot };
+                }
+            }
+        }
+        Placement::Full
+    }
+
+    /// Build the insert payload: inline when possible, otherwise an
+    /// out-of-place blob `[key][len][value]` written (write-nf) before the
+    /// transaction — it is unreachable until the slot is linked, and under
+    /// eADR everything visible is durable.
+    pub(crate) fn make_payload(
+        &self,
+        ctx: &mut MemCtx,
+        key: u64,
+        value: &[u8],
+    ) -> Result<Payload, IndexError> {
+        if value.len() == INLINE_VALUE_LEN && key <= MAX_INLINE_KEY {
+            let mut le = [0u8; 8];
+            le[..INLINE_VALUE_LEN].copy_from_slice(value);
+            return Ok(Payload::Inline(u64::from_le_bytes(le)));
+        }
+        let blob_len = 16 + value.len() as u64;
+        let alloc_size = match self.cfg.insert_policy {
+            // Scattered: defeat compaction by placing every small blob in
+            // its own XPLine (conventional out-of-place insertion).
+            InsertPolicy::Scattered if blob_len <= 128 => 256,
+            _ => blob_len,
+        };
+        let a = self
+            .alloc
+            .alloc(ctx, alloc_size)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        ctx.write_u64(a.addr, key);
+        ctx.write_u64(PmAddr(a.addr.0 + 8), value.len() as u64);
+        ctx.write_bytes(PmAddr(a.addr.0 + 16), value);
+        Ok(Payload::Blob {
+            addr: a.addr,
+            val_len: value.len() as u64,
+            alloc_size,
+            flush_chunk: a.exhausted_chunk,
+        })
+    }
+
+    pub(crate) fn free_payload(&self, ctx: &mut MemCtx, p: &Payload) {
+        if let Payload::Blob {
+            addr, alloc_size, ..
+        } = p
+        {
+            self.alloc.free(ctx, *addr, *alloc_size);
+        }
+    }
+
+    // =====================================================================
+    // transaction-phase helpers
+    // =====================================================================
+
+    /// Run `body` as the transaction phase with conflict-retry and lock
+    /// fallback. `prep` re-runs the preparation phase; `body` gets the
+    /// fresh preparation result. Returns `body`'s output.
+    ///
+    /// This is the §IV-A protocol: explicit (validation) aborts restart
+    /// preparation immediately; conflict aborts retry up to
+    /// `max_tx_retries` times and then take the directory-partition lock.
+    pub(crate) fn run_two_phase<P, R>(
+        &self,
+        ctx: &mut MemCtx,
+        mut prep: impl FnMut(&Spash, &mut MemCtx) -> P,
+        mut body: impl FnMut(&Spash, &mut Tx<'_>, &mut MemCtx, &P) -> Result<R, Abort>,
+        mut locked_body: impl FnMut(&Spash, &mut MemCtx, &P) -> R,
+        lock_ids_of: impl Fn(&P) -> Vec<LineId>,
+    ) -> R {
+        let mut conflicts = 0;
+        loop {
+            let p = prep(self, ctx);
+            match self.htm.try_transaction(ctx, |tx, ctx| body(self, tx, ctx, &p)) {
+                Ok(r) => return r,
+                Err(Abort::Explicit(_)) => continue,
+                Err(a @ (Abort::Conflict(_) | Abort::Capacity)) => {
+                    conflicts += 1;
+                    if conflicts <= self.cfg.max_tx_retries {
+                        // Wait for the conflicting owner in REAL time (no
+                        // virtual charge beyond the abort penalty): the
+                        // owner may be preempted on a host with fewer
+                        // cores than simulated threads.
+                        if let Abort::Conflict(slot) = a {
+                            self.htm.wait_slot(slot);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                        continue;
+                    }
+                    // Fallback: lock every directory partition covering
+                    // the routed segment (ascending order, deadlock-free),
+                    // which excludes every transaction that could touch
+                    // the segment — they all read-guard one of these ids.
+                    self.fallbacks.fetch_add(1, Ordering::Relaxed);
+                    let ids = lock_ids_of(&p);
+                    for &id in &ids {
+                        self.htm.nontx_lock(ctx, id);
+                    }
+                    // Re-verify the routing is still the one we locked.
+                    let p2 = prep(self, ctx);
+                    if lock_ids_of(&p2) != ids {
+                        for &id in ids.iter().rev() {
+                            self.htm.nontx_unlock(ctx, id);
+                        }
+                        conflicts = 0;
+                        continue;
+                    }
+                    let r = locked_body(self, ctx, &p2);
+                    for &id in ids.iter().rev() {
+                        self.htm.nontx_unlock(ctx, id);
+                    }
+                    return r;
+                }
+            }
+        }
+    }
+
+    // =====================================================================
+    // base operations (HTM mode; lock modes live in lockmode.rs)
+    // =====================================================================
+
+    pub(crate) fn insert_htm(
+        &self,
+        ctx: &mut MemCtx,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        let payload = self.make_payload(ctx, key, value)?;
+        let (kw_new, vw_payload) = match payload {
+            Payload::Inline(v) => (
+                SlotKey::Inline { key, fp: fp14(h) }.pack(),
+                v,
+            ),
+            Payload::Blob { addr, val_len, .. } => (
+                SlotKey::Ptr { addr, fp: fp14(h) }.pack(),
+                val_len,
+            ),
+        };
+
+        struct Prep {
+            routed: Routed,
+            dup: bool,
+            placement: Placement,
+        }
+
+        let out: Result<bool, IndexError> = {
+            let mut split_err: Option<IndexError> = None;
+            loop {
+                if let Some(e) = split_err {
+                    break Err(e);
+                }
+                let r = self.run_two_phase(
+                    ctx,
+                    |s, ctx| {
+                        let routed = s.dir.lookup(ctx, h);
+                        let seg = routed.seg();
+                        let dup = s.find_in_segment(ctx, seg, key, h).is_some();
+                        let placement = if dup {
+                            Placement::Full // unused
+                        } else {
+                            s.find_placement(ctx, seg, h)
+                        };
+                        Prep {
+                            routed,
+                            dup,
+                            placement,
+                        }
+                    },
+                    |s, tx, ctx, p| {
+                        let seg = p.routed.seg();
+                        s.dir.tx_validate(tx, ctx, h, seg)?;
+                        // Re-check duplicates under the main-bucket guard:
+                        // every insert of this key must touch this line.
+                        if s.tx_find(tx, ctx, seg, key, h)?.is_some() {
+                            return Ok(Some(false)); // duplicate
+                        }
+                        if p.dup {
+                            // Prep saw it but it is gone now: retry prep to
+                            // pick a placement.
+                            return tx.abort(AB_STATE_CHANGED);
+                        }
+                        match p.placement {
+                            Placement::Full => Ok(None), // split needed
+                            Placement::Main(idx) => {
+                                let vw = tx.read_u64(ctx, value_addr(seg, idx))?;
+                                let kw = tx.read_u64(ctx, key_addr(seg, idx))?;
+                                if !SlotKey::unpack(kw).is_empty() {
+                                    return tx.abort(AB_STATE_CHANGED);
+                                }
+                                tx.write_u64(
+                                    ctx,
+                                    value_addr(seg, idx),
+                                    value_word::with_payload(vw, vw_payload),
+                                )?;
+                                tx.write_u64(ctx, key_addr(seg, idx), kw_new)?;
+                                Ok(Some(true))
+                            }
+                            Placement::Overflow { idx, hint_slot } => {
+                                let kw = tx.read_u64(ctx, key_addr(seg, idx))?;
+                                if !SlotKey::unpack(kw).is_empty() {
+                                    return tx.abort(AB_STATE_CHANGED);
+                                }
+                                let hvw = tx.read_u64(ctx, value_addr(seg, hint_slot))?;
+                                if value_word::hint(hvw) != 0 {
+                                    return tx.abort(AB_STATE_CHANGED);
+                                }
+                                let vw = tx.read_u64(ctx, value_addr(seg, idx))?;
+                                tx.write_u64(
+                                    ctx,
+                                    value_addr(seg, idx),
+                                    value_word::with_payload(vw, vw_payload),
+                                )?;
+                                tx.write_u64(ctx, key_addr(seg, idx), kw_new)?;
+                                tx.write_u64(
+                                    ctx,
+                                    value_addr(seg, hint_slot),
+                                    value_word::with_hint(hvw, make_hint(h, idx)),
+                                )?;
+                                Ok(Some(true))
+                            }
+                        }
+                    },
+                    |s, ctx, p| s.locked_insert(ctx, p.routed.seg(), key, h, kw_new, vw_payload),
+                    |p| p.routed.fallback_lock_ids(),
+                );
+                match r {
+                    Some(ok) => break Ok(ok),
+                    None => {
+                        // Segment full: split and retry.
+                        if let Err(e) = self.split(ctx, h) {
+                            split_err = Some(e);
+                        }
+                    }
+                }
+            }
+        };
+
+        match out {
+            Ok(true) => {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+                // Compacted-flush: the chunk this blob filled is flushed
+                // asynchronously, in XPLine granularity (§III-C).
+                if let Payload::Blob {
+                    flush_chunk: Some(c),
+                    ..
+                } = payload
+                {
+                    if self.cfg.insert_policy == InsertPolicy::CompactedFlush {
+                        ctx.flush_range(c, spash_alloc::CHUNK);
+                    }
+                }
+                Ok(())
+            }
+            Ok(false) => {
+                self.free_payload(ctx, &payload);
+                Err(IndexError::DuplicateKey)
+            }
+            Err(e) => {
+                self.free_payload(ctx, &payload);
+                Err(e)
+            }
+        }
+    }
+
+    /// Transactional find: main bucket plus hint chasing, with read guards
+    /// on every line consulted.
+    pub(crate) fn tx_find(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        key: u64,
+        h: u64,
+    ) -> Result<Option<Found>, Abort> {
+        let b = bucket_of(h);
+        let mut words = [(0u64, 0u64); SLOTS_PER_BUCKET as usize];
+        for (i, s) in bucket_slots(b).enumerate() {
+            words[i] = (
+                tx.read_u64(ctx, key_addr(seg, s))?,
+                tx.read_u64(ctx, value_addr(seg, s))?,
+            );
+        }
+        for (i, &(kw, vw)) in words.iter().enumerate() {
+            if self.tx_key_matches(tx, ctx, kw, key, h)? {
+                return Ok(Some(Found {
+                    idx: b * SLOTS_PER_BUCKET + i as u8,
+                    kw,
+                    vw,
+                }));
+            }
+        }
+        for &(_, vw) in &words {
+            if let Some(tidx) = hint_matches(value_word::hint(vw), h) {
+                if tidx / SLOTS_PER_BUCKET == b {
+                    continue;
+                }
+                let kw = tx.read_u64(ctx, key_addr(seg, tidx))?;
+                if self.tx_key_matches(tx, ctx, kw, key, h)? {
+                    let vw = tx.read_u64(ctx, value_addr(seg, tidx))?;
+                    return Ok(Some(Found { idx: tidx, kw, vw }));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn tx_key_matches(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        kw: u64,
+        key: u64,
+        h: u64,
+    ) -> Result<bool, Abort> {
+        Ok(match SlotKey::unpack(kw) {
+            SlotKey::Empty => false,
+            SlotKey::Inline { key: k, .. } => k == key && key <= MAX_INLINE_KEY,
+            SlotKey::Ptr { addr, fp } => fp == fp14(h) && tx.read_u64(ctx, addr)? == key,
+        })
+    }
+
+    pub(crate) fn get_htm(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let h = hash_key(key);
+        let r: Option<GetResult> = self.run_two_phase(
+            ctx,
+            |s, ctx| s.dir.lookup(ctx, h),
+            |s, tx, ctx, routed| {
+                let seg = routed.seg();
+                s.dir.tx_validate(tx, ctx, h, seg)?;
+                match s.tx_find(tx, ctx, seg, key, h)? {
+                    None => Ok(None),
+                    Some(f) => Ok(Some(s.tx_read_value(tx, ctx, f)?)),
+                }
+            },
+            |s, ctx, routed| {
+                let seg = routed.seg();
+                s.find_in_segment(ctx, seg, key, h)
+                    .map(|f| s.read_value_plain(ctx, f))
+            },
+            |routed| routed.fallback_lock_ids(),
+        );
+        match r {
+            None => false,
+            Some(v) => {
+                v.append_to(out);
+                true
+            }
+        }
+    }
+
+    fn tx_read_value(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        f: Found,
+    ) -> Result<GetResult, Abort> {
+        match SlotKey::unpack(f.kw) {
+            SlotKey::Inline { .. } => Ok(GetResult::Inline(value_word::payload(f.vw))),
+            SlotKey::Ptr { addr, .. } => {
+                let len = value_word::payload(f.vw) as usize;
+                let mut buf = vec![0u8; len];
+                // Guard every blob line, then bulk-copy.
+                let first = addr.0 + 16;
+                if len > 0 {
+                    for line in first / 64..=(first + len as u64 - 1) / 64 {
+                        tx.read_guard(LineId(line))?;
+                    }
+                }
+                ctx.read_bytes(PmAddr(first), &mut buf);
+                Ok(GetResult::Bytes(buf))
+            }
+            SlotKey::Empty => unreachable!("found slot cannot be empty"),
+        }
+    }
+
+    pub(crate) fn read_value_plain_pub(&self, ctx: &mut MemCtx, f: Found) -> GetResult {
+        self.read_value_plain(ctx, f)
+    }
+
+    fn read_value_plain(&self, ctx: &mut MemCtx, f: Found) -> GetResult {
+        match SlotKey::unpack(f.kw) {
+            SlotKey::Inline { .. } => GetResult::Inline(value_word::payload(f.vw)),
+            SlotKey::Ptr { addr, .. } => {
+                let len = value_word::payload(f.vw) as usize;
+                let mut buf = vec![0u8; len];
+                ctx.read_bytes(PmAddr(addr.0 + 16), &mut buf);
+                GetResult::Bytes(buf)
+            }
+            SlotKey::Empty => unreachable!(),
+        }
+    }
+
+    pub(crate) fn remove_htm(&self, ctx: &mut MemCtx, key: u64) -> bool {
+        let h = hash_key(key);
+        let removed: Option<(u64, u64)> = self.run_two_phase(
+            ctx,
+            |s, ctx| s.dir.lookup(ctx, h),
+            |s, tx, ctx, routed| {
+                let seg = routed.seg();
+                s.dir.tx_validate(tx, ctx, h, seg)?;
+                let f = match s.tx_find(tx, ctx, seg, key, h)? {
+                    None => return Ok(None),
+                    Some(f) => f,
+                };
+                // Clear the key word; the payload bits can stay (slot
+                // emptiness is defined by the key word alone), but the
+                // bucket-owned hint bits of this slot's value word must be
+                // preserved.
+                tx.write_u64(ctx, key_addr(seg, f.idx), 0)?;
+                // If the entry lived in an overflow bucket, drop its hint
+                // from the main bucket.
+                let b = bucket_of(h);
+                if f.idx / SLOTS_PER_BUCKET != b {
+                    let target_hint = make_hint(h, f.idx);
+                    for s_i in bucket_slots(b) {
+                        let vw = tx.read_u64(ctx, value_addr(seg, s_i))?;
+                        if value_word::hint(vw) == target_hint {
+                            tx.write_u64(
+                                ctx,
+                                value_addr(seg, s_i),
+                                value_word::with_hint(vw, 0),
+                            )?;
+                            break;
+                        }
+                    }
+                }
+                Ok(Some((f.kw, f.vw)))
+            },
+            |s, ctx, routed| s.locked_remove(ctx, routed.seg(), key, h),
+            |routed| routed.fallback_lock_ids(),
+        );
+        match removed {
+            None => false,
+            Some((kw, vw)) => {
+                self.entries.fetch_sub(1, Ordering::Relaxed);
+                if let SlotKey::Ptr { addr, .. } = SlotKey::unpack(kw) {
+                    let len = value_word::payload(vw);
+                    let alloc_size = self.blob_alloc_size(16 + len);
+                    self.alloc.free(ctx, addr, alloc_size);
+                }
+                true
+            }
+        }
+    }
+
+    pub(crate) fn blob_alloc_size(&self, blob_len: u64) -> u64 {
+        match self.cfg.insert_policy {
+            InsertPolicy::Scattered if blob_len <= 128 => 256,
+            _ => blob_len,
+        }
+    }
+
+    pub(crate) fn update_htm(
+        &self,
+        ctx: &mut MemCtx,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), IndexError> {
+        let h = hash_key(key);
+        // Adaptive policy decision (Table I): hot → no flush; cold ≤64 B →
+        // no flush; cold >64 B → async flush after commit.
+        let flush_after = match &self.cfg.update_policy {
+            UpdatePolicy::Adaptive(det) => {
+                let hot = det.access(ctx, h);
+                !hot && value.len() > 64
+            }
+            UpdatePolicy::AlwaysFlush => true,
+            UpdatePolicy::NeverFlush => false,
+        };
+
+        // Outcome of one attempt: what was written, for the flush step.
+        enum Done {
+            NotFound,
+            Inline(PmAddr),
+            InPlaceBlob(PmAddr, u64),
+            Replaced {
+                new: (PmAddr, u64),
+                old: (PmAddr, u64),
+            },
+            MadeInline {
+                slot: PmAddr,
+                old: (PmAddr, u64),
+            },
+        }
+
+        let inline_ok = value.len() == INLINE_VALUE_LEN && key <= MAX_INLINE_KEY;
+        let mut inline_payload = 0u64;
+        if inline_ok {
+            let mut le = [0u8; 8];
+            le[..INLINE_VALUE_LEN].copy_from_slice(value);
+            inline_payload = u64::from_le_bytes(le);
+        }
+
+        // A replacement blob is (re)allocated lazily, at most once, and
+        // reused across retries.
+        let mut spare: Option<(PmAddr, u64)> = None;
+
+        let result = loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let found = self.find_in_segment(ctx, seg, key, h);
+            let plan: Option<UpdatePlan> = match found {
+                None => None,
+                Some(f) => Some(self.plan_update(ctx, f, key, value, inline_ok, &mut spare)?),
+            };
+
+            let attempt = self.htm.try_transaction(ctx, |tx, ctx| {
+                self.dir.tx_validate(tx, ctx, h, seg)?;
+                let f = match self.tx_find(tx, ctx, seg, key, h)? {
+                    None => return Ok(Done::NotFound),
+                    Some(f) => f,
+                };
+                let plan = match &plan {
+                    // Prep missed but it exists now, or the slot moved:
+                    // restart preparation.
+                    None => return tx.abort(AB_STATE_CHANGED),
+                    Some(p) => p,
+                };
+                if f.idx != plan.idx || f.kw != plan.kw {
+                    return tx.abort(AB_STATE_CHANGED);
+                }
+                match plan.kind {
+                    UpdateKind::Inline => {
+                        tx.write_u64(
+                            ctx,
+                            value_addr(seg, f.idx),
+                            value_word::with_payload(f.vw, inline_payload),
+                        )?;
+                        Ok(Done::Inline(value_addr(seg, f.idx)))
+                    }
+                    UpdateKind::MakeInline => {
+                        // Blob → inline: rewrite both words atomically and
+                        // report the blob for freeing.
+                        let old = match SlotKey::unpack(f.kw) {
+                            SlotKey::Ptr { addr, .. } => {
+                                (addr, self.blob_alloc_size(16 + value_word::payload(f.vw)))
+                            }
+                            _ => return tx.abort(AB_STATE_CHANGED),
+                        };
+                        tx.write_u64(
+                            ctx,
+                            key_addr(seg, f.idx),
+                            SlotKey::Inline { key, fp: fp14(h) }.pack(),
+                        )?;
+                        tx.write_u64(
+                            ctx,
+                            value_addr(seg, f.idx),
+                            value_word::with_payload(f.vw, inline_payload),
+                        )?;
+                        Ok(Done::MadeInline {
+                            slot: value_addr(seg, f.idx),
+                            old,
+                        })
+                    }
+                    UpdateKind::InPlaceBlob { addr } => {
+                        // Rewrite the value bytes in place, word by word
+                        // (undo-logged, so the update is atomic).
+                        let mut off = 0usize;
+                        while off < value.len() {
+                            let mut w = [0u8; 8];
+                            let n = (value.len() - off).min(8);
+                            w[..n].copy_from_slice(&value[off..off + n]);
+                            tx.write_u64(
+                                ctx,
+                                PmAddr(addr.0 + 16 + off as u64),
+                                u64::from_le_bytes(w),
+                            )?;
+                            off += 8;
+                        }
+                        if value_word::payload(f.vw) != value.len() as u64 {
+                            tx.write_u64(
+                                ctx,
+                                value_addr(seg, f.idx),
+                                value_word::with_payload(f.vw, value.len() as u64),
+                            )?;
+                        }
+                        Ok(Done::InPlaceBlob(addr, value.len() as u64))
+                    }
+                    UpdateKind::Replace { new_addr, new_size } => {
+                        tx.write_u64(
+                            ctx,
+                            key_addr(seg, f.idx),
+                            SlotKey::Ptr {
+                                addr: new_addr,
+                                fp: fp14(h),
+                            }
+                            .pack(),
+                        )?;
+                        tx.write_u64(
+                            ctx,
+                            value_addr(seg, f.idx),
+                            value_word::with_payload(f.vw, value.len() as u64),
+                        )?;
+                        let old = match SlotKey::unpack(f.kw) {
+                            SlotKey::Ptr { addr, .. } => {
+                                (addr, self.blob_alloc_size(16 + value_word::payload(f.vw)))
+                            }
+                            _ => (PmAddr::NULL, 0),
+                        };
+                        Ok(Done::Replaced {
+                            new: (new_addr, new_size),
+                            old,
+                        })
+                    }
+                }
+            });
+
+            match attempt {
+                Ok(done) => break Ok(done),
+                Err(Abort::Explicit(_)) => continue,
+                Err(Abort::Conflict(slot)) => {
+                    // Really wait for the conflicting owner (see
+                    // run_two_phase); the virtual wait is the abort
+                    // penalty already charged.
+                    self.htm.wait_slot(slot);
+                    continue;
+                }
+                Err(Abort::Capacity) => {
+                    std::thread::yield_now();
+                    continue;
+                }
+            }
+        };
+
+        match result {
+            Err(e) => Err(e),
+            Ok(Done::NotFound) => {
+                if let Some((addr, size)) = spare {
+                    self.alloc.free(ctx, addr, size);
+                }
+                Err(IndexError::NotFound)
+            }
+            Ok(done) => {
+                // Post-commit adaptive flush (§III-B): asynchronous clwb,
+                // no fence — eADR needs none for durability; the flush
+                // exists purely to schedule tidy XPLine writebacks.
+                match done {
+                    Done::Inline(addr) => {
+                        if flush_after {
+                            ctx.flush(addr);
+                        }
+                    }
+                    Done::InPlaceBlob(addr, len) => {
+                        if flush_after {
+                            ctx.flush_range(addr, 16 + len);
+                        }
+                    }
+                    Done::Replaced { new, old } => {
+                        if flush_after {
+                            ctx.flush_range(new.0, 16 + value.len() as u64);
+                        }
+                        if !old.0.is_null() {
+                            self.alloc.free(ctx, old.0, old.1);
+                        }
+                    }
+                    Done::MadeInline { slot, old } => {
+                        if flush_after {
+                            ctx.flush(slot);
+                        }
+                        self.alloc.free(ctx, old.0, old.1);
+                    }
+                    Done::NotFound => unreachable!(),
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn plan_update(
+        &self,
+        ctx: &mut MemCtx,
+        f: Found,
+        key: u64,
+        value: &[u8],
+        inline_ok: bool,
+        spare: &mut Option<(PmAddr, u64)>,
+    ) -> Result<UpdatePlan, IndexError> {
+        let kind = match SlotKey::unpack(f.kw) {
+            SlotKey::Inline { .. } if inline_ok => UpdateKind::Inline,
+            SlotKey::Ptr { addr, .. } if !inline_ok => {
+                let old_len = value_word::payload(f.vw);
+                let old_size = self.blob_alloc_size(16 + old_len);
+                let new_size = self.blob_alloc_size(16 + value.len() as u64);
+                if old_size == new_size {
+                    UpdateKind::InPlaceBlob { addr }
+                } else {
+                    let (new_addr, sz) = self.take_spare(ctx, key, value, spare)?;
+                    UpdateKind::Replace {
+                        new_addr,
+                        new_size: sz,
+                    }
+                }
+            }
+            // Representation change: blob → inline rewrites both words;
+            // inline → blob goes through Replace with no old blob to free.
+            SlotKey::Ptr { .. } => UpdateKind::MakeInline,
+            SlotKey::Inline { .. } => {
+                let (new_addr, sz) = self.take_spare(ctx, key, value, spare)?;
+                UpdateKind::Replace {
+                    new_addr,
+                    new_size: sz,
+                }
+            }
+            SlotKey::Empty => unreachable!("found slot cannot be empty"),
+        };
+        Ok(UpdatePlan {
+            idx: f.idx,
+            kw: f.kw,
+            kind,
+        })
+    }
+
+    fn take_spare(
+        &self,
+        ctx: &mut MemCtx,
+        key: u64,
+        value: &[u8],
+        spare: &mut Option<(PmAddr, u64)>,
+    ) -> Result<(PmAddr, u64), IndexError> {
+        let need = self.blob_alloc_size(16 + value.len() as u64);
+        if let Some((addr, size)) = *spare {
+            if size == need {
+                return Ok((addr, size));
+            }
+            self.alloc.free(ctx, addr, size);
+            *spare = None;
+        }
+        let a = self
+            .alloc
+            .alloc(ctx, need)
+            .map_err(|_| IndexError::OutOfMemory)?;
+        ctx.write_u64(a.addr, key);
+        ctx.write_u64(PmAddr(a.addr.0 + 8), value.len() as u64);
+        ctx.write_bytes(PmAddr(a.addr.0 + 16), value);
+        *spare = Some((a.addr, need));
+        Ok((a.addr, need))
+    }
+}
+
+/// A value extracted by a lookup.
+pub(crate) enum GetResult {
+    Inline(u64),
+    Bytes(Vec<u8>),
+}
+
+impl GetResult {
+    pub(crate) fn append_to(&self, out: &mut Vec<u8>) {
+        match self {
+            GetResult::Inline(v) => out.extend_from_slice(&v.to_le_bytes()[..INLINE_VALUE_LEN]),
+            GetResult::Bytes(b) => out.extend_from_slice(b),
+        }
+    }
+}
+
+struct UpdatePlan {
+    idx: u8,
+    kw: u64,
+    kind: UpdateKind,
+}
+
+enum UpdateKind {
+    Inline,
+    MakeInline,
+    InPlaceBlob { addr: PmAddr },
+    Replace { new_addr: PmAddr, new_size: u64 },
+}
+
+/// A fixed-wrong representation-change guard: updating an inline slot to a
+/// blob value (or vice versa) rewrites both words, so the `Inline` kind
+/// must only be chosen when the new value is inline-eligible.
+#[cfg(test)]
+mod invariants {
+    #[test]
+    fn inline_len_is_six() {
+        assert_eq!(super::INLINE_VALUE_LEN, 6);
+    }
+}

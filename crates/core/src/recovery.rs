@@ -1,0 +1,95 @@
+//! Post-crash recovery.
+//!
+//! Spash's directory is volatile and its segments are metadata-free, so
+//! recovery reconstructs the index from two persistent sources that are
+//! kept transactionally consistent with the data:
+//!
+//! 1. the allocator's chunk headers — which XPLines are live segments;
+//! 2. the segment-info table — each segment's (local depth, prefix),
+//!    written inside the same HTM transaction as every split/merge.
+//!
+//! Rebuild = scan live segments, read their records, allocate a directory
+//! of `max(depth)` and fan each segment out over its `2^(D-d)` entries,
+//! then count live slots for the entries counter. A segment whose chunk
+//! header exists but whose info record is empty was allocated by a split
+//! that never committed — it is unreachable, and recovery returns it to
+//! the allocator (the only kind of leak a crash can produce here).
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use spash_alloc::PmAllocator;
+use spash_htm::Htm;
+use spash_pmem::MemCtx;
+
+use crate::config::SpashConfig;
+use crate::dir::Directory;
+use crate::ops::{SegLock, Spash};
+use crate::seginfo::SegInfoTable;
+use crate::slot::{key_addr, SlotKey, SLOTS_PER_SEG};
+
+impl Spash {
+    /// Rebuild the index from a crashed (or cleanly stopped) device.
+    /// Returns `None` if the arena holds no formatted index.
+    pub fn recover(ctx: &mut MemCtx, cfg: SpashConfig) -> Option<Self> {
+        let dev = Arc::clone(ctx.device());
+        let rec = PmAllocator::recover(ctx)?;
+        let alloc = Arc::new(rec.alloc);
+        let l = *alloc.layout();
+        let (res_base, res_len) = alloc.reserved();
+        let seginfo = SegInfoTable::new(res_base, res_len, l.heap_start, l.n_chunks);
+
+        let mut triples = Vec::with_capacity(rec.segments.len());
+        let mut entries = 0u64;
+        for seg in rec.segments {
+            match seginfo.read(ctx, seg) {
+                Some((depth, prefix)) => {
+                    triples.push((seg, depth, prefix));
+                    for idx in 0..SLOTS_PER_SEG {
+                        if !SlotKey::unpack(ctx.read_u64(key_addr(seg, idx))).is_empty() {
+                            entries += 1;
+                        }
+                    }
+                }
+                None => {
+                    // Allocated by an uncommitted split: reclaim.
+                    alloc.free_segment(ctx, seg);
+                }
+            }
+        }
+        if triples.is_empty() {
+            return None;
+        }
+        // Sanity: prefixes must tile the hash space exactly once.
+        let depth = triples.iter().map(|&(_, d, _)| d as u32).max().unwrap();
+        let mut covered = 0u64;
+        for &(_, d, _) in &triples {
+            covered += 1u64 << (depth - d as u32);
+        }
+        if covered != 1u64 << depth {
+            return None; // corrupt metadata
+        }
+
+        let dir = Directory::rebuild(&triples);
+        let htm = Htm::new(cfg.htm.clone());
+        let lock_ns = dev.config().cost.lock_ns;
+        let n_segments = triples.len() as u64;
+        Some(Self {
+            dev,
+            alloc,
+            htm,
+            dir,
+            seginfo,
+            entries: AtomicU64::new(entries),
+            n_segments: AtomicU64::new(n_segments),
+            seg_locks: (0..crate::ops::SEG_LOCK_TABLE)
+                .map(|_| SegLock {
+                    rw: spash_pmem::VRwLock::new((), lock_ns),
+                    ver: AtomicU64::new(0),
+                })
+                .collect(),
+            fallbacks: AtomicU64::new(0),
+            cfg,
+        })
+    }
+}

@@ -1,0 +1,285 @@
+//! Metadata-free segments and compound key-value slots (paper §III-A).
+//!
+//! A segment is one 256-byte XPLine holding four cacheline-sized buckets of
+//! four 16-byte compound slots each — no header, no bitmap, no lock, no
+//! version. All bookkeeping that other indexes keep in metadata is either
+//! unnecessary (durable linearizability comes from HTM + persistent cache)
+//! or folded into reserved bits of the slots themselves:
+//!
+//! * **key word** `[tag:2][fp14:14][payload:48]` — payload is the inline
+//!   key or a 48-bit pointer to an out-of-place blob; `fp14` is the key
+//!   fingerprint (hash bits 3–16) that filters pointer dereferences.
+//! * **value word** `[hint:16][payload:48]` — payload is the inline value
+//!   or the blob length; the top 16 bits belong to the *bucket*, not the
+//!   slot: they hold an overflow hint `[fp12:12][slot:4]` pointing at an
+//!   entry of this bucket that had to be placed in another bucket of the
+//!   segment (circular probing).
+//!
+//! Out-of-place blobs are `[key: u64][len: u64][value bytes…]`.
+
+use spash_pmem::PmAddr;
+
+/// Segment size in bytes — exactly one XPLine.
+pub const SEG_SIZE: u64 = 256;
+/// Cacheline-sized buckets per segment.
+pub const BUCKETS_PER_SEG: u8 = 4;
+/// Compound slots per bucket.
+pub const SLOTS_PER_BUCKET: u8 = 4;
+/// Total slots per segment.
+pub const SLOTS_PER_SEG: u8 = BUCKETS_PER_SEG * SLOTS_PER_BUCKET;
+/// Slot size in bytes (key word + value word).
+pub const SLOT_SIZE: u64 = 16;
+
+/// Largest key storable inline (the payload field is 48 bits).
+pub const MAX_INLINE_KEY: u64 = (1 << 48) - 1;
+/// Inline values are exactly 6 bytes (48 bits); anything else goes
+/// out-of-place.
+pub const INLINE_VALUE_LEN: usize = 6;
+
+const TAG_SHIFT: u32 = 62;
+const TAG_INLINE: u64 = 1;
+const TAG_PTR: u64 = 2;
+const FP_SHIFT: u32 = 48;
+const FP_MASK: u64 = 0x3fff;
+const PAYLOAD_MASK: u64 = (1 << 48) - 1;
+
+/// The bucket a key hashes to: the lowest 2 bits of the hash (§III-A).
+#[inline]
+pub fn bucket_of(hash: u64) -> u8 {
+    (hash & 0b11) as u8
+}
+
+/// 14-bit key fingerprint: hash bits 3–16 (§III-A "the lowest 3-16 bits").
+#[inline]
+pub fn fp14(hash: u64) -> u16 {
+    ((hash >> 3) & FP_MASK) as u16
+}
+
+/// 12-bit overflow fingerprint: hash bits 3–14, forced non-zero so that a
+/// packed hint can never collide with the "no hint" encoding (0).
+#[inline]
+pub fn fp12(hash: u64) -> u16 {
+    let fp = ((hash >> 3) & 0xfff) as u16;
+    fp.max(1)
+}
+
+/// Decoded key word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotKey {
+    Empty,
+    /// Inline key (≤ 48 bits).
+    Inline { key: u64, fp: u16 },
+    /// Pointer to an out-of-place blob.
+    Ptr { addr: PmAddr, fp: u16 },
+}
+
+impl SlotKey {
+    /// Encode to the raw key word.
+    pub fn pack(self) -> u64 {
+        match self {
+            SlotKey::Empty => 0,
+            SlotKey::Inline { key, fp } => {
+                debug_assert!(key <= MAX_INLINE_KEY);
+                TAG_INLINE << TAG_SHIFT | (fp as u64 & FP_MASK) << FP_SHIFT | key
+            }
+            SlotKey::Ptr { addr, fp } => {
+                debug_assert!(addr.0 <= PAYLOAD_MASK);
+                TAG_PTR << TAG_SHIFT | (fp as u64 & FP_MASK) << FP_SHIFT | addr.0
+            }
+        }
+    }
+
+    /// Decode a raw key word.
+    pub fn unpack(word: u64) -> SlotKey {
+        match word >> TAG_SHIFT {
+            0 => SlotKey::Empty,
+            TAG_INLINE => SlotKey::Inline {
+                key: word & PAYLOAD_MASK,
+                fp: ((word >> FP_SHIFT) & FP_MASK) as u16,
+            },
+            TAG_PTR => SlotKey::Ptr {
+                addr: PmAddr(word & PAYLOAD_MASK),
+                fp: ((word >> FP_SHIFT) & FP_MASK) as u16,
+            },
+            _ => SlotKey::Empty, // reserved tag: treat as empty
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        matches!(self, SlotKey::Empty)
+    }
+}
+
+/// Value-word helpers. The value word is `[hint:16][payload:48]`; the hint
+/// belongs to the bucket, the payload to the slot's own entry.
+pub mod value_word {
+    /// Extract the overflow hint.
+    #[inline]
+    pub fn hint(word: u64) -> u16 {
+        (word >> 48) as u16
+    }
+
+    /// Extract the payload (inline value or blob length).
+    #[inline]
+    pub fn payload(word: u64) -> u64 {
+        word & ((1 << 48) - 1)
+    }
+
+    /// Replace the payload, preserving the hint.
+    #[inline]
+    pub fn with_payload(word: u64, payload: u64) -> u64 {
+        debug_assert!(payload < 1 << 48);
+        (word & !((1 << 48) - 1)) | payload
+    }
+
+    /// Replace the hint, preserving the payload.
+    #[inline]
+    pub fn with_hint(word: u64, hint: u16) -> u64 {
+        (word & ((1 << 48) - 1)) | (hint as u64) << 48
+    }
+}
+
+/// A packed overflow hint: `[fp12:12][slot:4]`, never zero.
+#[inline]
+pub fn make_hint(hash: u64, slot_idx: u8) -> u16 {
+    debug_assert!(slot_idx < SLOTS_PER_SEG);
+    fp12(hash) << 4 | slot_idx as u16
+}
+
+/// If `hint` could refer to a key with hash `hash`, the candidate slot.
+#[inline]
+pub fn hint_matches(hint: u16, hash: u64) -> Option<u8> {
+    if hint != 0 && hint >> 4 == fp12(hash) {
+        Some((hint & 0xf) as u8)
+    } else {
+        None
+    }
+}
+
+/// Byte address of slot `idx`'s key word within segment `seg`.
+#[inline]
+pub fn key_addr(seg: PmAddr, idx: u8) -> PmAddr {
+    debug_assert!(idx < SLOTS_PER_SEG);
+    PmAddr(seg.0 + idx as u64 * SLOT_SIZE)
+}
+
+/// Byte address of slot `idx`'s value word within segment `seg`.
+#[inline]
+pub fn value_addr(seg: PmAddr, idx: u8) -> PmAddr {
+    PmAddr(key_addr(seg, idx).0 + 8)
+}
+
+/// The slot indexes of bucket `b`, in order.
+#[inline]
+pub fn bucket_slots(b: u8) -> core::ops::Range<u8> {
+    let start = b * SLOTS_PER_BUCKET;
+    start..start + SLOTS_PER_BUCKET
+}
+
+/// Buckets probed for a key whose main bucket is `b`, in circular order
+/// (§III-A "starts the probing procedure from its main bucket and proceeds
+/// in a circular order").
+#[inline]
+pub fn probe_order(b: u8) -> [u8; 4] {
+    [b, (b + 1) % 4, (b + 2) % 4, (b + 3) % 4]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_word_roundtrip() {
+        for k in [
+            SlotKey::Empty,
+            SlotKey::Inline { key: 0, fp: 0 },
+            SlotKey::Inline {
+                key: MAX_INLINE_KEY,
+                fp: 0x3fff,
+            },
+            SlotKey::Ptr {
+                addr: PmAddr(0xdead_beef),
+                fp: 0x1234,
+            },
+        ] {
+            assert_eq!(SlotKey::unpack(k.pack()), k);
+        }
+    }
+
+    #[test]
+    fn empty_is_zero_word() {
+        assert_eq!(SlotKey::Empty.pack(), 0);
+        assert!(SlotKey::unpack(0).is_empty());
+    }
+
+    #[test]
+    fn value_word_payload_and_hint_are_independent() {
+        let w = value_word::with_payload(0, 0x1234_5678);
+        let w = value_word::with_hint(w, 0xabcd);
+        assert_eq!(value_word::payload(w), 0x1234_5678);
+        assert_eq!(value_word::hint(w), 0xabcd);
+        let w2 = value_word::with_payload(w, 7);
+        assert_eq!(value_word::hint(w2), 0xabcd, "hint preserved");
+        assert_eq!(value_word::payload(w2), 7);
+        let w3 = value_word::with_hint(w2, 0);
+        assert_eq!(value_word::payload(w3), 7, "payload preserved");
+    }
+
+    #[test]
+    fn hint_is_never_zero() {
+        // A hash whose bits 3..15 are all zero still yields a non-zero fp.
+        let h = 0u64;
+        let hint = make_hint(h, 0);
+        assert_ne!(hint, 0);
+        assert_eq!(hint_matches(hint, h), Some(0));
+    }
+
+    #[test]
+    fn hint_roundtrip_and_mismatch() {
+        let h = 0xdead_beef_cafe_f00d;
+        let hint = make_hint(h, 13);
+        assert_eq!(hint_matches(hint, h), Some(13));
+        // A different hash (different fp12) must not match.
+        let other = 0x1111_2222_3333_4444;
+        assert_ne!(fp12(h), fp12(other));
+        assert_eq!(hint_matches(hint, other), None);
+        assert_eq!(hint_matches(0, h), None, "no-hint never matches");
+    }
+
+    #[test]
+    fn addresses_are_within_the_segment() {
+        let seg = PmAddr(0x1000);
+        assert_eq!(key_addr(seg, 0).0, 0x1000);
+        assert_eq!(value_addr(seg, 0).0, 0x1008);
+        assert_eq!(key_addr(seg, 15).0, 0x10f0);
+        assert_eq!(value_addr(seg, 15).0, 0x10f8);
+    }
+
+    #[test]
+    fn probe_order_is_circular() {
+        assert_eq!(probe_order(0), [0, 1, 2, 3]);
+        assert_eq!(probe_order(2), [2, 3, 0, 1]);
+        assert_eq!(probe_order(3), [3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bucket_slots_cover_the_segment() {
+        let mut seen = [false; 16];
+        for b in 0..BUCKETS_PER_SEG {
+            for s in bucket_slots(b) {
+                assert!(!seen[s as usize]);
+                seen[s as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn fingerprints_use_disjoint_encoding_bits() {
+        let h = u64::MAX;
+        assert_eq!(fp14(h), 0x3fff);
+        assert_eq!(fp12(h), 0xfff);
+        assert_eq!(bucket_of(h), 3);
+    }
+}

@@ -1,0 +1,648 @@
+//! Fine-grained segment split and merge (paper §III-A, Fig 3).
+//!
+//! A split rehashes one 256-byte segment into two (occasionally more, see
+//! below) children one prefix bit deeper, rewrites the parent in place as
+//! the first child, repoints the covering directory entries, and records
+//! the children in the segment-info table — all inside **one** HTM
+//! transaction, so concurrent operations either see the old segment or the
+//! new ones, never a mixture. The footprint is a handful of cachelines:
+//! exactly why fine-grained (XPLine-sized) segments are HTM-compatible
+//! where CCEH's 16 KiB segments are not (§III-A).
+//!
+//! **Recursive planning.** A child may itself be unplaceable (e.g. ≥5
+//! entries of one bucket would need more overflow hints than a bucket can
+//! hold); the planner then splits that child again, producing children of
+//! unequal depth. Plans are computed in DRAM during preparation; the
+//! transaction only writes the final images.
+//!
+//! **Merge** is the reverse: a segment that empties is folded into its
+//! buddy (same parent, same depth) by repointing its directory entries.
+
+use std::sync::atomic::Ordering;
+
+use spash_htm::Abort;
+use spash_index_api::{hash_key, IndexError};
+use spash_pmem::{MemCtx, PmAddr};
+
+use crate::dir::{pack_entry, unpack_entry};
+use crate::ops::{Spash, AB_STATE_CHANGED};
+use crate::slot::{
+    bucket_of, bucket_slots, key_addr, make_hint, probe_order, value_word, SlotKey,
+    SLOTS_PER_SEG,
+};
+
+/// One live entry being rehashed: (key word, value payload, key hash).
+pub(crate) type SplitEntry = (u64, u64, u64);
+
+/// A 256-byte segment image built in DRAM.
+#[derive(Clone)]
+pub(crate) struct SegImage {
+    pub words: [u64; 32],
+}
+
+impl SegImage {
+    pub fn empty() -> Self {
+        Self { words: [0; 32] }
+    }
+
+    fn kw(&self, idx: u8) -> u64 {
+        self.words[idx as usize * 2]
+    }
+
+    fn set_kw(&mut self, idx: u8, w: u64) {
+        self.words[idx as usize * 2] = w;
+    }
+
+    fn vw(&self, idx: u8) -> u64 {
+        self.words[idx as usize * 2 + 1]
+    }
+
+    fn set_vw(&mut self, idx: u8, w: u64) {
+        self.words[idx as usize * 2 + 1] = w;
+    }
+
+    /// Place an entry using the same rules as a live insert: main bucket
+    /// first, else circular probing plus an overflow hint. Returns false
+    /// when the entry cannot be placed (forces a deeper split).
+    pub fn place(&mut self, kw: u64, vw_payload: u64, h: u64) -> bool {
+        let b = bucket_of(h);
+        for s in bucket_slots(b) {
+            if SlotKey::unpack(self.kw(s)).is_empty() {
+                self.set_kw(s, kw);
+                self.set_vw(s, value_word::with_payload(self.vw(s), vw_payload));
+                return true;
+            }
+        }
+        let hint_slot = match bucket_slots(b).find(|&s| value_word::hint(self.vw(s)) == 0) {
+            Some(s) => s,
+            None => return false,
+        };
+        for &ob in &probe_order(b)[1..] {
+            for s in bucket_slots(ob) {
+                if SlotKey::unpack(self.kw(s)).is_empty() {
+                    self.set_kw(s, kw);
+                    self.set_vw(s, value_word::with_payload(self.vw(s), vw_payload));
+                    let hv = self.vw(hint_slot);
+                    self.set_vw(hint_slot, value_word::with_hint(hv, make_hint(h, s)));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of live entries in the image (used by tests/diagnostics).
+    #[allow(dead_code)]
+    pub fn live(&self) -> u32 {
+        (0..SLOTS_PER_SEG)
+            .filter(|&s| !SlotKey::unpack(self.kw(s)).is_empty())
+            .count() as u32
+    }
+}
+
+/// A planned child segment.
+pub(crate) struct ChildPlan {
+    pub depth: u8,
+    pub prefix: u64,
+    pub image: SegImage,
+}
+
+/// How many extra prefix bits a single split may consume before giving up
+/// (astronomically unlikely to be hit with a bijective hash).
+const MAX_EXTRA_DEPTH: u8 = 10;
+
+/// Plan the split of a segment at `depth` covering `prefix`.
+pub(crate) fn plan_split(
+    entries: &[SplitEntry],
+    depth: u8,
+    prefix: u64,
+) -> Result<Vec<ChildPlan>, IndexError> {
+    let mut out = Vec::with_capacity(2);
+    plan_rec(entries, depth, prefix, depth + MAX_EXTRA_DEPTH, &mut out)?;
+    Ok(out)
+}
+
+fn plan_rec(
+    entries: &[SplitEntry],
+    depth: u8,
+    prefix: u64,
+    cap: u8,
+    out: &mut Vec<ChildPlan>,
+) -> Result<(), IndexError> {
+    if depth >= cap || depth >= 56 {
+        return Err(IndexError::OutOfMemory);
+    }
+    let bit = |h: u64| (h >> (63 - depth)) & 1;
+    for side in 0..2u64 {
+        let subset: Vec<SplitEntry> = entries
+            .iter()
+            .copied()
+            .filter(|&(_, _, h)| bit(h) == side)
+            .collect();
+        let child_prefix = prefix << 1 | side;
+        match try_pack(&subset) {
+            Some(image) => out.push(ChildPlan {
+                depth: depth + 1,
+                prefix: child_prefix,
+                image,
+            }),
+            None => plan_rec(&subset, depth + 1, child_prefix, cap, out)?,
+        }
+    }
+    Ok(())
+}
+
+fn try_pack(entries: &[SplitEntry]) -> Option<SegImage> {
+    let mut img = SegImage::empty();
+    for &(kw, vwp, h) in entries {
+        if !img.place(kw, vwp, h) {
+            return None;
+        }
+    }
+    Some(img)
+}
+
+impl Spash {
+    /// Read the 32 words of `seg` once (preparation phase) and parse the
+    /// live entries out of that single snapshot, dereferencing blob keys
+    /// to recompute hashes. The transaction later validates the *same*
+    /// words, so the plan and the validation baseline can never diverge.
+    pub(crate) fn snapshot_segment(
+        &self,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+    ) -> ([u64; 32], Vec<SplitEntry>) {
+        let mut words = [0u64; 32];
+        for (w, word) in words.iter_mut().enumerate() {
+            *word = ctx.read_u64(PmAddr(seg.0 + w as u64 * 8));
+        }
+        let mut out = Vec::with_capacity(SLOTS_PER_SEG as usize);
+        for idx in 0..SLOTS_PER_SEG {
+            let kw = words[idx as usize * 2];
+            let vw = words[idx as usize * 2 + 1];
+            let h = match SlotKey::unpack(kw) {
+                SlotKey::Empty => continue,
+                SlotKey::Inline { key, .. } => hash_key(key),
+                SlotKey::Ptr { addr, .. } => hash_key(ctx.read_u64(addr)),
+            };
+            out.push((kw, value_word::payload(vw), h));
+        }
+        (words, out)
+    }
+
+    /// Parse the live entries of `seg` (used by merge emptiness checks).
+    pub(crate) fn collect_segment(&self, ctx: &mut MemCtx, seg: PmAddr) -> Vec<SplitEntry> {
+        self.snapshot_segment(ctx, seg).1
+    }
+
+    /// Split the segment currently routed for hash `h`.
+    ///
+    /// In the lock-mode ablations every writer synchronizes on the
+    /// per-segment lock, so the split must hold it too while it rewrites
+    /// the parent in place (HTM guards do not exclude plain lock-mode
+    /// writers).
+    pub(crate) fn split(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        if self.cfg.concurrency == crate::ConcurrencyMode::Htm {
+            return self.split_htm(ctx, h);
+        }
+        loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let lock = self.seg_lock(seg);
+            enum Out {
+                Retry,
+                Done(Result<(), IndexError>),
+            }
+            let out = lock.rw.write(ctx, |ctx, _| {
+                if self.dir.lookup(ctx, h).seg() != seg {
+                    return Out::Retry;
+                }
+                lock.ver.fetch_add(1, Ordering::AcqRel);
+                let r = self.split_htm(ctx, h);
+                lock.ver.fetch_add(1, Ordering::AcqRel);
+                Out::Done(r)
+            });
+            match out {
+                Out::Retry => continue,
+                Out::Done(r) => return r,
+            }
+        }
+    }
+
+    /// HTM-protected split path; see `split`. Retries internally on
+    /// conflicts; returns once *a* split happened or the routing changed
+    /// (the caller re-runs its insert either way).
+    fn split_htm(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        loop {
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let d = routed.local_depth();
+
+            // Grow the directory until the split fits. The initiating
+            // thread drives every stage ("doubling thread"); concurrent
+            // splits complete the stages they need collaboratively.
+            let (target, job) = self.dir.write_target();
+            if (d as u32) >= target.depth {
+                let job = self.dir.begin_doubling(ctx);
+                self.dir.drive_doubling(ctx, &self.htm, &job);
+                continue;
+            }
+            // If a doubling is active, make sure the stages covering this
+            // segment's old-directory range are complete so the split can
+            // write the new directory.
+            if let Some(job) = &job {
+                let d_old = job.old.depth;
+                if (d as u32) <= d_old {
+                    let prefix = if d == 0 { 0 } else { h >> (64 - d as u32) };
+                    let first = (prefix << (d_old - d as u32)) as usize;
+                    let last = (((prefix + 1) << (d_old - d as u32)) - 1) as usize;
+                    self.dir.ensure_range_done(
+                        ctx,
+                        &self.htm,
+                        job,
+                        first,
+                        last,
+                        self.cfg.collaborative_doubling,
+                    );
+                }
+            }
+
+            let (entries_snapshot, entries) = self.snapshot_segment(ctx, seg);
+            let prefix = if d == 0 { 0 } else { h >> (64 - d as u32) };
+            let plan = plan_split(&entries, d, prefix)?;
+            let max_child_depth = plan.iter().map(|c| c.depth).max().unwrap_or(d + 1);
+            if (max_child_depth as u32) > self.dir.write_target().0.depth {
+                let job = self.dir.begin_doubling(ctx);
+                self.dir.drive_doubling(ctx, &self.htm, &job);
+                continue;
+            }
+
+            // Child 0 reuses the parent XPLine; the rest are fresh.
+            let mut addrs = vec![seg];
+            for _ in 1..plan.len() {
+                match self.alloc.alloc_segment(ctx) {
+                    Ok(a) => addrs.push(a),
+                    Err(_) => {
+                        for &a in &addrs[1..] {
+                            self.alloc.free_segment(ctx, a);
+                        }
+                        return Err(IndexError::OutOfMemory);
+                    }
+                }
+            }
+
+            let r = self.htm.try_transaction(ctx, |tx, ctx| {
+                let routed2 = self.dir.tx_validate(tx, ctx, h, seg)?;
+                if routed2.local_depth() != d {
+                    return tx.abort(AB_STATE_CHANGED);
+                }
+                let dir_depth = routed2.dir.depth;
+                if (max_child_depth as u32) > dir_depth {
+                    return tx.abort(AB_STATE_CHANGED);
+                }
+                // Validate the snapshot: any concurrent mutation of the
+                // segment must restart the planning.
+                for w in 0..32u64 {
+                    if tx.read_u64(ctx, PmAddr(seg.0 + w * 8))? != entries_snapshot[w as usize] {
+                        return tx.abort(AB_STATE_CHANGED);
+                    }
+                }
+                // Write the child images (parent rewritten in place).
+                for (ci, child) in plan.iter().enumerate() {
+                    let base = addrs[ci];
+                    for w in 0..32u64 {
+                        tx.write_u64(ctx, PmAddr(base.0 + w * 8), child.image.words[w as usize])?;
+                    }
+                    self.seginfo
+                        .tx_set(tx, ctx, base, child.depth, child.prefix)?;
+                }
+                // Repoint the directory entries of each child's range.
+                let mut first_idx = usize::MAX;
+                let mut last_idx = 0usize;
+                for (ci, child) in plan.iter().enumerate() {
+                    let span = 1usize << (dir_depth - child.depth as u32);
+                    let base_idx = (child.prefix as usize) << (dir_depth - child.depth as u32);
+                    for i in 0..span {
+                        let idx = base_idx + i;
+                        let cell = &routed2.dir.entries[idx];
+                        tx.write_volatile_u64(
+                            routed2.dir.line_id(idx),
+                            cell,
+                            pack_entry(addrs[ci], child.depth),
+                        )?;
+                        first_idx = first_idx.min(idx);
+                        last_idx = last_idx.max(idx);
+                    }
+                    ctx.charge_dram(span.div_ceil(8) as u64);
+                }
+                // With the write guards held, make sure every written
+                // partition is still authoritative (a stage copy finishing
+                // just before we took the guards would otherwise strand
+                // these writes in a dead generation).
+                if !self.dir.tx_write_safe(&routed2.dir, first_idx, last_idx) {
+                    return tx.abort(AB_STATE_CHANGED);
+                }
+                Ok(())
+            });
+
+            match r {
+                Ok(()) => {
+                    self.n_segments
+                        .fetch_add(plan.len() as u64 - 1, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(abort) => {
+                    for &a in &addrs[1..] {
+                        self.alloc.free_segment(ctx, a);
+                    }
+                    match abort {
+                        Abort::Explicit(_) => continue, // plan went stale
+                        Abort::Conflict(slot) => {
+                            self.htm.wait_slot(slot);
+                            continue;
+                        }
+                        Abort::Capacity => {
+                            // A very wide directory range; fall back to
+                            // partition locks.
+                            self.split_locked(ctx, h)?;
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Capacity-abort fallback: redo the split under non-transactional
+    /// partition locks (ordered, to avoid deadlock between two fallback
+    /// splits).
+    fn split_locked(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        loop {
+            // No doubling may be active for the simple locked path; drive
+            // any active job to completion first.
+            {
+                let (_, job) = self.dir.write_target();
+                if let Some(job) = &job {
+                    self.dir.drive_doubling(ctx, &self.htm, job);
+                }
+            }
+            let routed = self.dir.lookup(ctx, h);
+            let seg = routed.seg();
+            let d = routed.local_depth();
+            let (target, job) = self.dir.write_target();
+            if job.is_some() {
+                continue;
+            }
+            if (d as u32) >= target.depth {
+                let job = self.dir.begin_doubling(ctx);
+                self.dir.drive_doubling(ctx, &self.htm, &job);
+                continue;
+            }
+            let dir_depth = target.depth;
+            let prefix = if d == 0 { 0 } else { h >> (64 - d as u32) };
+            let first = (prefix << (dir_depth - d as u32)) as usize;
+            let last = (((prefix + 1) << (dir_depth - d as u32)) - 1) as usize;
+            let first_part = first / crate::dir::PARTITION;
+            let last_part = last / crate::dir::PARTITION;
+            let ids: Vec<_> = (first_part..=last_part).map(|p| target.line_id(p * 8)).collect();
+            for &id in &ids {
+                self.htm.nontx_lock(ctx, id);
+            }
+            // Re-verify routing under the locks.
+            let routed2 = self.dir.lookup(ctx, h);
+            let still = routed2.seg() == seg
+                && routed2.local_depth() == d
+                && routed2.dir.gen == target.gen;
+            if !still {
+                for &id in ids.iter().rev() {
+                    self.htm.nontx_unlock(ctx, id);
+                }
+                continue;
+            }
+            let entries = self.collect_segment(ctx, seg);
+            let plan = match plan_split(&entries, d, prefix) {
+                Ok(p) => p,
+                Err(e) => {
+                    for &id in ids.iter().rev() {
+                        self.htm.nontx_unlock(ctx, id);
+                    }
+                    return Err(e);
+                }
+            };
+            let max_child_depth = plan.iter().map(|c| c.depth).max().unwrap_or(d + 1);
+            if (max_child_depth as u32) > dir_depth {
+                for &id in ids.iter().rev() {
+                    self.htm.nontx_unlock(ctx, id);
+                }
+                continue; // need doubling; restart
+            }
+            let mut addrs = vec![seg];
+            let mut oom = false;
+            for _ in 1..plan.len() {
+                match self.alloc.alloc_segment(ctx) {
+                    Ok(a) => addrs.push(a),
+                    Err(_) => {
+                        oom = true;
+                        break;
+                    }
+                }
+            }
+            if oom {
+                for &a in &addrs[1..] {
+                    self.alloc.free_segment(ctx, a);
+                }
+                for &id in ids.iter().rev() {
+                    self.htm.nontx_unlock(ctx, id);
+                }
+                return Err(IndexError::OutOfMemory);
+            }
+            for (ci, child) in plan.iter().enumerate() {
+                let base = addrs[ci];
+                for w in 0..32u64 {
+                    ctx.write_u64(PmAddr(base.0 + w * 8), child.image.words[w as usize]);
+                }
+                self.seginfo.set(ctx, base, child.depth, child.prefix);
+                let span = 1usize << (dir_depth - child.depth as u32);
+                let base_idx = (child.prefix as usize) << (dir_depth - child.depth as u32);
+                for i in 0..span {
+                    target.entries[base_idx + i]
+                        .store(pack_entry(addrs[ci], child.depth), Ordering::Release);
+                }
+                ctx.charge_dram(span.div_ceil(8) as u64);
+            }
+            self.n_segments
+                .fetch_add(plan.len() as u64 - 1, Ordering::Relaxed);
+            for &id in ids.iter().rev() {
+                self.htm.nontx_unlock(ctx, id);
+            }
+            return Ok(());
+        }
+    }
+
+    /// Merge `seg` (just emptied by a delete) into its buddy if both sit
+    /// at the same local depth. Best-effort: any conflict or shape
+    /// mismatch silently skips the merge.
+    pub(crate) fn try_merge(&self, ctx: &mut MemCtx, h: u64) {
+        if !self.cfg.enable_merge {
+            return;
+        }
+        let routed = self.dir.lookup(ctx, h);
+        let seg = routed.seg();
+        let d = routed.local_depth();
+        if (d as u32) == 0 || (d as u32) <= self.cfg.initial_depth {
+            return; // never shrink below the initial table
+        }
+        // During a doubling, skip (merge is an optimization).
+        let (target, job) = self.dir.write_target();
+        if job.is_some() || target.depth < d as u32 {
+            return;
+        }
+        let prefix = h >> (64 - d as u32);
+        let buddy_prefix = prefix ^ 1;
+        let dir_depth = target.depth;
+        let buddy_idx = (buddy_prefix as usize) << (dir_depth - d as u32);
+        let (buddy_seg, buddy_depth) =
+            unpack_entry(target.entries[buddy_idx].load(Ordering::Acquire));
+        if buddy_depth != d || buddy_seg == seg {
+            return;
+        }
+        let parent_prefix = prefix >> 1;
+
+        let _ = self.htm.try_transaction(ctx, |tx, ctx| {
+            let routed2 = self.dir.tx_validate(tx, ctx, h, seg)?;
+            if routed2.local_depth() != d || routed2.dir.gen != target.gen {
+                return tx.abort(AB_STATE_CHANGED);
+            }
+            // The segment must still be empty.
+            for idx in 0..SLOTS_PER_SEG {
+                if tx.read_u64(ctx, key_addr(seg, idx))? != 0 {
+                    return tx.abort(AB_STATE_CHANGED);
+                }
+            }
+            // Buddy must still be at depth d.
+            let bcell = &target.entries[buddy_idx];
+            let bentry = tx.read_volatile_u64(target.line_id(buddy_idx), bcell)?;
+            let (bseg, bd) = unpack_entry(bentry);
+            if bd != d || bseg != buddy_seg {
+                return tx.abort(AB_STATE_CHANGED);
+            }
+            // Repoint the parent's whole range at the buddy, depth d-1.
+            let span = 1usize << (dir_depth - (d as u32 - 1));
+            let base_idx = (parent_prefix as usize) << (dir_depth - (d as u32 - 1));
+            for i in 0..span {
+                let idx = base_idx + i;
+                tx.write_volatile_u64(
+                    target.line_id(idx),
+                    &target.entries[idx],
+                    pack_entry(buddy_seg, d - 1),
+                )?;
+            }
+            if !self.dir.tx_write_safe(&target, base_idx, base_idx + span - 1) {
+                return tx.abort(AB_STATE_CHANGED);
+            }
+            ctx.charge_dram(span.div_ceil(8) as u64);
+            self.seginfo.tx_clear(tx, ctx, seg)?;
+            self.seginfo
+                .tx_set(tx, ctx, buddy_seg, d - 1, parent_prefix)?;
+            Ok(())
+        })
+        .map(|()| {
+            self.alloc.free_segment(ctx, seg);
+            self.n_segments.fetch_sub(1, Ordering::Relaxed);
+            // Directory halving, the reverse of doubling (§IV-B): shrink
+            // the table once no segment needs the deepest prefix bit.
+            while self.dir.try_halve() {}
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inline_entry(key: u64) -> SplitEntry {
+        let h = hash_key(key);
+        (
+            SlotKey::Inline {
+                key,
+                fp: crate::slot::fp14(h),
+            }
+            .pack(),
+            key * 10,
+            h,
+        )
+    }
+
+    #[test]
+    fn image_places_in_main_bucket_first() {
+        let mut img = SegImage::empty();
+        let h = 0u64; // bucket 0
+        assert!(img.place(SlotKey::Inline { key: 1, fp: 0 }.pack(), 7, h));
+        assert!(!SlotKey::unpack(img.kw(0)).is_empty());
+        assert_eq!(value_word::payload(img.vw(0)), 7);
+    }
+
+    #[test]
+    fn image_overflow_sets_hint() {
+        let mut img = SegImage::empty();
+        // Fill bucket 2 (hash & 3 == 2).
+        for k in 0..4 {
+            assert!(img.place(SlotKey::Inline { key: k, fp: 0 }.pack(), k, 0b10));
+        }
+        // Fifth entry overflows into bucket 3 slot 12 with a hint in
+        // bucket 2.
+        assert!(img.place(SlotKey::Inline { key: 99, fp: 0 }.pack(), 99, 0b10));
+        let hints: Vec<u16> = bucket_slots(2).map(|s| value_word::hint(img.vw(s))).collect();
+        assert_eq!(hints.iter().filter(|&&x| x != 0).count(), 1);
+        assert!(!SlotKey::unpack(img.kw(12)).is_empty());
+    }
+
+    #[test]
+    fn image_full_bucket_without_hint_space_fails() {
+        let mut img = SegImage::empty();
+        for k in 0..4 {
+            assert!(img.place(SlotKey::Inline { key: k, fp: 0 }.pack(), k, 0b01));
+        }
+        // 4 overflows exhaust the 4 hint slots...
+        for k in 4..8 {
+            assert!(img.place(SlotKey::Inline { key: k, fp: 0 }.pack(), k, 0b01));
+        }
+        // ...the 9th same-bucket entry cannot be placed.
+        assert!(!img.place(SlotKey::Inline { key: 8, fp: 0 }.pack(), 8, 0b01));
+    }
+
+    #[test]
+    fn plan_split_partitions_by_prefix_bit() {
+        // Keys whose hashes differ in bit `d` must land in different
+        // children.
+        let d = 0u8;
+        let entries: Vec<SplitEntry> = (0..10).map(inline_entry).collect();
+        let plan = plan_split(&entries, d, 0).unwrap();
+        assert!(plan.len() >= 2);
+        let total: u32 = plan.iter().map(|c| c.image.live()).sum();
+        assert_eq!(total, 10, "no entry may be lost");
+        for child in &plan {
+            assert!(child.depth > d);
+            // Every entry in the child matches the child's prefix.
+            for s in 0..SLOTS_PER_SEG {
+                let kw = child.image.kw(s);
+                if let SlotKey::Inline { key, .. } = SlotKey::unpack(kw) {
+                    let h = hash_key(key);
+                    assert_eq!(
+                        h >> (64 - child.depth as u32),
+                        child.prefix,
+                        "entry in wrong child"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_split_handles_empty_segment() {
+        let plan = plan_split(&[], 2, 0).unwrap();
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].image.live() + plan[1].image.live(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Targeted tests of the metadata-free segment machinery: overflow hints,
+//! circular probing, hint-slot exhaustion forcing splits, and hint cleanup
+//! on delete (paper §III-A).
+
+use spash::slot::{bucket_of, SLOTS_PER_BUCKET};
+use spash::{Spash, SpashConfig};
+use spash_index_api::{hash_key, PersistentIndex};
+use spash_pmem::{PmConfig, PmDevice};
+
+fn setup() -> (std::sync::Arc<PmDevice>, Spash, spash_pmem::MemCtx) {
+    let dev = PmDevice::new(PmConfig {
+        arena_size: 64 << 20,
+        ..PmConfig::small_test()
+    });
+    let mut ctx = dev.ctx();
+    let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
+    (dev, idx, ctx)
+}
+
+/// Keys that all land in one directory slot are hard to fabricate with a
+/// strong hash; instead, find keys sharing a *bucket* within whatever
+/// segment they route to by brute force.
+fn keys_sharing_bucket(n: usize) -> Vec<u64> {
+    let mut found = Vec::new();
+    let target_bucket = 2u8;
+    for k in 1..200_000u64 {
+        let h = hash_key(k);
+        // Same top-2 bits (initial segments at depth 2) and same bucket.
+        if h >> 62 == 0b01 && bucket_of(h) == target_bucket {
+            found.push(k);
+            if found.len() == n {
+                break;
+            }
+        }
+    }
+    assert_eq!(found.len(), n, "not enough colliding keys in range");
+    found
+}
+
+#[test]
+fn overflow_entries_are_found_through_hints() {
+    let (_d, idx, mut ctx) = setup();
+    // > 4 keys in one bucket: the extras overflow with hints.
+    let keys = keys_sharing_bucket(7);
+    for (i, &k) in keys.iter().enumerate() {
+        idx.insert_u64(&mut ctx, k, i as u64).unwrap();
+    }
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(idx.get_u64(&mut ctx, k), Some(i as u64), "key {k}");
+    }
+}
+
+#[test]
+fn hint_slot_exhaustion_forces_split_not_loss() {
+    let (_d, idx, mut ctx) = setup();
+    // 4 main-bucket slots + 4 hint slots = at most 8 same-bucket keys per
+    // segment; the 9th must force a split (never a lost insert).
+    let keys = keys_sharing_bucket(12);
+    for &k in &keys {
+        idx.insert_u64(&mut ctx, k, k).unwrap();
+    }
+    for &k in &keys {
+        assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+    }
+    assert_eq!(idx.len(), keys.len() as u64);
+}
+
+#[test]
+fn deleting_overflowed_entry_clears_its_hint() {
+    let (_d, idx, mut ctx) = setup();
+    let keys = keys_sharing_bucket(6);
+    for &k in &keys {
+        idx.insert_u64(&mut ctx, k, k).unwrap();
+    }
+    // Delete the overflowed entries (the ones beyond the 4 main slots),
+    // then re-insert different colliders: hint slots must have been
+    // recycled.
+    for &k in &keys[4..] {
+        assert!(idx.remove(&mut ctx, k));
+    }
+    let more = keys_sharing_bucket(12);
+    let fresh: Vec<u64> = more.iter().copied().filter(|k| !keys.contains(k)).take(4).collect();
+    for &k in &fresh {
+        idx.insert_u64(&mut ctx, k, k + 1).unwrap();
+    }
+    for &k in &keys[..4] {
+        assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "survivor {k}");
+    }
+    for &k in &fresh {
+        assert_eq!(idx.get_u64(&mut ctx, k), Some(k + 1), "fresh {k}");
+    }
+}
+
+#[test]
+fn delete_then_miss_is_authoritative_even_with_other_overflow() {
+    let (_d, idx, mut ctx) = setup();
+    let keys = keys_sharing_bucket(6);
+    for &k in &keys {
+        idx.insert_u64(&mut ctx, k, k).unwrap();
+    }
+    // Delete a MAIN-bucket entry; the overflowed ones must stay reachable
+    // (their hints guarantee it even though the main bucket has a hole).
+    assert!(idx.remove(&mut ctx, keys[0]));
+    assert_eq!(idx.get_u64(&mut ctx, keys[0]), None);
+    for &k in &keys[1..] {
+        assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
+    }
+}
+
+#[test]
+fn large_values_in_overflowed_slots() {
+    let (_d, idx, mut ctx) = setup();
+    let keys = keys_sharing_bucket(7);
+    for (i, &k) in keys.iter().enumerate() {
+        let v = vec![k as u8; 100 + i * 37];
+        idx.insert(&mut ctx, k, &v).unwrap();
+    }
+    let mut out = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        out.clear();
+        assert!(idx.get(&mut ctx, k, &mut out));
+        assert_eq!(out, vec![k as u8; 100 + i * 37]);
+    }
+}
+
+#[test]
+fn split_redistributes_overflowed_buckets() {
+    let (_d, idx, mut ctx) = setup();
+    // Enough same-bucket keys to split the segment repeatedly.
+    let keys = keys_sharing_bucket(30);
+    for &k in &keys {
+        idx.insert_u64(&mut ctx, k, k * 2).unwrap();
+    }
+    // Plus background volume to force broader growth.
+    for k in 500_000..520_000u64 {
+        idx.insert_u64(&mut ctx, k, 1).unwrap();
+    }
+    for &k in &keys {
+        assert_eq!(idx.get_u64(&mut ctx, k), Some(k * 2), "collider {k}");
+    }
+    let slots = SLOTS_PER_BUCKET; // silence unused-import pedantry
+    assert_eq!(slots, 4);
+}

@@ -1,0 +1,140 @@
+//! Platform configuration: arena size, cache geometry, persistence domain.
+
+use crate::cost::CostModel;
+
+/// Which part of the memory hierarchy survives a power failure.
+///
+/// Mirrors the two generations of Optane platforms (paper §II-A): ADR
+/// (Apache Pass) persists only the write pending queues and the media, so
+/// unflushed dirty cachelines are lost; eADR (Barlow Pass) flushes the CPU
+/// cache with reserved energy, so everything visible is durable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PersistenceDomain {
+    /// CPU cache is volatile: dirty, unflushed cachelines are lost on crash.
+    Adr,
+    /// CPU cache is inside the persistence domain (eADR): dirty cachelines
+    /// survive a crash.
+    Eadr,
+}
+
+/// Whether the cache model keeps pre-images of dirty lines so that an
+/// ADR-mode crash can actually revert them.
+///
+/// Keeping pre-images costs a 64-byte copy on every clean-to-dirty
+/// transition; throughput benchmarks run with [`CrashFidelity::Fast`], and
+/// crash-consistency tests run with [`CrashFidelity::Full`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashFidelity {
+    /// No pre-images; `simulate_power_failure` under ADR panics.
+    Fast,
+    /// Capture pre-images; ADR crashes revert unflushed dirty lines.
+    Full,
+}
+
+/// Configuration of the simulated platform.
+#[derive(Clone, Debug)]
+pub struct PmConfig {
+    /// Size of the PM arena in bytes. Rounded up to an XPLine multiple.
+    pub arena_size: u64,
+    /// Total modelled cache capacity in bytes across all shards. Default
+    /// 64 MiB, in the spirit of the testbed's 42 MB LLC plus private L2s.
+    pub cache_capacity: u64,
+    /// Associativity of the modelled cache.
+    pub cache_ways: usize,
+    /// Number of cache shards (each behind its own mutex).
+    pub cache_shards: usize,
+    /// Number of XPLine slots in the write-combining XPBuffer.
+    pub xpbuffer_slots: usize,
+    /// Persistence domain (ADR or eADR).
+    pub domain: PersistenceDomain,
+    /// Pre-image capture mode.
+    pub fidelity: CrashFidelity,
+    /// Latency/bandwidth constants.
+    pub cost: CostModel,
+}
+
+impl Default for PmConfig {
+    fn default() -> Self {
+        Self {
+            arena_size: 1 << 30,
+            cache_capacity: 64 << 20,
+            cache_ways: 8,
+            cache_shards: 64,
+            xpbuffer_slots: 64,
+            domain: PersistenceDomain::Eadr,
+            fidelity: CrashFidelity::Fast,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl PmConfig {
+    /// A small configuration for unit tests: 16 MiB arena, 1 MiB cache.
+    pub fn small_test() -> Self {
+        Self {
+            arena_size: 16 << 20,
+            cache_capacity: 1 << 20,
+            cache_shards: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Test configuration with pre-image capture and a volatile cache,
+    /// for crash-consistency tests.
+    pub fn adr_test() -> Self {
+        Self {
+            domain: PersistenceDomain::Adr,
+            fidelity: CrashFidelity::Full,
+            ..Self::small_test()
+        }
+    }
+
+    /// Test configuration with pre-image capture and a persistent cache.
+    pub fn eadr_test() -> Self {
+        Self {
+            domain: PersistenceDomain::Eadr,
+            fidelity: CrashFidelity::Full,
+            ..Self::small_test()
+        }
+    }
+
+    pub(crate) fn normalized(mut self) -> Self {
+        let xp = crate::XPLINE;
+        self.arena_size = self.arena_size.div_ceil(xp) * xp;
+        assert!(self.arena_size > 0, "arena_size must be non-zero");
+        assert!(self.cache_ways > 0, "cache_ways must be non-zero");
+        assert!(self.cache_shards > 0, "cache_shards must be non-zero");
+        assert!(self.xpbuffer_slots > 0, "xpbuffer_slots must be non-zero");
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_size_rounds_up_to_xpline() {
+        let cfg = PmConfig {
+            arena_size: 1000,
+            ..PmConfig::default()
+        }
+        .normalized();
+        assert_eq!(cfg.arena_size, 1024);
+    }
+
+    #[test]
+    fn default_domain_is_eadr() {
+        assert_eq!(PmConfig::default().domain, PersistenceDomain::Eadr);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena_size")]
+    fn zero_arena_rejected() {
+        let _ = PmConfig {
+            arena_size: 0,
+            ..PmConfig::default()
+        }
+        .normalized();
+    }
+}

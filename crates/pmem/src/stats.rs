@@ -1,0 +1,159 @@
+//! Global access counters — the reproduction's replacement for `ipmctl`
+//! media counters (paper §VI-B, Fig. 8).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by all threads of a [`crate::PmDevice`].
+///
+/// "cacheline" counters track traffic between CPU cache and the DIMM
+/// controller; "xpline" counters track what the 3D-XPoint media actually
+/// services after XPBuffer write combining — the ratio between the two is
+/// the write amplification the paper's Observations 2–4 are about.
+#[derive(Debug, Default)]
+pub struct PmStats {
+    /// Cacheline fetches from PM (read misses).
+    pub cl_reads: AtomicU64,
+    /// Cacheline writebacks/flushes arriving at the DIMM.
+    pub cl_writes: AtomicU64,
+    /// XPLines read from media (after read-buffer coalescing).
+    pub xp_reads: AtomicU64,
+    /// XPLines written to media (after XPBuffer coalescing).
+    pub xp_writes: AtomicU64,
+    /// Cache hits on loads.
+    pub read_hits: AtomicU64,
+    /// Cache hits on stores.
+    pub write_hits: AtomicU64,
+    /// Dirty lines evicted by capacity pressure (as opposed to explicit
+    /// flushes).
+    pub dirty_evictions: AtomicU64,
+    /// Explicit flush instructions that found a dirty line.
+    pub flushes: AtomicU64,
+    /// Non-temporal stores.
+    pub ntstores: AtomicU64,
+    /// DRAM accesses charged through `MemCtx::charge_dram`.
+    pub dram_accesses: AtomicU64,
+    /// Bytes read from PM media.
+    pub media_read_bytes: AtomicU64,
+    /// Bytes written to PM media.
+    pub media_write_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`PmStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub cl_reads: u64,
+    pub cl_writes: u64,
+    pub xp_reads: u64,
+    pub xp_writes: u64,
+    pub read_hits: u64,
+    pub write_hits: u64,
+    pub dirty_evictions: u64,
+    pub flushes: u64,
+    pub ntstores: u64,
+    pub dram_accesses: u64,
+    pub media_read_bytes: u64,
+    pub media_write_bytes: u64,
+}
+
+/// The difference between two snapshots — what one benchmark phase cost.
+pub type StatsDelta = StatsSnapshot;
+
+impl PmStats {
+    /// Capture a snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            cl_reads: self.cl_reads.load(Ordering::Relaxed),
+            cl_writes: self.cl_writes.load(Ordering::Relaxed),
+            xp_reads: self.xp_reads.load(Ordering::Relaxed),
+            xp_writes: self.xp_writes.load(Ordering::Relaxed),
+            read_hits: self.read_hits.load(Ordering::Relaxed),
+            write_hits: self.write_hits.load(Ordering::Relaxed),
+            dirty_evictions: self.dirty_evictions.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            ntstores: self.ntstores.load(Ordering::Relaxed),
+            dram_accesses: self.dram_accesses.load(Ordering::Relaxed),
+            media_read_bytes: self.media_read_bytes.load(Ordering::Relaxed),
+            media_write_bytes: self.media_write_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Counter deltas since `earlier`. Saturating, so a racing counter can
+    /// never panic a benchmark.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsDelta {
+        StatsSnapshot {
+            cl_reads: self.cl_reads.saturating_sub(earlier.cl_reads),
+            cl_writes: self.cl_writes.saturating_sub(earlier.cl_writes),
+            xp_reads: self.xp_reads.saturating_sub(earlier.xp_reads),
+            xp_writes: self.xp_writes.saturating_sub(earlier.xp_writes),
+            read_hits: self.read_hits.saturating_sub(earlier.read_hits),
+            write_hits: self.write_hits.saturating_sub(earlier.write_hits),
+            dirty_evictions: self.dirty_evictions.saturating_sub(earlier.dirty_evictions),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            ntstores: self.ntstores.saturating_sub(earlier.ntstores),
+            dram_accesses: self.dram_accesses.saturating_sub(earlier.dram_accesses),
+            media_read_bytes: self.media_read_bytes.saturating_sub(earlier.media_read_bytes),
+            media_write_bytes: self.media_write_bytes.saturating_sub(earlier.media_write_bytes),
+        }
+    }
+
+    /// The minimum virtual time this much media traffic can take given the
+    /// platform's bandwidth (paper §II-A). Benchmarks report
+    /// `elapsed = max(max per-thread clock, bandwidth_floor_ns)`, which is
+    /// what makes write-heavy workloads bandwidth-bound in the model just
+    /// as they are on real Optane.
+    pub fn bandwidth_floor_ns(&self, cost: &crate::CostModel) -> u64 {
+        let w = self.media_write_bytes as f64 / cost.pm_write_bw * 1e9;
+        let r = self.media_read_bytes as f64 / cost.pm_read_bw * 1e9;
+        let d = (self.dram_accesses * crate::CACHELINE) as f64 / cost.dram_bw * 1e9;
+        w.max(r).max(d) as u64
+    }
+
+    /// Write amplification: media bytes written per cacheline's worth of
+    /// writeback traffic. 1.0 means perfect XPLine coalescing on a
+    /// 256-byte-aligned stream; 4.0 means every 64-byte writeback cost a
+    /// full XPLine.
+    pub fn write_amplification(&self) -> f64 {
+        let logical = self.cl_writes.saturating_add(self.ntstores) * crate::CACHELINE;
+        if logical == 0 {
+            return 0.0;
+        }
+        self.media_write_bytes as f64 / logical as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let s = PmStats::default();
+        s.cl_reads.store(10, Ordering::Relaxed);
+        let a = s.snapshot();
+        s.cl_reads.store(25, Ordering::Relaxed);
+        s.xp_writes.store(3, Ordering::Relaxed);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.cl_reads, 15);
+        assert_eq!(d.xp_writes, 3);
+        assert_eq!(d.cl_writes, 0);
+    }
+
+    #[test]
+    fn write_amplification_of_random_evictions() {
+        // 4 cacheline writebacks that each cost a full XPLine: WA = 4.
+        let d = StatsSnapshot {
+            cl_writes: 4,
+            media_write_bytes: 4 * crate::XPLINE,
+            ..Default::default()
+        };
+        assert!((d.write_amplification() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_amplification_zero_when_no_writes() {
+        assert_eq!(StatsSnapshot::default().write_amplification(), 0.0);
+    }
+}

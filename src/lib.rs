@@ -1,0 +1,13 @@
+//! Umbrella crate for the Spash reproduction workspace.
+//!
+//! Re-exports every sub-crate so that examples and integration tests can
+//! depend on a single name. See the README for the architecture overview
+//! and DESIGN.md for the system inventory.
+
+pub use spash;
+pub use spash_alloc as alloc;
+pub use spash_baselines as baselines;
+pub use spash_htm as htm;
+pub use spash_index_api as index_api;
+pub use spash_pmem as pmem;
+pub use spash_workloads as workloads;

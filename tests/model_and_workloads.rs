@@ -1,0 +1,253 @@
+//! Integration tests of the platform model and workload drivers: the
+//! pieces the benchmark figures stand on.
+
+use std::sync::Arc;
+
+use spash_repro::index_api::{BatchOp, BatchResult, PersistentIndex};
+use spash_repro::pmem::{PmAddr, PmConfig, PmDevice};
+use spash_repro::spash::{Spash, SpashConfig};
+use spash_repro::workloads::{
+    load_keys, Distribution, Mix, OpStream, ValueSize, WorkOp, WorkloadConfig,
+};
+
+#[test]
+fn observation2_random_small_writes_amplify_versus_flushed_streams() {
+    // Paper Fig 1 / Observation 2, straight from the model: cold random
+    // 256-byte writes WITHOUT flushes suffer write amplification from
+    // random eviction; WITH per-block flushes they coalesce into whole
+    // XPLines.
+    let run = |flush: bool| {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 256 << 20,
+            cache_capacity: 1 << 20,
+            ..PmConfig::default()
+        });
+        let mut ctx = dev.ctx();
+        let buf = [7u8; 256];
+        let mut state = 12345u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let block = state % (1 << 19);
+            let addr = PmAddr(block * 256);
+            ctx.write_bytes(addr, &buf);
+            if flush {
+                ctx.flush_range(addr, 256);
+                ctx.fence();
+            }
+        }
+        dev.flush_cache_all();
+        dev.snapshot().write_amplification()
+    };
+    let wa_nf = run(false);
+    let wa_f = run(true);
+    assert!(
+        wa_f < 1.1,
+        "flushed 256B streams must coalesce (WA {wa_f:.2})"
+    );
+    assert!(
+        wa_nf > 1.5,
+        "unflushed cold writes must amplify (WA {wa_nf:.2})"
+    );
+}
+
+#[test]
+fn observation3_hot_writes_are_absorbed_by_the_cache() {
+    // Writes concentrated on a small hot region produce almost no media
+    // traffic under eADR without flushes (Observation 3).
+    let dev = PmDevice::new(PmConfig {
+        arena_size: 64 << 20,
+        cache_capacity: 4 << 20,
+        ..PmConfig::default()
+    });
+    let mut ctx = dev.ctx();
+    let buf = [9u8; 64];
+    for i in 0..100_000u64 {
+        ctx.write_bytes(PmAddr((i % 512) * 64), &buf); // 32 KiB hot region
+    }
+    dev.quiesce();
+    let s = dev.snapshot();
+    assert!(
+        s.media_write_bytes < 200 * 1024,
+        "hot region must stay in cache ({} bytes hit media)",
+        s.media_write_bytes
+    );
+}
+
+#[test]
+fn pipelined_batches_match_serial_execution_under_load() {
+    // Run the same YCSB stream through the pipelined executor and a
+    // serial executor; results must agree op-for-op.
+    let cfg = WorkloadConfig::new(5_000, Distribution::Zipfian, Mix::BALANCED, ValueSize::Inline);
+    let mk = || {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 64 << 20,
+            ..PmConfig::small_test()
+        });
+        let mut ctx = dev.ctx();
+        let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
+        let mut s = OpStream::new(&cfg, 0);
+        for k in load_keys(&cfg) {
+            let v = s.expected_value(k);
+            idx.insert(&mut ctx, k, &v).unwrap();
+        }
+        (dev, idx)
+    };
+
+    let collect = |pipelined: bool| -> Vec<BatchResult> {
+        let (dev, idx) = mk();
+        let mut ctx = dev.ctx();
+        let mut stream = OpStream::new(&cfg, 7);
+        let mut out = Vec::new();
+        let ops: Vec<WorkOp> = (0..2_000).map(|_| stream.next_op()).collect();
+        let batch: Vec<BatchOp> = ops
+            .iter()
+            .map(|op| match op {
+                WorkOp::Search(k) => BatchOp::Get(*k),
+                WorkOp::Update(k, v) => BatchOp::Update(*k, v.as_slice()),
+                WorkOp::Insert(k, v) => BatchOp::Insert(*k, v.as_slice()),
+                WorkOp::Delete(k) => BatchOp::Remove(*k),
+            })
+            .collect();
+        if pipelined {
+            idx.run_batch(&mut ctx, &batch, &mut out);
+        } else {
+            for op in &batch {
+                out.push(spash_repro::index_api::run_one(&idx, &mut ctx, op));
+            }
+        }
+        out
+    };
+
+    assert_eq!(collect(true), collect(false));
+}
+
+#[test]
+fn prefetch_pipeline_reduces_virtual_read_latency() {
+    // The §III-D claim at the device level: N overlapped misses cost about
+    // one miss latency instead of N.
+    let dev = PmDevice::new(PmConfig {
+        arena_size: 64 << 20,
+        ..PmConfig::small_test()
+    });
+    let mut ctx = dev.ctx();
+    let t0 = ctx.now();
+    for i in 0..4u64 {
+        ctx.prefetch(PmAddr((1 << 20) | (i * 4096)));
+    }
+    for i in 0..4u64 {
+        ctx.read_u64(PmAddr((1 << 20) | (i * 4096)));
+    }
+    let overlapped = ctx.now() - t0;
+
+    let t1 = ctx.now();
+    for i in 0..4u64 {
+        ctx.read_u64(PmAddr((2 << 20) | (i * 4096)));
+    }
+    let serial = ctx.now() - t1;
+    assert!(
+        overlapped * 2 < serial,
+        "overlapped {overlapped} ns vs serial {serial} ns"
+    );
+}
+
+#[test]
+fn ycsb_run_phase_values_are_always_wellformed() {
+    // Every key the run phase touches was loaded, so a YCSB run over Spash
+    // must never miss; updates must stick.
+    let cfg = WorkloadConfig::new(
+        3_000,
+        Distribution::Zipfian,
+        Mix::WRITE_INTENSIVE,
+        ValueSize::Fixed(100),
+    );
+    let dev = PmDevice::new(PmConfig {
+        arena_size: 128 << 20,
+        ..PmConfig::small_test()
+    });
+    let mut ctx = dev.ctx();
+    let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
+    let mut s = OpStream::new(&cfg, 0);
+    for k in load_keys(&cfg) {
+        let v = s.expected_value(k);
+        idx.insert(&mut ctx, k, &v).unwrap();
+    }
+    let mut stream = OpStream::new(&cfg, 3);
+    let mut buf = Vec::new();
+    for _ in 0..10_000 {
+        match stream.next_op() {
+            WorkOp::Search(k) => {
+                buf.clear();
+                assert!(idx.get(&mut ctx, k, &mut buf), "loaded key {k} missing");
+                assert_eq!(buf.len(), 100);
+            }
+            WorkOp::Update(k, v) => {
+                idx.update(&mut ctx, k, &v).unwrap();
+            }
+            WorkOp::Insert(k, v) => {
+                idx.insert(&mut ctx, k, &v).unwrap();
+            }
+            WorkOp::Delete(_) => unreachable!("mix has no deletes"),
+        }
+    }
+}
+
+#[test]
+fn vtime_floor_keeps_phases_monotonic() {
+    let dev = PmDevice::new(PmConfig::small_test());
+    let mut a = dev.ctx();
+    a.charge_compute(5_000_000);
+    dev.raise_vtime_floor(a.now());
+    // A new context starts at or after the floor: later phases can never
+    // observe time running backwards through lock/HTM stamps.
+    let b = dev.ctx();
+    assert!(b.now() >= 5_000_000);
+    let mut c = dev.ctx();
+    c.reset_clock();
+    assert!(c.now() >= 5_000_000);
+}
+
+#[test]
+fn concurrent_ycsb_over_spash_is_lossless() {
+    // 8 simulated threads of balanced YCSB over one Spash instance; every
+    // loaded key must still be present afterwards (updates change values,
+    // nothing deletes).
+    let cfg = WorkloadConfig::new(20_000, Distribution::Zipfian, Mix::BALANCED, ValueSize::Inline);
+    let dev = PmDevice::new(PmConfig {
+        arena_size: 256 << 20,
+        ..PmConfig::small_test()
+    });
+    let mut ctx = dev.ctx();
+    let idx = Arc::new(Spash::format(&mut ctx, SpashConfig::test_default()).unwrap());
+    let keys = load_keys(&cfg);
+    for &k in &keys {
+        idx.insert_u64(&mut ctx, k, k).unwrap();
+    }
+    crossbeam::scope(|s| {
+        for t in 0..8u64 {
+            let idx = Arc::clone(&idx);
+            let dev = Arc::clone(&dev);
+            let cfg = cfg.clone();
+            s.spawn(move |_| {
+                let mut ctx = dev.ctx();
+                let mut stream = OpStream::new(&cfg, t);
+                let mut buf = Vec::new();
+                for _ in 0..5_000 {
+                    match stream.next_op() {
+                        WorkOp::Search(k) => {
+                            buf.clear();
+                            assert!(idx.get(&mut ctx, k, &mut buf), "key {k} vanished");
+                        }
+                        WorkOp::Update(k, v) => idx.update(&mut ctx, k, &v).unwrap(),
+                        _ => unreachable!(),
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    assert_eq!(idx.len(), keys.len() as u64);
+    // Full structural audit after the concurrent phase: routing, hints,
+    // fingerprints, directory runs and counters must all be coherent.
+    let report = idx.verify_integrity(&mut ctx).expect("integrity after concurrency");
+    assert_eq!(report.entries, keys.len() as u64);
+}

@@ -1,0 +1,188 @@
+//! Property-based tests: Spash must behave exactly like a reference
+//! `HashMap` under arbitrary operation sequences, and core encodings must
+//! be lossless for arbitrary inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use spash_repro::index_api::{IndexError, PersistentIndex};
+use spash_repro::pmem::{PmConfig, PmDevice};
+use spash_repro::spash::slot::{self, SlotKey};
+use spash_repro::spash::{Spash, SpashConfig};
+use spash_repro::workloads::{Distribution, Mix, ValueSize, WorkloadConfig, Zipfian};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, Vec<u8>),
+    Update(u64, Vec<u8>),
+    Get(u64),
+    Remove(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A small key space so operations collide and exercise overflow
+    // buckets, hints, deletes-then-reinserts, splits and merges.
+    let key = 1u64..200;
+    let val = proptest::collection::vec(any::<u8>(), 0..300);
+    prop_oneof![
+        (key.clone(), val.clone()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (key.clone(), val).prop_map(|(k, v)| Op::Update(k, v)),
+        key.clone().prop_map(Op::Get),
+        key.prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spash_matches_reference_hashmap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 64 << 20,
+            ..PmConfig::small_test()
+        });
+        let mut ctx = dev.ctx();
+        let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let r = idx.insert(&mut ctx, k, &v);
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(k) {
+                        prop_assert!(r.is_ok());
+                        e.insert(v);
+                    } else {
+                        prop_assert_eq!(r, Err(IndexError::DuplicateKey));
+                    }
+                }
+                Op::Update(k, v) => {
+                    let r = idx.update(&mut ctx, k, &v);
+                    if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(k) {
+                        prop_assert!(r.is_ok());
+                        e.insert(v);
+                    } else {
+                        prop_assert_eq!(r, Err(IndexError::NotFound));
+                    }
+                }
+                Op::Get(k) => {
+                    let mut out = Vec::new();
+                    let hit = idx.get(&mut ctx, k, &mut out);
+                    match model.get(&k) {
+                        Some(v) => {
+                            prop_assert!(hit);
+                            prop_assert_eq!(&out, v);
+                        }
+                        None => prop_assert!(!hit),
+                    }
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(idx.remove(&mut ctx, k), model.remove(&k).is_some());
+                }
+            }
+            prop_assert_eq!(idx.len(), model.len() as u64);
+        }
+
+        // Full sweep at the end, plus a complete structural audit.
+        let mut out = Vec::new();
+        for (k, v) in &model {
+            out.clear();
+            prop_assert!(idx.get(&mut ctx, *k, &mut out));
+            prop_assert_eq!(&out, v);
+        }
+        let report = idx.verify_integrity(&mut ctx);
+        prop_assert!(report.is_ok(), "integrity violated: {:?}", report);
+    }
+
+    #[test]
+    fn spash_state_survives_crash_for_any_op_sequence(
+        ops in proptest::collection::vec(op_strategy(), 1..200)
+    ) {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 64 << 20,
+            ..PmConfig::eadr_test()
+        });
+        let mut ctx = dev.ctx();
+        let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
+        let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    if idx.insert(&mut ctx, k, &v).is_ok() {
+                        model.insert(k, v);
+                    }
+                }
+                Op::Update(k, v) => {
+                    if idx.update(&mut ctx, k, &v).is_ok() {
+                        model.insert(k, v);
+                    }
+                }
+                Op::Get(_) => {}
+                Op::Remove(k) => {
+                    if idx.remove(&mut ctx, k) {
+                        model.remove(&k);
+                    }
+                }
+            }
+        }
+        drop(idx);
+        dev.simulate_power_failure();
+        let mut ctx2 = dev.ctx();
+        let rec = Spash::recover(&mut ctx2, SpashConfig::test_default()).unwrap();
+        prop_assert_eq!(rec.len(), model.len() as u64);
+        let mut out = Vec::new();
+        for (k, v) in &model {
+            out.clear();
+            prop_assert!(rec.get(&mut ctx2, *k, &mut out), "key {} lost", k);
+            prop_assert_eq!(&out, v);
+        }
+        let report = rec.verify_integrity(&mut ctx2);
+        prop_assert!(report.is_ok(), "post-recovery integrity violated: {:?}", report);
+    }
+
+    #[test]
+    fn slot_key_word_roundtrips(key in 0u64..(1 << 48), fp in 0u16..(1 << 14)) {
+        let inline = SlotKey::Inline { key, fp };
+        prop_assert_eq!(SlotKey::unpack(inline.pack()), inline);
+        let ptr = SlotKey::Ptr { addr: spash_repro::pmem::PmAddr(key), fp };
+        prop_assert_eq!(SlotKey::unpack(ptr.pack()), ptr);
+    }
+
+    #[test]
+    fn value_word_fields_are_independent(payload in 0u64..(1 << 48), hint: u16, payload2 in 0u64..(1 << 48)) {
+        use slot::value_word as vw;
+        let w = vw::with_hint(vw::with_payload(0, payload), hint);
+        prop_assert_eq!(vw::payload(w), payload);
+        prop_assert_eq!(vw::hint(w), hint);
+        let w2 = vw::with_payload(w, payload2);
+        prop_assert_eq!(vw::hint(w2), hint);
+        prop_assert_eq!(vw::payload(w2), payload2);
+    }
+
+    #[test]
+    fn rank_to_key_is_a_bijection(n in 1u64..5_000, seed: u64) {
+        let cfg = WorkloadConfig {
+            seed,
+            ..WorkloadConfig::new(n, Distribution::Uniform, Mix::BALANCED, ValueSize::Inline)
+        };
+        let mut keys: Vec<u64> = (0..n).map(|r| cfg.rank_to_key(r)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(keys.len() as u64, n);
+        prop_assert!(keys.iter().all(|&k| k >= 1 && k <= n));
+    }
+
+    #[test]
+    fn zipfian_ranks_in_range(n in 1u64..100_000, u in 0.0f64..1.0) {
+        let z = Zipfian::new(n, 0.99);
+        prop_assert!(z.rank(u) < n);
+    }
+
+    #[test]
+    fn hints_never_collide_with_empty(h: u64, idx in 0u8..16) {
+        let hint = slot::make_hint(h, idx);
+        prop_assert_ne!(hint, 0);
+        // A matching probe recovers the slot index.
+        prop_assert_eq!(slot::hint_matches(hint, h), Some(idx));
+    }
+}

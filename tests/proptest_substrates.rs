@@ -1,0 +1,195 @@
+//! Property-based tests for the substrates: allocator non-overlap, HTM
+//! atomicity, and cache-model crash semantics under arbitrary inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use spash_repro::alloc::{PmAllocator, CHUNK};
+use spash_repro::htm::{Abort, Htm, HtmConfig};
+use spash_repro::pmem::{PmAddr, PmConfig, PmDevice};
+
+#[derive(Clone, Debug)]
+enum AllocOp {
+    Alloc(u64),
+    FreeNth(usize),
+    Segment,
+}
+
+fn alloc_op() -> impl Strategy<Value = AllocOp> {
+    prop_oneof![
+        3 => (1u64..4000).prop_map(AllocOp::Alloc),
+        2 => any::<usize>().prop_map(AllocOp::FreeNth),
+        1 => Just(AllocOp::Segment),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocations_never_overlap(ops in proptest::collection::vec(alloc_op(), 1..300)) {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 32 << 20,
+            ..PmConfig::small_test()
+        });
+        let mut ctx = dev.ctx();
+        let alloc = PmAllocator::format(&mut ctx, 0);
+        // live: (addr, size, is_segment) — segments free via their own path.
+        let mut live: Vec<(u64, u64, bool)> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Alloc(size) => {
+                    if let Ok(a) = alloc.alloc(&mut ctx, size) {
+                        live.push((a.addr.0, size, false));
+                    }
+                }
+                AllocOp::Segment => {
+                    if let Ok(a) = alloc.alloc_segment(&mut ctx) {
+                        prop_assert_eq!(a.0 % CHUNK, 0, "segments are XPLine-aligned");
+                        live.push((a.0, 256, true));
+                    }
+                }
+                AllocOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (addr, size, is_seg) = live.swap_remove(n % live.len());
+                        if is_seg {
+                            alloc.free_segment(&mut ctx, PmAddr(addr));
+                        } else {
+                            alloc.free(&mut ctx, PmAddr(addr), size);
+                        }
+                    }
+                }
+            }
+            // No two live allocations may overlap.
+            let mut sorted: Vec<(u64, u64)> = live.iter().map(|&(a, s, _)| (a, s)).collect();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                prop_assert!(
+                    w[0].0 + w[0].1 <= w[1].0,
+                    "allocation [{:#x}+{}] overlaps [{:#x}+{}]",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn htm_transactions_are_all_or_nothing(
+        writes in proptest::collection::vec((0u64..64, any::<u64>()), 1..20),
+        abort_at in proptest::option::of(0usize..20),
+    ) {
+        let dev = PmDevice::new(PmConfig::small_test());
+        let htm = Htm::new(HtmConfig::default());
+        let mut ctx = dev.ctx();
+        // Seed distinct baseline values.
+        for i in 0..64u64 {
+            dev.arena().store_u64(PmAddr(i * 64), i + 1_000_000);
+        }
+        let before: Vec<u64> = (0..64u64).map(|i| dev.arena().load_u64(PmAddr(i * 64))).collect();
+
+        let r: Result<(), Abort> = htm.try_transaction(&mut ctx, |tx, ctx| {
+            for (n, &(slot, val)) in writes.iter().enumerate() {
+                if Some(n) == abort_at {
+                    return tx.abort(9);
+                }
+                tx.write_u64(ctx, PmAddr(slot * 64), val)?;
+            }
+            Ok(())
+        });
+
+        let after: Vec<u64> = (0..64u64).map(|i| dev.arena().load_u64(PmAddr(i * 64))).collect();
+        match r {
+            Err(_) => prop_assert_eq!(after, before, "aborted tx must leave no trace"),
+            Ok(()) => {
+                // Last-write-wins per slot.
+                let mut want: HashMap<u64, u64> = HashMap::new();
+                for &(slot, val) in &writes {
+                    want.insert(slot, val);
+                }
+                for i in 0..64u64 {
+                    let expect = want.get(&i).copied().unwrap_or(before[i as usize]);
+                    prop_assert_eq!(after[i as usize], expect, "slot {}", i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adr_crash_keeps_exactly_the_flushed_prefix(
+        n_writes in 1usize..40,
+        flushed_upto in 0usize..40,
+    ) {
+        // Write N lines; flush the first F; crash. Exactly the flushed
+        // ones survive.
+        let dev = PmDevice::new(PmConfig::adr_test());
+        let mut ctx = dev.ctx();
+        for i in 0..n_writes {
+            ctx.write_u64(PmAddr(4096 + i as u64 * 64), 42 + i as u64);
+        }
+        let f = flushed_upto.min(n_writes);
+        for i in 0..f {
+            ctx.flush(PmAddr(4096 + i as u64 * 64));
+        }
+        ctx.fence();
+        dev.simulate_power_failure();
+        for i in 0..n_writes {
+            let v = dev.arena().load_u64(PmAddr(4096 + i as u64 * 64));
+            if i < f {
+                prop_assert_eq!(v, 42 + i as u64, "flushed line {} lost", i);
+            } else {
+                prop_assert_eq!(v, 0, "unflushed line {} survived ADR crash", i);
+            }
+        }
+    }
+
+    #[test]
+    fn eadr_crash_keeps_everything(n_writes in 1usize..60) {
+        let dev = PmDevice::new(PmConfig::eadr_test());
+        let mut ctx = dev.ctx();
+        for i in 0..n_writes {
+            ctx.write_u64(PmAddr(4096 + i as u64 * 64), 7 + i as u64);
+        }
+        dev.simulate_power_failure();
+        for i in 0..n_writes {
+            prop_assert_eq!(
+                dev.arena().load_u64(PmAddr(4096 + i as u64 * 64)),
+                7 + i as u64
+            );
+        }
+    }
+
+    #[test]
+    fn allocator_recovery_preserves_non_overlap(
+        sizes in proptest::collection::vec(1u64..2000, 1..60)
+    ) {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 32 << 20,
+            ..PmConfig::eadr_test()
+        });
+        let mut ctx = dev.ctx();
+        let alloc = PmAllocator::format(&mut ctx, 0);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for s in &sizes {
+            if let Ok(a) = alloc.alloc(&mut ctx, *s) {
+                live.push((a.addr.0, *s));
+            }
+        }
+        dev.simulate_power_failure();
+        let mut ctx2 = dev.ctx();
+        let rec = PmAllocator::recover(&mut ctx2).unwrap();
+        // New allocations after recovery must not overlap surviving ones
+        // (cached-slot leaks are allowed — they only waste space).
+        for s in &sizes {
+            if let Ok(a) = rec.alloc.alloc(&mut ctx2, *s) {
+                for &(addr, size) in &live {
+                    let no_overlap = a.addr.0 + *s <= addr || addr + size <= a.addr.0;
+                    prop_assert!(
+                        no_overlap,
+                        "post-recovery alloc [{:#x}+{}] overlaps pre-crash [{:#x}+{}]",
+                        a.addr.0, s, addr, size
+                    );
+                }
+            }
+        }
+    }
+}
