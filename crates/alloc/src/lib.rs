@@ -23,7 +23,7 @@ pub mod layout;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use spash_pmem::sync::Mutex;
 use spash_pmem::{MemCtx, PmAddr};
 
 pub use layout::{Layout, CHUNK};
@@ -109,6 +109,34 @@ pub struct RecoveredHeap {
     pub alloc: PmAllocator,
     /// Every live 256-byte segment (for the index's directory rebuild).
     pub segments: Vec<PmAddr>,
+    /// Every live region run as `(base, byte length)` — baseline index
+    /// tables, WALs, and logs live here.
+    pub regions: Vec<(PmAddr, u64)>,
+}
+
+/// A census of every live allocation, read directly from the persistent
+/// chunk headers (no volatile state involved). The crash-point harness
+/// compares this against the set of allocations reachable from an index's
+/// recovered structure to find leaks and corruption.
+#[derive(Debug, Default)]
+pub struct HeapCensus {
+    /// Live small-class slots as `(slot address, class size)`. Includes
+    /// slots sitting in volatile free caches at crash time — those keep
+    /// their persistent bit set by design (the documented bounded leak).
+    pub small_slots: Vec<(PmAddr, u64)>,
+    /// Live 256-byte segments.
+    pub segments: Vec<PmAddr>,
+    /// Live large allocations as `(base, byte length)`.
+    pub large: Vec<(PmAddr, u64)>,
+    /// Live regions as `(base, byte length)`.
+    pub regions: Vec<(PmAddr, u64)>,
+}
+
+impl HeapCensus {
+    /// Total number of live allocation units.
+    pub fn total(&self) -> usize {
+        self.small_slots.len() + self.segments.len() + self.large.len() + self.regions.len()
+    }
 }
 
 impl PmAllocator {
@@ -156,6 +184,7 @@ impl PmAllocator {
         let (_, l) = layout::read_superblock(ctx)?;
         let alloc = Self::from_layout(l);
         let mut segments = Vec::new();
+        let mut regions = Vec::new();
         let mut free_chunks = Vec::new();
         let mut frontier = 0;
         let mut i = 0;
@@ -176,6 +205,7 @@ impl PmAllocator {
                 }
                 ST_REGION => {
                     let len = (h & 0xff_ffff) as u64;
+                    regions.push((l.chunk_addr(i), len.max(1) * CHUNK));
                     i += len.max(1);
                     frontier = i;
                     continue;
@@ -210,7 +240,57 @@ impl PmAllocator {
         free_chunks.retain(|&c| c < frontier);
         alloc.frontier.store(frontier, Ordering::Relaxed);
         alloc.global.lock().free_chunks = free_chunks;
-        Some(RecoveredHeap { alloc, segments })
+        Some(RecoveredHeap {
+            alloc,
+            segments,
+            regions,
+        })
+    }
+
+    /// Scan the persistent chunk headers and report every live allocation.
+    /// Purely observational (no volatile state is built or mutated), so it
+    /// can run on a post-crash image before — or instead of — recovery.
+    pub fn census(ctx: &mut MemCtx) -> Option<HeapCensus> {
+        let (_, l) = layout::read_superblock(ctx)?;
+        let probe = Self::from_layout(l);
+        let mut out = HeapCensus::default();
+        let mut i = 0;
+        while i < l.n_chunks {
+            let h = probe.header_get(ctx, i);
+            let state = (h >> 24) as u8;
+            match state {
+                ST_FREE | ST_LARGE_CONT | ST_REGION_CONT => {}
+                ST_SEGMENT => out.segments.push(l.chunk_addr(i)),
+                ST_LARGE => {
+                    let len = ((h >> 16) & 0xff) as u64;
+                    out.large.push((l.chunk_addr(i), len.max(1) * CHUNK));
+                    i += len.max(1);
+                    continue;
+                }
+                ST_REGION => {
+                    let len = (h & 0xff_ffff) as u64;
+                    out.regions.push((l.chunk_addr(i), len.max(1) * CHUNK));
+                    i += len.max(1);
+                    continue;
+                }
+                _ => {
+                    let class = (state - 1) as usize;
+                    if class < SMALL_CLASSES.len() {
+                        let bitmap = (h & 0xffff) as u16;
+                        let size = SMALL_CLASSES[class];
+                        let slots = (CHUNK / size) as u32;
+                        for s in 0..slots {
+                            if bitmap & (1 << s) != 0 {
+                                out.small_slots
+                                    .push((PmAddr(l.chunk_addr(i).0 + s as u64 * size), size));
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        Some(out)
     }
 
     /// The arena layout.
@@ -652,12 +732,12 @@ mod tests {
         let dev = PmDevice::new(PmConfig::small_test());
         let mut ctx = dev.ctx();
         let alloc = Arc::new(PmAllocator::format(&mut ctx, 0));
-        let results: Vec<Vec<PmAddr>> = crossbeam::scope(|s| {
+        let results: Vec<Vec<PmAddr>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..4)
                 .map(|_| {
                     let alloc = Arc::clone(&alloc);
                     let dev = Arc::clone(&dev);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut ctx = dev.ctx();
                         (0..200u64)
                             .map(|i| alloc.alloc(&mut ctx, 16 + (i % 100)).unwrap().addr)
@@ -666,8 +746,7 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
         let mut all: Vec<PmAddr> = results.into_iter().flatten().collect();
         let n = all.len();
         all.sort();

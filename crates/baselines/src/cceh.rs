@@ -17,11 +17,13 @@
 //! repository) so that directory traffic does not confound the
 //! segment-level comparison.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use spash_pmem::sync::RwLock;
 use spash_alloc::PmAllocator;
+use spash_index_api::crashpoint::{CrashTarget, Recovery};
 use spash_index_api::{hash_key, IndexError, PersistentIndex};
 use spash_pmem::{MemCtx, PmAddr};
 #[cfg(test)]
@@ -34,10 +36,35 @@ const SEG_BYTES: u64 = 16384;
 const SLOTS: u64 = (SEG_BYTES - 64) / 16;
 /// Linear-probing window: 4 cachelines of slots.
 const PROBE: u64 = 16;
+/// Root-block magic ("CCEHDir1"): says "this heap holds a CCEH".
+const ROOT_MAGIC: u64 = 0x4343_4548_4469_7231;
+const ROOT_LEN: u64 = 64;
+/// Segment header, in the 64-byte area before the slots. Word 0 is the PM
+/// read-write lock; words 1 and 2 carry the segment's identity:
+/// `meta = MAGIC1:16 | local_depth:8 | prefix:40` and a second full-word
+/// magic. Both must match for recovery to accept a region as a committed
+/// segment, so a torn header (or a recycled region) reads as uncommitted.
+const SEG_MAGIC1: u64 = 0xCCE4;
+const SEG_MAGIC2: u64 = 0x4343_4548_5365_6732;
+const PREFIX_MASK: u64 = (1 << 40) - 1;
 
 struct Seg {
     addr: PmAddr,
     lock: PmRwLock,
+}
+
+#[inline]
+fn pack_seg_meta(ld: u8, prefix: u64) -> u64 {
+    debug_assert!(prefix <= PREFIX_MASK);
+    SEG_MAGIC1 << 48 | u64::from(ld) << 40 | prefix
+}
+
+/// Publish (or re-stamp) a segment's identity header.
+fn write_seg_header(ctx: &mut MemCtx, seg: PmAddr, ld: u8, prefix: u64) {
+    ctx.write_u64(PmAddr(seg.0 + 8), pack_seg_meta(ld, prefix));
+    ctx.write_u64(PmAddr(seg.0 + 16), SEG_MAGIC2);
+    ctx.flush_range(PmAddr(seg.0 + 8), 16);
+    ctx.fence();
 }
 
 impl Seg {
@@ -71,9 +98,17 @@ impl Cceh {
         let lock_ns = ctx.device().config().cost.lock_ns;
         let n = 1usize << depth;
         let mut entries = Vec::with_capacity(n);
-        for _ in 0..n {
+        for i in 0..n {
             let seg = Self::alloc_seg(ctx, &alloc, lock_ns)?;
+            write_seg_header(ctx, seg.addr, depth as u8, i as u64);
             entries.push((seg, depth as u8));
+        }
+        // Root magic last: a crash mid-format recovers as "no CCEH here".
+        let (root, root_len) = alloc.reserved();
+        if root_len >= ROOT_LEN {
+            ctx.write_u64(root, ROOT_MAGIC);
+            ctx.flush(root);
+            ctx.fence();
         }
         Ok(Self {
             alloc,
@@ -85,7 +120,7 @@ impl Cceh {
 
     /// Convenience: format a fresh device.
     pub fn format(ctx: &mut MemCtx, depth: u32) -> Result<Self, IndexError> {
-        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        let alloc = Arc::new(PmAllocator::format(ctx, ROOT_LEN));
         Self::new(ctx, alloc, depth)
     }
 
@@ -171,7 +206,7 @@ impl Cceh {
                 continue;
             }
             let new_seg = Self::alloc_seg(ctx, &self.alloc, lock_ns)?;
-            let mut homeless: Vec<(u64, u64)> = Vec::new();
+            let mut homeless: Vec<(u64, u64, u64)> = Vec::new();
             let done = seg.lock.write(ctx, |ctx| {
                 let mut d = self.dir.write();
                 let depth_now = d.depth;
@@ -180,7 +215,15 @@ impl Cceh {
                 if !Arc::ptr_eq(&cur, &seg) || ld_now != ld || u32::from(ld_now) >= depth_now {
                     return false; // raced; retry from routing
                 }
-                // Rehash: move upper-half keys to the new segment.
+                // Crash-safe split order: (1) copy upper-half keys into the
+                // fresh segment WITHOUT disturbing the old one, (2) publish
+                // the new segment's header, (3) re-stamp the old header at
+                // depth+1, (4) tombstone the moved keys. A crash inside
+                // (1) recovers as a pre-split table plus one leaked
+                // uncommitted region; after (2) or (3) the deeper header
+                // wins the directory range and recovery's orphan sweep
+                // tombstones the un-moved duplicates.
+                let mut placed: Vec<u64> = Vec::new();
                 for s in 0..SLOTS {
                     let ka = seg.slot_addr(s);
                     let k = ctx.read_u64(ka);
@@ -194,12 +237,22 @@ impl Cceh {
                             Some(ns) => {
                                 ctx.write_u64(PmAddr(new_seg.slot_addr(ns).0 + 8), v);
                                 ctx.write_u64(new_seg.slot_addr(ns), k);
+                                ctx.flush_range(new_seg.slot_addr(ns), 16);
+                                placed.push(s);
                             }
-                            None => homeless.push((k, v)),
+                            None => homeless.push((s, k, v)),
                         }
-                        ctx.write_u64(ka, TOMBSTONE);
                     }
                 }
+                ctx.fence();
+                let p = (idx >> (depth_now - u32::from(ld))) as u64;
+                write_seg_header(ctx, new_seg.addr, ld + 1, p * 2 + 1);
+                write_seg_header(ctx, seg.addr, ld + 1, p * 2);
+                for s in placed {
+                    ctx.write_u64(seg.slot_addr(s), TOMBSTONE);
+                    ctx.flush(seg.slot_addr(s));
+                }
+                ctx.fence();
                 // Repoint the upper half of the range at the new segment.
                 let span = 1usize << (depth_now - u32::from(ld));
                 let base = (idx >> (depth_now - u32::from(ld))) << (depth_now - u32::from(ld));
@@ -218,11 +271,15 @@ impl Cceh {
                 self.n_segs.fetch_add(1, Ordering::Relaxed);
                 // Probe-window overflow during rehash is vanishingly rare
                 // (17 of ~1020 keys in one window); reinsert through the
-                // normal path. Those keys were tombstoned above, so the
-                // count is adjusted by insert_word.
-                for (k, v) in homeless {
+                // normal path, then tombstone the stranded copy (which no
+                // longer routes to the old segment, so the insert cannot
+                // see it as a duplicate).
+                for (s, k, v) in homeless {
                     self.entries.fetch_sub(1, Ordering::Relaxed);
                     self.insert_word(ctx, k, v)?;
+                    ctx.write_u64(seg.slot_addr(s), TOMBSTONE);
+                    ctx.flush(seg.slot_addr(s));
+                    ctx.fence();
                 }
                 return Ok(());
             }
@@ -257,6 +314,8 @@ impl Cceh {
                     Some(s) => {
                         ctx.write_u64(PmAddr(seg.slot_addr(s).0 + 8), vw);
                         ctx.write_u64(seg.slot_addr(s), key);
+                        ctx.flush_range(seg.slot_addr(s), 16);
+                        ctx.fence();
                         Out::Done
                     }
                 }
@@ -270,6 +329,145 @@ impl Cceh {
                 Out::Moved => continue,
                 Out::Full => self.split(ctx, h)?,
             }
+        }
+    }
+
+    /// Rebuild the directory from committed segment headers after a crash.
+    ///
+    /// Global depth is the deepest local depth found; each segment claims
+    /// the directory range its `(local_depth, prefix)` names, deeper
+    /// segments overriding shallower ones (exactly the half-split overlap
+    /// a crash between the two header re-stamps leaves behind). An orphan
+    /// sweep then reinserts keys stranded in a segment they no longer
+    /// route to — the copies a crash prevented the splitter from
+    /// tombstoning — and tombstones the stale copy.
+    pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        let rec = PmAllocator::recover(ctx)?;
+        let (root, root_len) = rec.alloc.reserved();
+        if root_len < ROOT_LEN || ctx.read_u64(root) != ROOT_MAGIC {
+            return None;
+        }
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        // Committed segments: region of the right size, both magics intact.
+        let mut segs: Vec<(Arc<Seg>, u8, u64)> = Vec::new();
+        for &(a, len) in &rec.regions {
+            if len != SEG_BYTES || ctx.read_u64(PmAddr(a.0 + 16)) != SEG_MAGIC2 {
+                continue;
+            }
+            let meta = ctx.read_u64(PmAddr(a.0 + 8));
+            if meta >> 48 != SEG_MAGIC1 {
+                continue;
+            }
+            let ld = ((meta >> 40) & 0xff) as u8;
+            let prefix = meta & PREFIX_MASK;
+            if u64::from(ld) > 40 || prefix >> ld != 0 {
+                return None; // a committed header can never be malformed
+            }
+            segs.push((
+                Arc::new(Seg {
+                    addr: a,
+                    lock: PmRwLock::new(a, lock_ns),
+                }),
+                ld,
+                prefix,
+            ));
+        }
+        if segs.is_empty() {
+            return None;
+        }
+        let depth = u32::from(segs.iter().map(|&(_, ld, _)| ld).max().unwrap());
+        let mut entries: Vec<Option<(Arc<Seg>, u8)>> = vec![None; 1 << depth];
+        let mut by_depth = segs.clone();
+        by_depth.sort_by_key(|&(ref s, ld, prefix)| (ld, prefix, s.addr.0));
+        for (seg, ld, prefix) in by_depth {
+            let shift = depth - u32::from(ld);
+            let base = (prefix << shift) as usize;
+            for e in entries.iter_mut().skip(base).take(1 << shift) {
+                *e = Some((Arc::clone(&seg), ld));
+            }
+        }
+        // A directory hole means the image is torn/foreign.
+        let entries: Vec<(Arc<Seg>, u8)> = entries.into_iter().collect::<Option<_>>()?;
+
+        let idx = Self {
+            alloc: Arc::new(rec.alloc),
+            dir: RwLock::new(Dir { depth, entries }),
+            entries: AtomicU64::new(0),
+            n_segs: AtomicU64::new(segs.len() as u64),
+        };
+        // Count routable keys; collect stranded ones.
+        let mut routable = 0u64;
+        let mut orphans: Vec<(Arc<Seg>, u64, u64, u64)> = Vec::new();
+        for (seg, _, _) in &segs {
+            for s in 0..SLOTS {
+                let k = ctx.read_u64(seg.slot_addr(s));
+                if k == EMPTY_KEY || k == TOMBSTONE {
+                    continue;
+                }
+                let (routed, _, _) = idx.route(ctx, hash_key(k));
+                if Arc::ptr_eq(&routed, seg) {
+                    routable += 1;
+                } else {
+                    let v = ctx.read_u64(PmAddr(seg.slot_addr(s).0 + 8));
+                    orphans.push((Arc::clone(seg), s, k, v));
+                }
+            }
+        }
+        idx.entries.store(routable, Ordering::Relaxed);
+        for (seg, s, k, v) in orphans {
+            match idx.insert_word(ctx, k, v) {
+                Ok(()) | Err(IndexError::DuplicateKey) => {}
+                Err(_) => return None,
+            }
+            ctx.write_u64(seg.slot_addr(s), TOMBSTONE);
+            ctx.flush(seg.slot_addr(s));
+            ctx.fence();
+        }
+        Some(idx)
+    }
+
+    /// CCEH as a [`CrashTarget`] for the crash-point sweep.
+    pub fn crash_target(depth: u32) -> CrashTarget {
+        CrashTarget {
+            name: "CCEH".into(),
+            format: Box::new(move |ctx| {
+                Box::new(Cceh::format(ctx, depth).expect("format CCEH"))
+            }),
+            recover: Box::new(|ctx| {
+                let idx = Cceh::recover(ctx)?;
+                // Committed segments plus every blob a live slot points at.
+                let mut reachable: HashSet<u64> = HashSet::new();
+                let d = idx.dir.read();
+                let segs: Vec<Arc<Seg>> = {
+                    let mut v: Vec<Arc<Seg>> = Vec::new();
+                    for (seg, _) in d.entries.iter() {
+                        if !v.iter().any(|s| Arc::ptr_eq(s, seg)) {
+                            v.push(Arc::clone(seg));
+                        }
+                    }
+                    v
+                };
+                drop(d);
+                for seg in &segs {
+                    reachable.insert(seg.addr.0);
+                    for s in 0..SLOTS {
+                        let k = ctx.read_u64(seg.slot_addr(s));
+                        if k == EMPTY_KEY || k == TOMBSTONE {
+                            continue;
+                        }
+                        let vw = ctx.read_u64(PmAddr(seg.slot_addr(s).0 + 8));
+                        if let common::ValWord::Blob(a) = common::unpack_val(vw) {
+                            reachable.insert(a.0);
+                        }
+                    }
+                }
+                let (leaked_allocs, audit_error) = common::audit_census(ctx, &reachable);
+                Some(Recovery {
+                    index: Box::new(idx),
+                    leaked_allocs,
+                    audit_error,
+                })
+            }),
         }
     }
 }
@@ -313,6 +511,8 @@ impl PersistentIndex for Cceh {
                     Some((s, old)) => {
                         // Out-of-place update: install the new word.
                         ctx.write_u64(PmAddr(seg.slot_addr(s).0 + 8), vw);
+                        ctx.flush(PmAddr(seg.slot_addr(s).0 + 8));
+                        ctx.fence();
                         Out::Done(old)
                     }
                 }
@@ -386,6 +586,8 @@ impl PersistentIndex for Cceh {
                     Some((s, vw)) => {
                         // Lazy deletion: tombstone the key word.
                         ctx.write_u64(seg.slot_addr(s), TOMBSTONE);
+                        ctx.flush(seg.slot_addr(s));
+                        ctx.fence();
                         Out::Hit(vw)
                     }
                 }
@@ -506,14 +708,59 @@ mod tests {
     }
 
     #[test]
+    fn recover_roundtrip_across_splits() {
+        let (dev, idx, mut ctx) = setup();
+        let blob = vec![0x2cu8; 90];
+        idx.insert(&mut ctx, 55_555, &blob).unwrap();
+        for k in 1..=4000u64 {
+            if k != 55_555 {
+                idx.insert_u64(&mut ctx, k, k).unwrap(); // forces splits
+            }
+        }
+        for k in 1..=50u64 {
+            idx.update_u64(&mut ctx, k, k + 9).unwrap();
+        }
+        for k in 300..=320u64 {
+            assert!(idx.remove(&mut ctx, k));
+        }
+        let live = idx.entries();
+        dev.flush_cache_all();
+        drop(idx);
+
+        let mut ctx2 = dev.ctx();
+        let r = Cceh::recover(&mut ctx2).expect("recover CCEH");
+        assert_eq!(r.entries(), live);
+        for k in 1..=50u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), Some(k + 9), "updated key {k}");
+        }
+        for k in 300..=320u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), None, "removed key {k}");
+        }
+        assert_eq!(r.get_u64(&mut ctx2, 4000), Some(4000));
+        let mut out = Vec::new();
+        assert!(r.get(&mut ctx2, 55_555, &mut out));
+        assert_eq!(out, blob);
+        r.insert_u64(&mut ctx2, 70_000, 2).unwrap();
+        assert_eq!(r.get_u64(&mut ctx2, 70_000), Some(2));
+    }
+
+    #[test]
+    fn recover_refuses_unformatted_image() {
+        let (_d, mut ctx) = test_device();
+        assert!(Cceh::recover(&mut ctx).is_none());
+        let _ = PmAllocator::format(&mut ctx, 0);
+        assert!(Cceh::recover(&mut ctx).is_none());
+    }
+
+    #[test]
     fn concurrent_inserts() {
         let (dev, mut ctx) = test_device();
         let idx = Arc::new(Cceh::format(&mut ctx, 1).unwrap());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for i in 0..1000u64 {
                         let k = 1 + t * 1000 + i;
@@ -521,8 +768,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for k in 1..=4000u64 {
             assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
         }

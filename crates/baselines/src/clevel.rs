@@ -10,11 +10,13 @@
 //! * lock-free inserts/updates/deletes via CAS, growth by prepending a
 //!   double-sized level and cooperatively migrating the oldest level.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use spash_pmem::sync::RwLock;
 use spash_alloc::PmAllocator;
+use spash_index_api::crashpoint::{CrashTarget, Recovery};
 use spash_index_api::{hash_key, IndexError, PersistentIndex};
 use spash_pmem::{MemCtx, PmAddr};
 
@@ -39,6 +41,15 @@ fn tag_of_key(key: u64) -> u64 {
 const HASH_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
 /// Buckets each insert helps migrate from the oldest level.
 const MIGRATE_STEP: u64 = 2;
+/// Root-block magic ("CLvl" append-only layout, v1).
+const MAGIC: u64 = 0x434c_766c_4c6f_6731;
+/// Reserved root: `[magic][first_live][n_levels][log_base][log_len]`, then
+/// a birth-ordered, append-only array of level descriptors
+/// `[addr][n_buckets]` starting at +64. Levels are only ever appended
+/// (grow) or dropped from the front (retire bumps `first_live`), so both
+/// transitions commit with one atomic word.
+const ROOT_LEN: u64 = 4096;
+const MAX_LEVELS: u64 = (ROOT_LEN - 64) / 16;
 
 struct LevelArr {
     addr: PmAddr,
@@ -77,6 +88,12 @@ pub struct CLevel {
     log_base: PmAddr,
     log_len: u64,
     log_head: AtomicU64,
+    /// Root block in the allocator's reserved region (0 when the heap was
+    /// formatted without room for one — recovery is unavailable then).
+    root: PmAddr,
+    /// Persistent level-array mirrors (birth-ordered indexes).
+    pm_first_live: AtomicU64,
+    pm_n_levels: AtomicU64,
 }
 
 impl CLevel {
@@ -86,6 +103,22 @@ impl CLevel {
         let log_base = alloc
             .alloc_region(ctx, log_len)
             .map_err(|_| IndexError::OutOfMemory)?;
+        // Publish the root last (magic after everything it governs).
+        let (r, r_len) = alloc.reserved();
+        let root = if r_len >= ROOT_LEN { r } else { PmAddr(0) };
+        if root.0 != 0 {
+            ctx.write_u64(PmAddr(root.0 + 8), 0); // first_live
+            ctx.write_u64(PmAddr(root.0 + 16), 1); // n_levels
+            ctx.write_u64(PmAddr(root.0 + 24), log_base.0);
+            ctx.write_u64(PmAddr(root.0 + 32), log_len);
+            ctx.write_u64(PmAddr(root.0 + 64), lvl.addr.0);
+            ctx.write_u64(PmAddr(root.0 + 72), lvl.n_buckets);
+            ctx.flush_range(PmAddr(root.0 + 8), 80);
+            ctx.fence();
+            ctx.write_u64(root, MAGIC);
+            ctx.flush(root);
+            ctx.fence();
+        }
         Ok(Self {
             alloc,
             levels: RwLock::new(vec![lvl]),
@@ -94,10 +127,16 @@ impl CLevel {
             log_base,
             log_len,
             log_head: AtomicU64::new(0),
+            root,
+            pm_first_live: AtomicU64::new(0),
+            pm_n_levels: AtomicU64::new(1),
         })
     }
 
     /// Append an `[key][len][value]` item at a fresh log position.
+    ///
+    /// The key word is persisted LAST: recovery's log scan treats a zero
+    /// key as end-of-log, so a torn item stays invisible.
     fn append_item(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<PmAddr, IndexError> {
         let need = (16 + value.len() as u64).div_ceil(16) * 16;
         let off = self.log_head.fetch_add(need, Ordering::Relaxed);
@@ -105,14 +144,18 @@ impl CLevel {
             return Err(IndexError::OutOfMemory);
         }
         let a = PmAddr(self.log_base.0 + off);
-        ctx.write_u64(a, key);
         ctx.write_u64(PmAddr(a.0 + 8), value.len() as u64);
         ctx.write_bytes(PmAddr(a.0 + 16), value);
+        ctx.flush_range(PmAddr(a.0 + 8), 8 + value.len() as u64);
+        ctx.fence();
+        ctx.write_u64(a, key);
+        ctx.flush(a);
+        ctx.fence();
         Ok(a)
     }
 
     pub fn format(ctx: &mut MemCtx, pow: u32) -> Result<Self, IndexError> {
-        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        let alloc = Arc::new(PmAllocator::format(ctx, ROOT_LEN));
         Self::new(ctx, alloc, pow)
     }
 
@@ -207,6 +250,8 @@ impl CLevel {
                 for s in 0..SLOTS {
                     let sa = newest.slot(b, s);
                     if ctx.read_u64(sa) == 0 && ctx.cas_u64(sa, 0, word).is_ok() {
+                        ctx.flush(sa);
+                        ctx.fence();
                         placed = Some((sa, b));
                         break 'outer;
                     }
@@ -230,6 +275,8 @@ impl CLevel {
             loop {
                 match ctx.cas_u64(sa, word, 0) {
                     Ok(_) => {
+                        ctx.flush(sa);
+                        ctx.fence();
                         std::thread::yield_now();
                         break; // retry outer placement with `word`
                     }
@@ -253,7 +300,25 @@ impl CLevel {
         if levels[0].n_buckets != expected_newest {
             return Ok(()); // someone else already grew
         }
+        let idx = self.pm_n_levels.load(Ordering::Acquire);
+        if self.root.0 != 0 && idx >= MAX_LEVELS {
+            return Err(IndexError::OutOfMemory);
+        }
         let lvl = Self::alloc_level(ctx, &self.alloc, expected_newest * 2)?;
+        if self.root.0 != 0 {
+            // Append the descriptor, then publish it with the n_levels
+            // bump — the grow's single-word commit point. A crash before
+            // the bump leaks the new region (counted by the audit).
+            let e = self.root.0 + 64 + idx * 16;
+            ctx.write_u64(PmAddr(e), lvl.addr.0);
+            ctx.write_u64(PmAddr(e + 8), lvl.n_buckets);
+            ctx.flush_range(PmAddr(e), 16);
+            ctx.fence();
+            ctx.write_u64(PmAddr(self.root.0 + 16), idx + 1);
+            ctx.flush(PmAddr(self.root.0 + 16));
+            ctx.fence();
+        }
+        self.pm_n_levels.store(idx + 1, Ordering::Release);
         levels.insert(0, lvl);
         self.structure_gen.fetch_add(1, Ordering::AcqRel);
         Ok(())
@@ -278,6 +343,13 @@ impl CLevel {
                 let mut l = self.levels.write();
                 if l.len() >= 2 && Arc::ptr_eq(l.last().unwrap(), oldest) {
                     l.pop();
+                    if self.root.0 != 0 {
+                        // Retirement's commit point: bump first_live.
+                        let fl = self.pm_first_live.fetch_add(1, Ordering::AcqRel) + 1;
+                        ctx.write_u64(PmAddr(self.root.0 + 8), fl);
+                        ctx.flush(PmAddr(self.root.0 + 8));
+                        ctx.fence();
+                    }
                     self.structure_gen.fetch_add(1, Ordering::AcqRel);
                 }
             }
@@ -301,8 +373,10 @@ impl CLevel {
                     let item = w & ADDR_MASK;
                     let key = ctx.read_u64(PmAddr(item));
                     if self.try_place(ctx, w & !FROZEN, key) {
-                        // The new copy is visible; retire the old slot.
+                        // The new copy is durable; retire the old slot.
                         ctx.write_u64(sa, 0);
+                        ctx.flush(sa);
+                        ctx.fence();
                     } else {
                         // Newest level full mid-migration: unfreeze and
                         // leave the item. The bucket does not count as
@@ -317,6 +391,146 @@ impl CLevel {
             if bucket_drained {
                 oldest.done.fetch_add(1, Ordering::AcqRel);
             }
+        }
+    }
+
+    /// Rebuild from the persistent root after a crash.
+    ///
+    /// Besides re-reading the level array, recovery repairs the two
+    /// artifacts a crash mid-migration can leave behind: FROZEN bits on
+    /// slots (stripped — no migration is in progress any more) and a key
+    /// present in two levels (the copy with the lower item address — the
+    /// older log position — is cleared, so a restarted migration can never
+    /// duplicate it into the newest level).
+    pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        let rec = PmAllocator::recover(ctx)?;
+        let (root, root_len) = rec.alloc.reserved();
+        if root_len < ROOT_LEN || ctx.read_u64(root) != MAGIC {
+            return None;
+        }
+        let first_live = ctx.read_u64(PmAddr(root.0 + 8));
+        let n_levels = ctx.read_u64(PmAddr(root.0 + 16));
+        let log_base = PmAddr(ctx.read_u64(PmAddr(root.0 + 24)));
+        let log_len = ctx.read_u64(PmAddr(root.0 + 32));
+        let regions: HashSet<u64> = rec.regions.iter().map(|&(a, _)| a.0).collect();
+        if n_levels == 0
+            || n_levels > MAX_LEVELS
+            || first_live >= n_levels
+            || !regions.contains(&log_base.0)
+        {
+            return None;
+        }
+        let mut birth: Vec<Arc<LevelArr>> = Vec::new();
+        for i in first_live..n_levels {
+            let e = root.0 + 64 + i * 16;
+            let addr = PmAddr(ctx.read_u64(PmAddr(e)));
+            let n_buckets = ctx.read_u64(PmAddr(e + 8));
+            if !regions.contains(&addr.0) || !n_buckets.is_power_of_two() {
+                return None;
+            }
+            birth.push(Arc::new(LevelArr {
+                addr,
+                n_buckets,
+                cursor: AtomicU64::new(0),
+                done: AtomicU64::new(0),
+            }));
+        }
+        let levels: Vec<Arc<LevelArr>> = birth.into_iter().rev().collect();
+
+        // Deterministic slot walk, newest level first: key -> kept slot.
+        let mut seen: HashMap<u64, (PmAddr, u64)> = HashMap::new();
+        for lvl in &levels {
+            for b in 0..lvl.n_buckets {
+                for s in 0..SLOTS {
+                    let sa = lvl.slot(b, s);
+                    let mut w = ctx.read_u64(sa);
+                    if w & ADDR_MASK == 0 {
+                        continue;
+                    }
+                    if w & FROZEN != 0 {
+                        w &= !FROZEN;
+                        ctx.write_u64(sa, w);
+                        ctx.flush(sa);
+                        ctx.fence();
+                    }
+                    let key = ctx.read_u64(PmAddr(w & ADDR_MASK));
+                    match seen.entry(key) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert((sa, w));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            // Higher item address = appended later = newer.
+                            let (kept_sa, kept_w) = *e.get();
+                            let loser = if w & ADDR_MASK > kept_w & ADDR_MASK {
+                                e.insert((sa, w));
+                                kept_sa
+                            } else {
+                                sa
+                            };
+                            ctx.write_u64(loser, 0);
+                            ctx.flush(loser);
+                            ctx.fence();
+                        }
+                    }
+                }
+            }
+        }
+        let entries = seen.len() as u64;
+
+        // The log head is the end of the committed item prefix.
+        let mut off = 0u64;
+        while off + 16 <= log_len {
+            if ctx.read_u64(PmAddr(log_base.0 + off)) == 0 {
+                break;
+            }
+            let len = ctx.read_u64(PmAddr(log_base.0 + off + 8));
+            let need = (16 + len).div_ceil(16) * 16;
+            if off + need > log_len {
+                break;
+            }
+            off += need;
+        }
+
+        Some(Self {
+            alloc: Arc::new(rec.alloc),
+            levels: RwLock::new(levels),
+            entries: AtomicU64::new(entries),
+            structure_gen: AtomicU64::new(0),
+            log_base,
+            log_len,
+            log_head: AtomicU64::new(off),
+            root,
+            pm_first_live: AtomicU64::new(first_live),
+            pm_n_levels: AtomicU64::new(n_levels),
+        })
+    }
+
+    /// CLevel as a [`CrashTarget`] for the crash-point sweep.
+    pub fn crash_target(pow: u32) -> CrashTarget {
+        CrashTarget {
+            name: "CLevel".into(),
+            format: Box::new(move |ctx| {
+                Box::new(CLevel::format(ctx, pow).expect("format CLevel"))
+            }),
+            recover: Box::new(|ctx| {
+                let idx = CLevel::recover(ctx)?;
+                // Live regions: the item log and every non-retired level.
+                // Retired-but-never-freed levels (CLevel proper reclaims
+                // with epochs) show up as counted leaks, as do levels lost
+                // to a crash before their grow committed.
+                let mut reachable: HashSet<u64> = idx
+                    .snapshot()
+                    .iter()
+                    .map(|l| l.addr.0)
+                    .collect();
+                reachable.insert(idx.log_base.0);
+                let (leaked_allocs, audit_error) = common::audit_census(ctx, &reachable);
+                Some(Recovery {
+                    index: Box::new(idx),
+                    leaked_allocs,
+                    audit_error,
+                })
+            }),
         }
     }
 }
@@ -362,6 +576,8 @@ impl PersistentIndex for CLevel {
                 }
                 Some((slot, w)) => {
                     if ctx.cas_u64(slot, w, new_word).is_ok() {
+                        ctx.flush(slot);
+                        ctx.fence();
                         // The old item becomes log garbage.
                         return Ok(());
                     }
@@ -391,6 +607,8 @@ impl PersistentIndex for CLevel {
                 }
                 Some((slot, w)) => {
                     if ctx.cas_u64(slot, w, 0).is_ok() {
+                        ctx.flush(slot);
+                        ctx.fence();
                         self.entries.fetch_sub(1, Ordering::Relaxed);
                         return true;
                     }
@@ -457,14 +675,57 @@ mod tests {
     }
 
     #[test]
+    fn recover_roundtrip_across_growth() {
+        let (dev, idx, mut ctx) = setup();
+        let blob = vec![0x6bu8; 200];
+        idx.insert(&mut ctx, 7777, &blob).unwrap();
+        for k in 1..=1200u64 {
+            idx.insert_u64(&mut ctx, k, k).unwrap(); // forces grows + migration
+        }
+        for k in 1..=30u64 {
+            idx.update_u64(&mut ctx, k, k + 5).unwrap();
+        }
+        for k in 200..=210u64 {
+            assert!(idx.remove(&mut ctx, k));
+        }
+        let live = idx.entries();
+        dev.flush_cache_all();
+        drop(idx);
+
+        let mut ctx2 = dev.ctx();
+        let r = CLevel::recover(&mut ctx2).expect("recover CLevel");
+        assert_eq!(r.entries(), live);
+        for k in 1..=30u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), Some(k + 5), "updated key {k}");
+        }
+        for k in 200..=210u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), None, "removed key {k}");
+        }
+        assert_eq!(r.get_u64(&mut ctx2, 1200), Some(1200));
+        let mut out = Vec::new();
+        assert!(r.get(&mut ctx2, 7777, &mut out));
+        assert_eq!(out, blob);
+        r.insert_u64(&mut ctx2, 90_000, 3).unwrap();
+        assert_eq!(r.get_u64(&mut ctx2, 90_000), Some(3));
+    }
+
+    #[test]
+    fn recover_refuses_unformatted_image() {
+        let (_d, mut ctx) = test_device();
+        assert!(CLevel::recover(&mut ctx).is_none());
+        let _ = PmAllocator::format(&mut ctx, 0);
+        assert!(CLevel::recover(&mut ctx).is_none());
+    }
+
+    #[test]
     fn concurrent_mixed_ops() {
         let (dev, mut ctx) = test_device();
         let idx = Arc::new(CLevel::format(&mut ctx, 4).unwrap());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for i in 0..600u64 {
                         let k = 1 + t * 600 + i;
@@ -474,8 +735,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for k in 1..=2400u64 {
             assert_eq!(idx.get_u64(&mut ctx, k), Some(k + 1), "key {k}");
         }

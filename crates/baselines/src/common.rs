@@ -70,6 +70,10 @@ pub fn write_blob(
     ctx.write_u64(a.addr, key);
     ctx.write_u64(PmAddr(a.addr.0 + 8), value.len() as u64);
     ctx.write_bytes(PmAddr(a.addr.0 + 16), value);
+    // Persist the blob before the caller publishes a pointer to it: the
+    // slot word must never become durable ahead of the bytes it names.
+    ctx.flush_range(a.addr, 16 + value.len() as u64);
+    ctx.fence();
     Ok(a.addr)
 }
 
@@ -113,6 +117,49 @@ pub fn make_val(
         Some(w) => Ok(w),
         None => Ok(pack_blob(write_blob(alloc, ctx, key, value)?)),
     }
+}
+
+/// Census-vs-reachability audit shared by the baseline crash targets
+/// (the same two-way check `Spash::audit_heap` performs): every address in
+/// `reachable` (region starts and blob addresses the recovered index can
+/// reach) must be a live allocation in the heap's own books — anything
+/// else is use-after-free-grade corruption — while live allocations the
+/// index cannot reach are *counted* as leaks. Bounded leaks are expected:
+/// small slots freed into the allocator's volatile caches keep their
+/// persistent bits, and an in-flight operation can lose its freshly
+/// written blob or region to the crash.
+pub fn audit_census(
+    ctx: &mut MemCtx,
+    reachable: &std::collections::HashSet<u64>,
+) -> (u64, Option<String>) {
+    let census = match PmAllocator::census(ctx) {
+        Some(c) => c,
+        None => return (0, Some("no formatted heap found".into())),
+    };
+    let mut allocated = std::collections::HashSet::new();
+    for &(a, _) in &census.small_slots {
+        allocated.insert(a.0);
+    }
+    for &a in &census.segments {
+        allocated.insert(a.0);
+    }
+    for &(a, _) in &census.large {
+        allocated.insert(a.0);
+    }
+    for &(a, _) in &census.regions {
+        allocated.insert(a.0);
+    }
+    for &r in reachable {
+        if !allocated.contains(&r) {
+            return (
+                0,
+                Some(format!(
+                    "reachable address {r:#x} is not a live allocation in the heap census"
+                )),
+            );
+        }
+    }
+    (allocated.difference(reachable).count() as u64, None)
 }
 
 /// A reader-writer lock whose lock word lives in PM: every acquisition and

@@ -13,11 +13,13 @@
 //!   but **lock-based writes** — why its write-intensive YCSB numbers trail
 //!   its read-intensive ones (Fig 10).
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use spash_pmem::sync::RwLock;
 use spash_alloc::PmAllocator;
+use spash_index_api::crashpoint::{CrashTarget, Recovery};
 use spash_index_api::{hash_key, IndexError, PersistentIndex};
 use spash_pmem::{MemCtx, PmAddr, VLock, VRwLock};
 
@@ -27,8 +29,29 @@ const BUCKETS: u64 = 60;
 const STASH: u64 = 4;
 const SLOTS: u64 = 14;
 const BUCKET_BYTES: u64 = 256;
-/// 64-byte segment header (version word) + 64 buckets.
+/// 64-byte segment header + 64 buckets.
 const SEG_BYTES: u64 = 64 + (BUCKETS + STASH) * BUCKET_BYTES;
+/// What the allocator's chunk-rounded region length for a segment is.
+const SEG_REGION: u64 = SEG_BYTES.div_ceil(256) * 256;
+/// Root-block magic ("DashDir1"): says "this heap holds a Dash".
+const ROOT_MAGIC: u64 = 0x4461_7368_4469_7231;
+const ROOT_LEN: u64 = 64;
+/// Segment identity, in the otherwise-unused 64-byte segment header:
+/// word 0 `meta = MAGIC1:16 | local_depth:8 | prefix:40`, word 1 a second
+/// full-word magic. Both must match for recovery to accept the region as
+/// a committed segment.
+const SEG_MAGIC1: u64 = 0xDA54;
+const SEG_MAGIC2: u64 = 0x4461_7368_5365_6732;
+const PREFIX_MASK: u64 = (1 << 40) - 1;
+
+/// Publish (or re-stamp) a segment's identity header.
+fn write_seg_header(ctx: &mut MemCtx, seg: PmAddr, ld: u8, prefix: u64) {
+    debug_assert!(prefix <= PREFIX_MASK);
+    ctx.write_u64(seg, SEG_MAGIC1 << 48 | u64::from(ld) << 40 | prefix);
+    ctx.write_u64(PmAddr(seg.0 + 8), SEG_MAGIC2);
+    ctx.flush_range(seg, 16);
+    ctx.fence();
+}
 
 struct Seg {
     addr: PmAddr,
@@ -86,8 +109,17 @@ impl Dash {
     pub fn new(ctx: &mut MemCtx, alloc: Arc<PmAllocator>, depth: u32) -> Result<Self, IndexError> {
         let n = 1usize << depth;
         let mut entries = Vec::with_capacity(n);
-        for _ in 0..n {
-            entries.push((Self::alloc_seg(ctx, &alloc)?, depth as u8));
+        for i in 0..n {
+            let seg = Self::alloc_seg(ctx, &alloc)?;
+            write_seg_header(ctx, seg.addr, depth as u8, i as u64);
+            entries.push((seg, depth as u8));
+        }
+        // Root magic last: a crash mid-format recovers as "no Dash here".
+        let (root, root_len) = alloc.reserved();
+        if root_len >= ROOT_LEN {
+            ctx.write_u64(root, ROOT_MAGIC);
+            ctx.flush(root);
+            ctx.fence();
         }
         Ok(Self {
             alloc,
@@ -98,7 +130,7 @@ impl Dash {
     }
 
     pub fn format(ctx: &mut MemCtx, depth: u32) -> Result<Self, IndexError> {
-        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        let alloc = Arc::new(PmAllocator::format(ctx, ROOT_LEN));
         Self::new(ctx, alloc, depth)
     }
 
@@ -199,14 +231,21 @@ impl Dash {
         // optimistic readers validate against it.
         let v = ctx.read_u64(seg.ver_addr(b));
         ctx.write_u64(seg.ver_addr(b), v + 1);
+        // Persist the record, then publish it in the bitmap (Dash's
+        // clwb+fence ordering): a crash loses the insertion, never
+        // exposes a half-written record.
         ctx.write_u64(PmAddr(seg.slot_addr(b, free).0 + 8), vw);
         ctx.write_u64(seg.slot_addr(b, free), key);
+        ctx.flush_range(seg.slot_addr(b, free), 16);
+        ctx.fence();
         // Fingerprint byte + bitmap: the metadata PM writes Spash avoids.
         let mut fp = [0u8; 1];
         fp[0] = fp8(h);
         ctx.write_bytes(PmAddr(seg.fp_addr(b).0 + free), &fp);
         ctx.write_u64(seg.meta_addr(b), bitmap | 1 << free);
         ctx.write_u64(seg.ver_addr(b), v + 2);
+        ctx.flush_range(seg.bucket_addr(b), 32);
+        ctx.fence();
         true
     }
 
@@ -218,7 +257,10 @@ impl Dash {
         let v = ctx.read_u64(seg.ver_addr(b));
         ctx.write_u64(seg.ver_addr(b), v + 1);
         let bitmap = ctx.read_u64(seg.meta_addr(b));
+        // Unpublish first (flushed), then scrub the key word.
         ctx.write_u64(seg.meta_addr(b), bitmap & !(1 << s));
+        ctx.flush(seg.meta_addr(b));
+        ctx.fence();
         ctx.write_u64(seg.slot_addr(b, s), EMPTY_KEY);
         ctx.write_u64(seg.ver_addr(b), v + 2);
     }
@@ -316,7 +358,7 @@ impl Dash {
                 continue;
             }
             let new_seg = Self::alloc_seg(ctx, &self.alloc)?;
-            let mut homeless: Vec<(u64, u64)> = Vec::new();
+            let mut homeless: Vec<(u64, u64, u64, u64)> = Vec::new();
             let done = seg.rw.write(ctx, |ctx, _| {
                 let mut d = self.dir.write();
                 let depth_now = d.depth;
@@ -325,7 +367,15 @@ impl Dash {
                 if !Arc::ptr_eq(&cur, &seg) || ld_now != ld || u32::from(ld_now) >= depth_now {
                     return false;
                 }
-                // Rehash every record whose next prefix bit is 1.
+                // Crash-safe split order: (1) copy every record whose next
+                // prefix bit is 1 into the new segment *without* removing it
+                // from the old one, (2) commit the new segment's identity
+                // header and re-stamp the old one's depth/prefix, (3) only
+                // then remove the moved records. A crash before (2) leaves
+                // the old segment authoritative for its whole prefix; a
+                // crash after it makes the stale copies orphans that
+                // recovery's sweep reinserts-or-discards.
+                let mut moved: Vec<(u64, u64)> = Vec::new();
                 for b in 0..BUCKETS + STASH {
                     let bitmap = ctx.read_u64(seg.meta_addr(b)) as u16;
                     for s in 0..SLOTS {
@@ -355,15 +405,24 @@ impl Dash {
                                     }
                                 }
                             }
-                            if !placed {
+                            if placed {
+                                moved.push((b, s));
+                            } else {
                                 // Essentially unreachable (84 collision
                                 // slots); reinsert through the normal path
                                 // after the split.
-                                homeless.push((k, vw));
+                                homeless.push((b, s, k, vw));
                             }
-                            self.bucket_remove(ctx, &seg, b, s);
                         }
                     }
+                }
+                // Commit point: the new segment becomes real, the old one
+                // narrows to the lower half of its prefix.
+                let p = (idx >> (depth_now - u32::from(ld))) as u64;
+                write_seg_header(ctx, new_seg.addr, ld + 1, p * 2 + 1);
+                write_seg_header(ctx, seg.addr, ld + 1, p * 2);
+                for (b, s) in moved {
+                    self.bucket_remove(ctx, &seg, b, s);
                 }
                 let span = 1usize << (depth_now - u32::from(ld));
                 let base = (idx >> (depth_now - u32::from(ld))) << (depth_now - u32::from(ld));
@@ -379,13 +438,171 @@ impl Dash {
             });
             if done {
                 self.n_segs.fetch_add(1, Ordering::Relaxed);
-                for (k, vw) in homeless {
+                for (b, s, k, vw) in homeless {
+                    // Reinsert through the normal path, then retire the old
+                    // copy: a crash in between leaves both, and the stale
+                    // one no longer routes to the old segment, so the
+                    // orphan sweep discards it as a duplicate.
                     self.entries.fetch_sub(1, Ordering::Relaxed);
                     self.insert_word(ctx, k, vw)?;
+                    self.bucket_remove(ctx, &seg, b, s);
                 }
                 return Ok(());
             }
             self.alloc.free_region(ctx, new_seg.addr);
+        }
+    }
+
+    /// Rebuild a Dash from a recovered heap image. Returns `None` when the
+    /// image holds no committed Dash (unformatted, foreign, or torn at a
+    /// point before the first commit).
+    pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        let rec = PmAllocator::recover(ctx)?;
+        let (root, root_len) = rec.alloc.reserved();
+        if root_len < ROOT_LEN || ctx.read_u64(root) != ROOT_MAGIC {
+            return None;
+        }
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        // Committed segments: region of the right (chunk-rounded) size,
+        // both magics intact.
+        let mut segs: Vec<(Arc<Seg>, u8, u64)> = Vec::new();
+        for &(a, len) in &rec.regions {
+            if len != SEG_REGION || ctx.read_u64(PmAddr(a.0 + 8)) != SEG_MAGIC2 {
+                continue;
+            }
+            let meta = ctx.read_u64(a);
+            if meta >> 48 != SEG_MAGIC1 {
+                continue;
+            }
+            let ld = ((meta >> 40) & 0xff) as u8;
+            let prefix = meta & PREFIX_MASK;
+            if u64::from(ld) > 40 || prefix >> ld != 0 {
+                return None; // a committed header can never be malformed
+            }
+            segs.push((
+                Arc::new(Seg {
+                    addr: a,
+                    rw: VRwLock::new((), lock_ns),
+                    bucket_locks: (0..BUCKETS + STASH).map(|_| VLock::new((), lock_ns)).collect(),
+                }),
+                ld,
+                prefix,
+            ));
+        }
+        if segs.is_empty() {
+            return None;
+        }
+        let depth = u32::from(segs.iter().map(|&(_, ld, _)| ld).max().unwrap());
+        if depth == 0 {
+            return None; // Dash's directory routing needs depth >= 1
+        }
+        let mut entries: Vec<Option<(Arc<Seg>, u8)>> = vec![None; 1 << depth];
+        let mut by_depth = segs.clone();
+        by_depth.sort_by_key(|&(ref s, ld, prefix)| (ld, prefix, s.addr.0));
+        for (seg, ld, prefix) in by_depth {
+            let shift = depth - u32::from(ld);
+            let base = (prefix << shift) as usize;
+            for e in entries.iter_mut().skip(base).take(1 << shift) {
+                *e = Some((Arc::clone(&seg), ld));
+            }
+        }
+        // A directory hole means the image is torn/foreign.
+        let entries: Vec<(Arc<Seg>, u8)> = entries.into_iter().collect::<Option<_>>()?;
+
+        let idx = Self {
+            alloc: Arc::new(rec.alloc),
+            dir: RwLock::new(Dir { depth, entries }),
+            entries: AtomicU64::new(0),
+            n_segs: AtomicU64::new(segs.len() as u64),
+        };
+        // Repair version words and count routable keys; collect stranded
+        // ones. A crash mid-mutation leaves a bucket's version word odd
+        // ("busy"), which would spin optimistic readers forever.
+        let mut routable = 0u64;
+        let mut orphans: Vec<(Arc<Seg>, u64, u64, u64, u64)> = Vec::new();
+        for (seg, _, _) in &segs {
+            for b in 0..BUCKETS + STASH {
+                let ver = ctx.read_u64(seg.ver_addr(b));
+                if ver & 1 == 1 {
+                    ctx.write_u64(seg.ver_addr(b), ver + 1);
+                }
+                let bitmap = ctx.read_u64(seg.meta_addr(b)) as u16;
+                for s in 0..SLOTS {
+                    if bitmap & (1 << s) == 0 {
+                        continue;
+                    }
+                    let k = ctx.read_u64(seg.slot_addr(b, s));
+                    if k == EMPTY_KEY {
+                        // Published bit without a key (possible only under
+                        // Adr): drop the slot.
+                        idx.bucket_remove(ctx, seg, b, s);
+                        continue;
+                    }
+                    let (routed, _, _) = idx.route(ctx, hash_key(k));
+                    if Arc::ptr_eq(&routed, seg) {
+                        routable += 1;
+                    } else {
+                        let v = ctx.read_u64(PmAddr(seg.slot_addr(b, s).0 + 8));
+                        orphans.push((Arc::clone(seg), b, s, k, v));
+                    }
+                }
+            }
+        }
+        idx.entries.store(routable, Ordering::Relaxed);
+        for (seg, b, s, k, v) in orphans {
+            match idx.insert_word(ctx, k, v) {
+                Ok(()) | Err(IndexError::DuplicateKey) => {}
+                Err(_) => return None,
+            }
+            idx.bucket_remove(ctx, &seg, b, s);
+        }
+        Some(idx)
+    }
+
+    /// Dash as a [`CrashTarget`] for the crash-point sweep.
+    pub fn crash_target(depth: u32) -> CrashTarget {
+        CrashTarget {
+            name: "Dash".into(),
+            format: Box::new(move |ctx| {
+                Box::new(Dash::format(ctx, depth).expect("format Dash"))
+            }),
+            recover: Box::new(|ctx| {
+                let idx = Dash::recover(ctx)?;
+                // Committed segments plus every blob a live slot points at.
+                let mut reachable: HashSet<u64> = HashSet::new();
+                let d = idx.dir.read();
+                let segs: Vec<Arc<Seg>> = {
+                    let mut v: Vec<Arc<Seg>> = Vec::new();
+                    for (seg, _) in d.entries.iter() {
+                        if !v.iter().any(|s| Arc::ptr_eq(s, seg)) {
+                            v.push(Arc::clone(seg));
+                        }
+                    }
+                    v
+                };
+                drop(d);
+                for seg in &segs {
+                    reachable.insert(seg.addr.0);
+                    for b in 0..BUCKETS + STASH {
+                        let bitmap = ctx.read_u64(seg.meta_addr(b)) as u16;
+                        for s in 0..SLOTS {
+                            if bitmap & (1 << s) == 0 {
+                                continue;
+                            }
+                            let vw = ctx.read_u64(PmAddr(seg.slot_addr(b, s).0 + 8));
+                            if let common::ValWord::Blob(a) = common::unpack_val(vw) {
+                                reachable.insert(a.0);
+                            }
+                        }
+                    }
+                }
+                let (leaked_allocs, audit_error) = common::audit_census(ctx, &reachable);
+                Some(Recovery {
+                    index: Box::new(idx),
+                    leaked_allocs,
+                    audit_error,
+                })
+            }),
         }
     }
 }
@@ -436,6 +653,8 @@ impl PersistentIndex for Dash {
                         let v = ctx.read_u64(seg.ver_addr(b));
                         ctx.write_u64(seg.ver_addr(b), v + 1);
                         ctx.write_u64(PmAddr(seg.slot_addr(b, s).0 + 8), vw);
+                        ctx.flush(PmAddr(seg.slot_addr(b, s).0 + 8));
+                        ctx.fence();
                         ctx.write_u64(seg.ver_addr(b), v + 2);
                         Out::Done(old)
                     }),
@@ -600,11 +819,11 @@ mod tests {
     fn concurrent_inserts_and_gets() {
         let (dev, mut ctx) = test_device();
         let idx = Arc::new(Dash::format(&mut ctx, 1).unwrap());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for i in 0..1000u64 {
                         let k = 1 + t * 1000 + i;
@@ -613,10 +832,56 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for k in 1..=4000u64 {
             assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k}");
         }
+    }
+
+    #[test]
+    fn recover_roundtrip_across_splits() {
+        let (dev, mut ctx) = test_device();
+        let idx = Dash::format(&mut ctx, 1).unwrap();
+        let n = 4000u64;
+        for k in 1..=n {
+            idx.insert_u64(&mut ctx, k, k * 3).unwrap();
+        }
+        let blob = vec![7u8; 300];
+        idx.insert(&mut ctx, 9999, &blob).unwrap();
+        for k in 1..=50 {
+            idx.update_u64(&mut ctx, k, k + 100).unwrap();
+        }
+        for k in 100..=120 {
+            assert!(idx.remove(&mut ctx, k));
+        }
+        let live = idx.entries();
+        drop(idx);
+        dev.flush_cache_all();
+
+        let rec = Dash::recover(&mut ctx).expect("recover Dash");
+        assert_eq!(rec.entries(), live);
+        for k in 1..=50u64 {
+            assert_eq!(rec.get_u64(&mut ctx, k), Some(k + 100), "updated {k}");
+        }
+        for k in 100..=120u64 {
+            assert!(rec.get_u64(&mut ctx, k).is_none(), "removed {k}");
+        }
+        for k in 121..=n {
+            assert_eq!(rec.get_u64(&mut ctx, k), Some(k * 3), "key {k}");
+        }
+        let mut out = Vec::new();
+        assert!(rec.get(&mut ctx, 9999, &mut out));
+        assert_eq!(out, blob);
+        // The recovered index stays usable.
+        rec.insert_u64(&mut ctx, n + 1, 1).unwrap();
+        assert_eq!(rec.get_u64(&mut ctx, n + 1), Some(1));
+    }
+
+    #[test]
+    fn recover_refuses_unformatted_image() {
+        let (_d, mut ctx) = test_device();
+        assert!(Dash::recover(&mut ctx).is_none());
+        let _ = PmAllocator::format(&mut ctx, 0);
+        assert!(Dash::recover(&mut ctx).is_none());
     }
 }

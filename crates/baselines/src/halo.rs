@@ -15,13 +15,16 @@
 //!   traffic;
 //! * writes are **lock-based** (per-shard), reads lock-free from DRAM.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use spash_alloc::PmAllocator;
+use spash_index_api::crashpoint::{CrashTarget, Recovery};
 use spash_index_api::{hash_key, IndexError, PersistentIndex};
 use spash_pmem::{MemCtx, PmAddr, VRwLock};
+
+use crate::common;
 
 const SHARDS: usize = 64;
 /// Log extent handed to a thread at a time.
@@ -31,6 +34,11 @@ const SNAP_EVERY: u64 = 4096;
 /// Log-entry header: [key: u64][len+flags: u64].
 const HDR: u64 = 16;
 const DEAD_FLAG: u64 = 1 << 63;
+/// Root-block magic ("Halo" log layout, v1) in the allocator's reserved
+/// region: `[magic][log_base][log_len][snap_base][snap_len]`.
+const MAGIC: u64 = 0x4861_6c6f_4c67_3176;
+/// Reserved bytes for the root block.
+const ROOT_LEN: u64 = 256;
 
 struct ShardMap {
     map: HashMap<u64, (u64, u32)>, // key -> (log offset, value len)
@@ -69,6 +77,16 @@ impl Halo {
         let snap_base = alloc
             .alloc_region(ctx, snap_len)
             .map_err(|_| IndexError::OutOfMemory)?;
+        // Publish the root block last: a half-formatted image recovers as
+        // "no Halo here" rather than as garbage.
+        let (root, root_len) = alloc.reserved();
+        if root_len >= ROOT_LEN {
+            ctx.write_u64(PmAddr(root.0 + 8), log_base.0);
+            ctx.write_u64(PmAddr(root.0 + 16), log_bytes);
+            ctx.write_u64(PmAddr(root.0 + 24), snap_base.0);
+            ctx.write_u64(PmAddr(root.0 + 32), snap_len);
+            ctx.write_u64(root, MAGIC);
+        }
         Ok(Self {
             alloc,
             shards: (0..SHARDS)
@@ -94,7 +112,7 @@ impl Halo {
     }
 
     pub fn format(ctx: &mut MemCtx, log_bytes: u64, dram_budget: u64) -> Result<Self, IndexError> {
-        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        let alloc = Arc::new(PmAllocator::format(ctx, ROOT_LEN));
         Self::new(ctx, alloc, log_bytes, dram_budget)
     }
 
@@ -104,6 +122,10 @@ impl Halo {
     }
 
     /// Append `[key][len][value]` to the log; returns the entry offset.
+    ///
+    /// The key word is written LAST: recovery's log replay treats a
+    /// zero key as end-of-log, so an entry torn by a crash mid-append
+    /// stays invisible instead of surfacing with a partial value.
     fn log_append(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<u64, IndexError> {
         let need = HDR + value.len() as u64;
         let off = self.log_head.fetch_add(need.div_ceil(16) * 16, Ordering::Relaxed);
@@ -111,9 +133,13 @@ impl Halo {
             return Err(IndexError::OutOfMemory);
         }
         let a = self.log_base.0 + off;
-        ctx.write_u64(PmAddr(a), key);
-        ctx.write_u64(PmAddr(a + 8), value.len() as u64);
         ctx.write_bytes(PmAddr(a + 16), value);
+        ctx.write_u64(PmAddr(a + 8), value.len() as u64);
+        ctx.flush_range(PmAddr(a + 8), 8 + value.len() as u64);
+        ctx.fence();
+        ctx.write_u64(PmAddr(a), key);
+        ctx.flush(PmAddr(a));
+        ctx.fence();
         let _ = EXTENT; // extent-grained allocation folded into the head bump
         Ok(off)
     }
@@ -123,6 +149,8 @@ impl Halo {
         let a = self.log_base.0 + off + 8;
         let w = ctx.read_u64(PmAddr(a));
         ctx.write_u64(PmAddr(a), w | DEAD_FLAG);
+        ctx.flush(PmAddr(a));
+        ctx.fence();
         self.garbage_bytes
             .fetch_add(HDR + len as u64, Ordering::Relaxed);
     }
@@ -146,6 +174,92 @@ impl Halo {
         }
         ctx.fence();
     }
+
+    /// Rebuild the DRAM table from the PM log after a crash.
+    ///
+    /// Replay walks the log in append order until the first zero key
+    /// (appends write the key word last, so a torn tail entry reads as
+    /// end-of-log). Dead-flagged entries are skipped; for a key with
+    /// several live entries — a crash can land between appending a new
+    /// version and invalidating the old — the later offset wins.
+    pub fn recover(ctx: &mut MemCtx, dram_budget: u64) -> Option<Self> {
+        let rec = PmAllocator::recover(ctx)?;
+        let (root, root_len) = rec.alloc.reserved();
+        if root_len < ROOT_LEN || ctx.read_u64(root) != MAGIC {
+            return None;
+        }
+        let log_base = PmAddr(ctx.read_u64(PmAddr(root.0 + 8)));
+        let log_len = ctx.read_u64(PmAddr(root.0 + 16));
+        let snap_base = PmAddr(ctx.read_u64(PmAddr(root.0 + 24)));
+        let snap_len = ctx.read_u64(PmAddr(root.0 + 32));
+
+        let mut map: HashMap<u64, (u64, u32)> = HashMap::new();
+        let mut garbage = 0u64;
+        let mut off = 0u64;
+        while off + HDR <= log_len {
+            let key = ctx.read_u64(PmAddr(log_base.0 + off));
+            if key == 0 {
+                break;
+            }
+            let lenw = ctx.read_u64(PmAddr(log_base.0 + off + 8));
+            let len = lenw & !DEAD_FLAG;
+            if off + HDR + len > log_len {
+                break; // torn length; nothing committed can live past it
+            }
+            if lenw & DEAD_FLAG != 0 {
+                garbage += HDR + len;
+            } else {
+                map.insert(key, (off, len as u32));
+            }
+            off += (HDR + len).div_ceil(16) * 16;
+        }
+
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        let mut shards: Vec<HashMap<u64, (u64, u32)>> =
+            (0..SHARDS).map(|_| HashMap::new()).collect();
+        for (k, v) in map {
+            shards[Self::shard_of(hash_key(k))].insert(k, v);
+        }
+        let entries: u64 = shards.iter().map(|m| m.len() as u64).sum();
+        Some(Self {
+            alloc: Arc::new(rec.alloc),
+            shards: shards
+                .into_iter()
+                .map(|map| VRwLock::new(ShardMap { map, muts: 0 }, lock_ns))
+                .collect(),
+            log_base,
+            log_len,
+            log_head: AtomicU64::new(off),
+            snap_base,
+            snap_len,
+            garbage_bytes: AtomicU64::new(garbage),
+            entries: AtomicU64::new(entries),
+            dram_budget,
+        })
+    }
+
+    /// Halo as a [`CrashTarget`] for the crash-point sweep.
+    pub fn crash_target(log_bytes: u64, dram_budget: u64) -> CrashTarget {
+        CrashTarget {
+            name: "Halo".into(),
+            format: Box::new(move |ctx| {
+                Box::new(Halo::format(ctx, log_bytes, dram_budget).expect("format Halo"))
+            }),
+            recover: Box::new(move |ctx| {
+                let idx = Halo::recover(ctx, dram_budget)?;
+                // Everything Halo owns is two regions; live/dead log
+                // entries are sub-region state the census cannot see.
+                let reachable: HashSet<u64> =
+                    [idx.log_base.0, idx.snap_base.0].into_iter().collect();
+                let (leaked_allocs, audit_error) = common::audit_census(ctx, &reachable);
+                Some(Recovery {
+                    index: Box::new(idx),
+                    leaked_allocs,
+                    audit_error,
+                })
+            }),
+        }
+    }
 }
 
 impl PersistentIndex for Halo {
@@ -159,57 +273,47 @@ impl PersistentIndex for Halo {
             return Err(IndexError::OutOfMemory);
         }
         let h = hash_key(key);
-        let off = self.log_append(ctx, key, value)?;
         let len = value.len() as u32;
+        // Check-then-append under the shard lock: appending a doomed
+        // entry first (and invalidating it on failure) would let a crash
+        // between the two resurrect a value the operation never committed.
         let r = self.shards[Self::shard_of(h)].write(ctx, |ctx, sh| {
             ctx.charge_dram(1);
             if sh.map.contains_key(&key) {
                 return Err(IndexError::DuplicateKey);
             }
+            let off = self.log_append(ctx, key, value)?;
             sh.map.insert(key, (off, len));
             sh.muts += 1;
             self.maybe_snapshot(ctx, sh);
             Ok(())
         });
-        match r {
-            Ok(()) => {
-                self.entries.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(e) => {
-                self.log_invalidate(ctx, off, len);
-                Err(e)
-            }
-        }
+        r.map(|()| {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        })
     }
 
     fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
         let h = hash_key(key);
-        let off = self.log_append(ctx, key, value)?;
         let len = value.len() as u32;
         let old = self.shards[Self::shard_of(h)].write(ctx, |ctx, sh| {
             ctx.charge_dram(1);
-            match sh.map.get_mut(&key) {
-                None => None,
-                Some(slot) => {
-                    let old = *slot;
-                    *slot = (off, len);
-                    sh.muts += 1;
-                    self.maybe_snapshot(ctx, sh);
-                    Some(old)
-                }
+            if !sh.map.contains_key(&key) {
+                return Err(IndexError::NotFound);
             }
-        });
-        match old {
-            None => {
-                self.log_invalidate(ctx, off, len);
-                Err(IndexError::NotFound)
-            }
-            Some((old_off, old_len)) => {
-                self.log_invalidate(ctx, old_off, old_len);
-                Ok(())
-            }
-        }
+            let off = self.log_append(ctx, key, value)?;
+            let slot = sh.map.get_mut(&key).expect("checked above");
+            let old = *slot;
+            *slot = (off, len);
+            sh.muts += 1;
+            self.maybe_snapshot(ctx, sh);
+            Ok(old)
+        })?;
+        // Invalidate the superseded entry; a crash before this lands
+        // leaves both entries live and recovery's later-offset-wins rule
+        // picks the new one.
+        self.log_invalidate(ctx, old.0, old.1);
+        Ok(())
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
@@ -326,14 +430,55 @@ mod tests {
     }
 
     #[test]
+    fn recover_replays_log_later_offset_wins() {
+        let (dev, idx, mut ctx) = setup();
+        for k in 1..=50u64 {
+            idx.insert_u64(&mut ctx, k, k).unwrap();
+        }
+        for k in 1..=20u64 {
+            idx.update_u64(&mut ctx, k, k + 100).unwrap();
+        }
+        for k in 40..=45u64 {
+            assert!(idx.remove(&mut ctx, k));
+        }
+        dev.flush_cache_all();
+        drop(idx);
+
+        let mut ctx2 = dev.ctx();
+        let r = Halo::recover(&mut ctx2, u64::MAX).expect("recover Halo");
+        assert_eq!(r.entries(), 44);
+        for k in 1..=20u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), Some(k + 100), "updated key {k}");
+        }
+        for k in 21..=39u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), Some(k), "untouched key {k}");
+        }
+        for k in 40..=45u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), None, "removed key {k}");
+        }
+        // The recovered index stays usable: the log head landed after the
+        // last committed entry.
+        r.insert_u64(&mut ctx2, 999, 999).unwrap();
+        assert_eq!(r.get_u64(&mut ctx2, 999), Some(999));
+    }
+
+    #[test]
+    fn recover_refuses_unformatted_image() {
+        let (_d, mut ctx) = test_device();
+        assert!(Halo::recover(&mut ctx, u64::MAX).is_none());
+        let _ = PmAllocator::format(&mut ctx, 0); // heap but no Halo root
+        assert!(Halo::recover(&mut ctx, u64::MAX).is_none());
+    }
+
+    #[test]
     fn concurrent_mixed() {
         let (dev, mut ctx) = test_device();
         let idx = Arc::new(Halo::format(&mut ctx, 32 << 20, u64::MAX).unwrap());
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for i in 0..800u64 {
                         let k = 1 + t * 800 + i;
@@ -342,8 +487,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for k in 1..=3200u64 {
             assert_eq!(idx.get_u64(&mut ctx, k), Some(k + 1), "key {k}");
         }

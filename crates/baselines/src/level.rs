@@ -14,11 +14,13 @@
 //! Buckets are 128 bytes: a metadata word (allocation bitmap — more of the
 //! metadata PM traffic Spash eliminates), four 16-byte slots, padding.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use spash_pmem::sync::RwLock;
 use spash_alloc::PmAllocator;
+use spash_index_api::crashpoint::{CrashTarget, Recovery};
 use spash_index_api::{hash_key, IndexError, PersistentIndex};
 use spash_pmem::{MemCtx, PmAddr};
 
@@ -30,12 +32,20 @@ const HASH_SALT: u64 = 0x5bd1_e995_9e37_79b9;
 /// Sharded bucket locks (a lock per bucket would be DRAM-prohibitive; the
 /// original shards fine-grained locks too).
 const LOCK_SHARDS: usize = 4096;
+/// Root-block magic ("Levl" dual-slot layout, v1).
+const MAGIC: u64 = 0x4c65_766c_5462_6c31;
+/// Reserved bytes: `[magic][selector]` line, then table-descriptor slot A
+/// at +256 and slot B at +512, each `[n_top][top][bottom][lock_region]`.
+const ROOT_LEN: u64 = 1024;
 
 struct Table {
     /// Top level: `n_top` buckets; bottom level: `n_top / 2`.
     top: PmAddr,
     bottom: PmAddr,
     n_top: u64,
+    /// Which root descriptor slot (0 = A, 1 = B) this table is persisted
+    /// in; a rehash writes the *other* slot, then flips the selector.
+    sel: u64,
 }
 
 impl Table {
@@ -64,6 +74,8 @@ pub struct Level {
     alloc: Arc<PmAllocator>,
     table: RwLock<Table>,
     locks: Vec<PmRwLock>,
+    lock_region: PmAddr,
+    root: PmAddr,
     entries: AtomicU64,
 }
 
@@ -73,7 +85,8 @@ impl Level {
         assert!(pow >= 2);
         let lock_ns = ctx.device().config().cost.lock_ns;
         let n_top = 1u64 << pow;
-        let table = Self::alloc_table(ctx, &alloc, n_top)?;
+        let mut table = Self::alloc_table(ctx, &alloc, n_top)?;
+        table.sel = 0;
         // The PM words backing the sharded locks live in one dedicated
         // region.
         let lock_region = alloc
@@ -82,17 +95,40 @@ impl Level {
         let locks = (0..LOCK_SHARDS)
             .map(|i| PmRwLock::new(PmAddr(lock_region.0 + i as u64 * 8), lock_ns))
             .collect();
+        // Persist the root: descriptor slot A, selector, magic LAST, so a
+        // crash mid-format recovers as "no Level here".
+        let (root, root_len) = alloc.reserved();
+        if root_len >= ROOT_LEN {
+            Self::write_slot(ctx, root, 0, &table, lock_region);
+            ctx.write_u64(PmAddr(root.0 + 8), 0);
+            ctx.flush_range(PmAddr(root.0 + 8), 256 + 32);
+            ctx.fence();
+            ctx.write_u64(root, MAGIC);
+            ctx.flush(root);
+            ctx.fence();
+        }
         Ok(Self {
             alloc,
             table: RwLock::new(table),
             locks,
+            lock_region,
+            root,
             entries: AtomicU64::new(0),
         })
     }
 
     pub fn format(ctx: &mut MemCtx, pow: u32) -> Result<Self, IndexError> {
-        let alloc = Arc::new(PmAllocator::format(ctx, 0));
+        let alloc = Arc::new(PmAllocator::format(ctx, ROOT_LEN));
         Self::new(ctx, alloc, pow)
+    }
+
+    /// Persist a table descriptor into root slot `sel`.
+    fn write_slot(ctx: &mut MemCtx, root: PmAddr, sel: u64, t: &Table, lock_region: PmAddr) {
+        let s = root.0 + 256 + sel * 256;
+        ctx.write_u64(PmAddr(s), t.n_top);
+        ctx.write_u64(PmAddr(s + 8), t.top.0);
+        ctx.write_u64(PmAddr(s + 16), t.bottom.0);
+        ctx.write_u64(PmAddr(s + 24), lock_region.0);
     }
 
     fn alloc_table(ctx: &mut MemCtx, alloc: &PmAllocator, n_top: u64) -> Result<Table, IndexError> {
@@ -111,7 +147,12 @@ impl Level {
                 off += n as u64;
             }
         }
-        Ok(Table { top, bottom, n_top })
+        Ok(Table {
+            top,
+            bottom,
+            n_top,
+            sel: 0,
+        })
     }
 
     #[inline]
@@ -144,9 +185,16 @@ impl Level {
         if free >= SLOTS {
             return false;
         }
+        // Persist the slot, then publish it in the bitmap (the original's
+        // clwb+fence ordering): a crash can lose the insertion, never
+        // expose a half-written slot.
         ctx.write_u64(PmAddr(b.0 + 16 + free * 16), vw);
         ctx.write_u64(PmAddr(b.0 + 8 + free * 16), key);
+        ctx.flush_range(PmAddr(b.0 + 8 + free * 16), 16);
+        ctx.fence();
         ctx.write_u64(b, bitmap | 1 << free); // metadata PM write
+        ctx.flush(b);
+        ctx.fence();
         true
     }
 
@@ -171,6 +219,7 @@ impl Level {
             top: new_top,
             bottom: t.top,
             n_top: new_n,
+            sel: t.sel ^ 1,
         };
         // Move every old-bottom entry into the new top.
         let old_bottom_n = t.n_top / 2;
@@ -198,9 +247,120 @@ impl Level {
                 }
             }
         }
+        // Commit order: persist the new descriptor in the inactive root
+        // slot, flip the selector (one atomic word — the commit point),
+        // and only then free the old bottom. A crash before the flip
+        // leaves the old table authoritative (the new top leaks, counted);
+        // a crash after the flip but before the free leaks the old bottom.
+        Self::write_slot(ctx, self.root, new_table.sel, &new_table, self.lock_region);
+        ctx.flush_range(PmAddr(self.root.0 + 256 + new_table.sel * 256), 32);
+        ctx.fence();
+        ctx.write_u64(PmAddr(self.root.0 + 8), new_table.sel);
+        ctx.flush(PmAddr(self.root.0 + 8));
+        ctx.fence();
         self.alloc.free_region(ctx, t.bottom);
         *t = new_table;
         Ok(())
+    }
+
+    /// Popcount of every bucket bitmap in both levels.
+    fn count_entries(ctx: &mut MemCtx, t: &Table) -> u64 {
+        let mut n = 0u64;
+        for (base, count) in [(t.top, t.n_top), (t.bottom, t.n_top / 2)] {
+            for i in 0..count {
+                let bitmap = ctx.read_u64(PmAddr(base.0 + i * BUCKET_BYTES));
+                n += (bitmap & ((1 << SLOTS) - 1)).count_ones() as u64;
+            }
+        }
+        n
+    }
+
+    /// Rebuild from the persistent root after a crash.
+    pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        let rec = PmAllocator::recover(ctx)?;
+        let (root, root_len) = rec.alloc.reserved();
+        if root_len < ROOT_LEN || ctx.read_u64(root) != MAGIC {
+            return None;
+        }
+        let sel = ctx.read_u64(PmAddr(root.0 + 8)) & 1;
+        let s = root.0 + 256 + sel * 256;
+        let n_top = ctx.read_u64(PmAddr(s));
+        let top = PmAddr(ctx.read_u64(PmAddr(s + 8)));
+        let bottom = PmAddr(ctx.read_u64(PmAddr(s + 16)));
+        let lock_region = PmAddr(ctx.read_u64(PmAddr(s + 24)));
+        // The descriptor must name live regions of this heap, or the root
+        // is torn/foreign.
+        let regions: HashSet<u64> = rec.regions.iter().map(|&(a, _)| a.0).collect();
+        if !n_top.is_power_of_two()
+            || n_top < 4
+            || ![top, bottom, lock_region]
+                .iter()
+                .all(|a| regions.contains(&a.0))
+        {
+            return None;
+        }
+        let table = Table {
+            top,
+            bottom,
+            n_top,
+            sel,
+        };
+        let entries = Self::count_entries(ctx, &table);
+        let lock_ns = ctx.device().config().cost.lock_ns;
+        let locks = (0..LOCK_SHARDS)
+            .map(|i| PmRwLock::new(PmAddr(lock_region.0 + i as u64 * 8), lock_ns))
+            .collect();
+        Some(Self {
+            alloc: Arc::new(rec.alloc),
+            table: RwLock::new(table),
+            locks,
+            lock_region,
+            root,
+            entries: AtomicU64::new(entries),
+        })
+    }
+
+    /// Addresses the recovered index can reach: its three regions plus
+    /// every blob a published slot points at.
+    fn reachable(&self, ctx: &mut MemCtx) -> HashSet<u64> {
+        let t = self.table.read();
+        let mut set: HashSet<u64> =
+            [t.top.0, t.bottom.0, self.lock_region.0].into_iter().collect();
+        for (base, count) in [(t.top, t.n_top), (t.bottom, t.n_top / 2)] {
+            for i in 0..count {
+                let b = PmAddr(base.0 + i * BUCKET_BYTES);
+                let bitmap = ctx.read_u64(b);
+                for s in 0..SLOTS {
+                    if bitmap & (1 << s) != 0 {
+                        let vw = ctx.read_u64(PmAddr(b.0 + 16 + s * 16));
+                        if let common::ValWord::Blob(a) = common::unpack_val(vw) {
+                            set.insert(a.0);
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Level hashing as a [`CrashTarget`] for the crash-point sweep.
+    pub fn crash_target(pow: u32) -> CrashTarget {
+        CrashTarget {
+            name: "Level".into(),
+            format: Box::new(move |ctx| {
+                Box::new(Level::format(ctx, pow).expect("format Level"))
+            }),
+            recover: Box::new(|ctx| {
+                let idx = Level::recover(ctx)?;
+                let reachable = idx.reachable(ctx);
+                let (leaked_allocs, audit_error) = common::audit_census(ctx, &reachable);
+                Some(Recovery {
+                    index: Box::new(idx),
+                    leaked_allocs,
+                    audit_error,
+                })
+            }),
+        }
     }
 }
 
@@ -278,6 +438,8 @@ impl PersistentIndex for Level {
             let hit = self.lock_of(lvl, i).write(ctx, |ctx| {
                 self.scan(ctx, b, key).map(|(s, old)| {
                     ctx.write_u64(PmAddr(b.0 + 16 + s * 16), vw);
+                    ctx.flush(PmAddr(b.0 + 16 + s * 16));
+                    ctx.fence();
                     old
                 })
             });
@@ -318,7 +480,10 @@ impl PersistentIndex for Level {
             let hit = self.lock_of(lvl, i).write(ctx, |ctx| {
                 self.scan(ctx, b, key).map(|(s, vw)| {
                     let bitmap = ctx.read_u64(b);
+                    // Unpublish first (flushed), then scrub the key word.
                     ctx.write_u64(b, bitmap & !(1 << s));
+                    ctx.flush(b);
+                    ctx.fence();
                     ctx.write_u64(PmAddr(b.0 + 8 + s * 16), 0);
                     vw
                 })
@@ -397,6 +562,49 @@ mod tests {
         dev.flush_cache_all();
         let d = dev.snapshot().since(&before);
         assert!(d.cl_writes > 0, "Level reads must dirty the PM lock word");
+    }
+
+    #[test]
+    fn recover_roundtrip_across_rehash() {
+        let (dev, idx, mut ctx) = setup();
+        let blob = vec![0x5au8; 120];
+        idx.insert(&mut ctx, 9999, &blob).unwrap();
+        for k in 1..=1500u64 {
+            idx.insert_u64(&mut ctx, k, k).unwrap(); // forces rehashes
+        }
+        for k in 1..=40u64 {
+            idx.update_u64(&mut ctx, k, k + 7).unwrap();
+        }
+        for k in 100..=120u64 {
+            assert!(idx.remove(&mut ctx, k));
+        }
+        let live = idx.entries();
+        dev.flush_cache_all();
+        drop(idx);
+
+        let mut ctx2 = dev.ctx();
+        let r = Level::recover(&mut ctx2).expect("recover Level");
+        assert_eq!(r.entries(), live);
+        for k in 1..=40u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), Some(k + 7), "updated key {k}");
+        }
+        for k in 100..=120u64 {
+            assert_eq!(r.get_u64(&mut ctx2, k), None, "removed key {k}");
+        }
+        assert_eq!(r.get_u64(&mut ctx2, 1500), Some(1500));
+        let mut out = Vec::new();
+        assert!(r.get(&mut ctx2, 9999, &mut out));
+        assert_eq!(out, blob);
+        r.insert_u64(&mut ctx2, 100_000, 1).unwrap();
+        assert_eq!(r.get_u64(&mut ctx2, 100_000), Some(1));
+    }
+
+    #[test]
+    fn recover_refuses_unformatted_image() {
+        let (_d, mut ctx) = test_device();
+        assert!(Level::recover(&mut ctx).is_none());
+        let _ = PmAllocator::format(&mut ctx, 0);
+        assert!(Level::recover(&mut ctx).is_none());
     }
 
     #[test]

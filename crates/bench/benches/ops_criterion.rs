@@ -1,13 +1,35 @@
-//! Criterion microbenchmarks of single Spash operations (wall-clock of
-//! the *simulation*, complementary to the virtual-time figures — useful
-//! for catching performance regressions in the simulator itself).
+//! Microbenchmarks of single Spash operations (wall-clock of the
+//! *simulation*, complementary to the virtual-time figures — useful for
+//! catching performance regressions in the simulator itself).
+//!
+//! Formerly a `criterion` harness; rewritten against `std::time` so the
+//! workspace resolves with no network access, and kept behind the
+//! non-default `micro-bench` feature so default builds skip it:
+//!
+//! ```sh
+//! cargo bench -p spash-bench --features micro-bench --bench ops_criterion
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use spash::{Spash, SpashConfig};
 use spash_bench::bench_device;
 use spash_index_api::PersistentIndex;
 
-fn bench_ops(c: &mut Criterion) {
+/// Time `iters` runs of `f` after `warmup` untimed runs; report ns/op.
+fn bench(name: &str, warmup: u64, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_op = t0.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<24} {per_op:>10.1} ns/op   ({iters} iters)");
+}
+
+fn main() {
     let dev = bench_device(100_000, 16);
     let mut ctx = dev.ctx();
     let idx = Spash::format(&mut ctx, SpashConfig::default()).unwrap();
@@ -15,34 +37,20 @@ fn bench_ops(c: &mut Criterion) {
         idx.insert_u64(&mut ctx, k, k).unwrap();
     }
 
-    let mut group = c.benchmark_group("spash_ops");
+    println!("spash_ops (simulator wall-clock)");
     let mut k = 0u64;
-    group.bench_function("get_hit", |b| {
-        b.iter(|| {
-            k = k % 100_000 + 1;
-            std::hint::black_box(idx.get_u64(&mut ctx, k))
-        })
+    bench("get_hit", 10_000, 200_000, || {
+        k = k % 100_000 + 1;
+        std::hint::black_box(idx.get_u64(&mut ctx, k));
     });
-    group.bench_function("update_inline", |b| {
-        b.iter(|| {
-            k = k % 100_000 + 1;
-            idx.update_u64(&mut ctx, k, k + 1).unwrap();
-        })
+    bench("update_inline", 10_000, 200_000, || {
+        k = k % 100_000 + 1;
+        idx.update_u64(&mut ctx, k, k + 1).unwrap();
     });
     let mut next = 1_000_000u64;
-    group.bench_function("insert_then_remove", |b| {
-        b.iter(|| {
-            next += 1;
-            idx.insert_u64(&mut ctx, next, next).unwrap();
-            assert!(idx.remove(&mut ctx, next));
-        })
+    bench("insert_then_remove", 1_000, 50_000, || {
+        next += 1;
+        idx.insert_u64(&mut ctx, next, next).unwrap();
+        assert!(idx.remove(&mut ctx, next));
     });
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_ops
-}
-criterion_main!(benches);

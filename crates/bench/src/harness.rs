@@ -110,12 +110,12 @@ where
     // floor advances to the phase's end so virtual timestamps persisted in
     // lock/HTM metadata by this phase can never stall the next one.
     let phase_start = dev.vtime_floor();
-    let results: Vec<(u64, u64)> = crossbeam::scope(|s| {
+    let results: Vec<(u64, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let dev = Arc::clone(dev);
                 let body = &body;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     ctx.reset_clock();
                     let ops = body(tid, &mut ctx);
@@ -124,8 +124,7 @@ where
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("benchmark thread panicked");
+    });
     dev.quiesce();
     let delta = dev.snapshot().since(&before);
     let ops: u64 = results.iter().map(|r| r.0).sum();

@@ -3,6 +3,13 @@
 //! Experiments: `fig1`, `fig7`, `fig8`, `fig9`, `fig10`, `fig11`,
 //! `fig12a`..`fig12d`, `fig12`, or `all`. Scale via `SPASH_BENCH_KEYS`,
 //! `SPASH_BENCH_OPS`, `SPASH_BENCH_THREADS` (comma-separated).
+//!
+//! `crashpoints` runs the offline crash-point fault-injection sweep
+//! (DESIGN.md, "Crash-point fault injection"; recipe in EXPERIMENTS.md).
+//! Knobs: `SPASH_CRASH_OPS` (10000), `SPASH_CRASH_KEYS` (2000),
+//! `SPASH_CRASH_SEED`, `SPASH_CRASH_POINTS` (2000),
+//! `SPASH_CRASH_EXHAUSTIVE` (5000), `SPASH_CRASH_ARENA_MB` (256),
+//! `SPASH_CRASH_DOMAIN=eadr|adr|both`, `SPASH_CRASH_TARGETS=spash|baselines|all`.
 
 use spash_bench::experiments::{exec_stream, ext, fig1, fig10, fig11, fig12, fig7, fig8, fig9, my_chunk};
 use spash_bench::{bench_device, run_phase, Scale};
@@ -249,12 +256,125 @@ fn probes(scale: &Scale) {
     }
 }
 
+/// Offline crash-point fault-injection sweep: record a seeded workload's
+/// media writes, then re-run it once per scheduled write with a crash
+/// injected there, recover, and check the survivors against a shadow
+/// model. One stat line per crash point, one summary per target; exits
+/// non-zero if any sweep reports a violation.
+fn crashpoints() {
+    use spash::{Spash, SpashConfig};
+    use spash_baselines::{CLevel, Cceh, Dash, Halo, Level, Plush};
+    use spash_index_api::crashpoint::{run_sweep, CrashTarget, SweepConfig};
+    use spash_pmem::{fault, PersistenceDomain};
+
+    fn knob(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                match v.strip_prefix("0x") {
+                    Some(h) => u64::from_str_radix(h, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            })
+            .unwrap_or(default)
+    }
+
+    fault::silence_crash_point_panics();
+    let domains: &[PersistenceDomain] = match std::env::var("SPASH_CRASH_DOMAIN").as_deref() {
+        Ok("adr") => &[PersistenceDomain::Adr],
+        Ok("eadr") => &[PersistenceDomain::Eadr],
+        _ => &[PersistenceDomain::Eadr, PersistenceDomain::Adr],
+    };
+    let which = std::env::var("SPASH_CRASH_TARGETS").unwrap_or_else(|_| "spash".into());
+    let mut failed = false;
+    for &domain in domains {
+        let mut cfg = SweepConfig::ci(domain);
+        cfg.pm.arena_size = knob("SPASH_CRASH_ARENA_MB", 256) << 20;
+        cfg.seed = knob("SPASH_CRASH_SEED", 0xC0FFEE);
+        cfg.n_ops = knob("SPASH_CRASH_OPS", 10_000);
+        cfg.key_space = knob("SPASH_CRASH_KEYS", 2_000);
+        cfg.exhaustive_limit = knob("SPASH_CRASH_EXHAUSTIVE", 5_000);
+        cfg.max_points = knob("SPASH_CRASH_POINTS", 2_000);
+
+        let mut targets: Vec<CrashTarget> = Vec::new();
+        if which != "baselines" {
+            targets.push(Spash::crash_target(SpashConfig::test_default()));
+        }
+        if which == "baselines" || which == "all" {
+            targets.push(Cceh::crash_target(1));
+            targets.push(Dash::crash_target(1));
+            targets.push(Level::crash_target(4));
+            targets.push(CLevel::crash_target(4));
+            targets.push(Plush::crash_target(4));
+            targets.push(Halo::crash_target(8 << 20, u64::MAX));
+        }
+        for target in &targets {
+            let r = run_sweep(target, &cfg);
+            println!(
+                "# target={} domain={:?} seed={:#x} ops={} keys={} total_writes={} points={}",
+                r.target,
+                r.domain,
+                cfg.seed,
+                cfg.n_ops,
+                cfg.key_space,
+                r.total_writes,
+                r.points.len()
+            );
+            println!(
+                "# write_k committed_ops recovered recovery_ns \
+                 reverted_lines flushed_lines leaked_allocs audit_ok"
+            );
+            let mut recovery_ns_sum = 0u64;
+            let mut recovery_ns_max = 0u64;
+            let mut leaked_max = 0u64;
+            for p in &r.points {
+                println!(
+                    "{} {} {} {} {} {} {} {}",
+                    p.write_k,
+                    p.committed_ops,
+                    u8::from(p.recovered),
+                    p.recovery_ns,
+                    p.reverted_lines,
+                    p.flushed_lines,
+                    p.leaked_allocs,
+                    u8::from(p.audit_ok)
+                );
+                recovery_ns_sum += p.recovery_ns;
+                recovery_ns_max = recovery_ns_max.max(p.recovery_ns);
+                leaked_max = leaked_max.max(p.leaked_allocs);
+            }
+            let n = r.points.len().max(1) as u64;
+            println!(
+                "# summary target={} domain={:?} unrecovered={} failures={} \
+                 recovery_ns(mean/max)={}/{} leaked_allocs(max)={}",
+                r.target,
+                r.domain,
+                r.unrecovered,
+                r.failure_count,
+                recovery_ns_sum / n,
+                recovery_ns_max,
+                leaked_max
+            );
+            for f in &r.failures {
+                eprintln!("FAIL target={} domain={:?}: {f}", r.target, r.domain);
+            }
+            if !r.is_ok() {
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all> ...\n\
+            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|crashpoints> ...\n\
              scale: SPASH_BENCH_KEYS={} SPASH_BENCH_OPS={} SPASH_BENCH_THREADS={:?}",
             scale.keys, scale.ops, scale.threads
         );
@@ -288,6 +408,7 @@ fn main() {
                 ext::run(&scale);
             }
             "ext" => ext::run(&scale),
+            "crashpoints" => crashpoints(),
             "probes" => probes(&scale),
             "probeb" => probeb(&scale),
             "probe" => probe(&scale),

@@ -112,6 +112,24 @@ impl SpashConfig {
             ..Self::default()
         }
     }
+
+    /// A copy whose shared *volatile* state is re-created. A plain
+    /// `clone()` shares the adaptive hot-key detector through its `Arc`,
+    /// so two indexes built from clones train one detector. Crash-sweep
+    /// replays (and post-crash recovery, where all volatile state is by
+    /// definition lost) must instead start untrained, or hotness-driven
+    /// flush decisions — and with them the media-write sequence — diverge
+    /// between runs. Custom `Adaptive` detectors are replaced by the
+    /// paper-default geometry.
+    pub fn fresh_volatile(&self) -> Self {
+        let mut c = self.clone();
+        if let UpdatePolicy::Adaptive(_) = c.update_policy {
+            c.update_policy = UpdatePolicy::Adaptive(Arc::new(
+                crate::hotspot::PartitionedDetector::paper_default(),
+            ));
+        }
+        c
+    }
 }
 
 #[cfg(test)]

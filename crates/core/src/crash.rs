@@ -1,0 +1,110 @@
+//! Spash's plug into the crash-point fault-injection sweep
+//! (`spash_index_api::crashpoint`).
+//!
+//! The recover closure runs [`Spash::recover`], then audits the recovered
+//! index two ways:
+//!
+//! 1. the full structural walk ([`Spash::verify_integrity`]) — any
+//!    violation is a hard sweep failure;
+//! 2. a heap census against reachability — every address the index can
+//!    reach (segments from the directory, blobs from slots) must be a live
+//!    allocation in the persistent heap's own books (anything else is
+//!    use-after-free-grade corruption), while live allocations the index
+//!    cannot reach are *counted* as leaks. Leaks are expected in bounded
+//!    numbers: the DCMM frees small slots into volatile caches without
+//!    clearing the persistent bits (DESIGN.md), and an in-flight operation
+//!    can lose its freshly allocated blob to the crash.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+
+use spash_alloc::PmAllocator;
+use spash_index_api::crashpoint::{CrashTarget, Recovery};
+use spash_pmem::MemCtx;
+
+use crate::config::SpashConfig;
+use crate::ops::Spash;
+use crate::slot::{key_addr, SlotKey, SLOTS_PER_SEG};
+
+impl Spash {
+    /// Heap-census audit: returns `(leaked_allocations, corruption)`.
+    pub fn audit_heap(&self, ctx: &mut MemCtx) -> (u64, Option<String>) {
+        let census = match PmAllocator::census(ctx) {
+            Some(c) => c,
+            None => return (0, Some("no formatted heap found".into())),
+        };
+        let mut allocated: HashSet<u64> = HashSet::new();
+        for &(a, _) in &census.small_slots {
+            allocated.insert(a.0);
+        }
+        for &a in &census.segments {
+            allocated.insert(a.0);
+        }
+        for &(a, _) in &census.large {
+            allocated.insert(a.0);
+        }
+        for &(a, _) in &census.regions {
+            allocated.insert(a.0);
+        }
+
+        // Reachable: every distinct segment in the directory, plus every
+        // blob a slot points at.
+        let mut reachable: HashSet<u64> = HashSet::new();
+        let (dir, _) = self.dir.write_target();
+        let segs: HashSet<_> = dir
+            .entries
+            .iter()
+            .map(|e| crate::dir::unpack_entry(e.load(Ordering::Acquire)).0)
+            .collect();
+        for &seg in &segs {
+            reachable.insert(seg.0);
+            for idx in 0..SLOTS_PER_SEG {
+                if let SlotKey::Ptr { addr, .. } =
+                    SlotKey::unpack(ctx.read_u64(key_addr(seg, idx)))
+                {
+                    reachable.insert(addr.0);
+                }
+            }
+        }
+
+        for &r in &reachable {
+            if !allocated.contains(&r) {
+                return (
+                    0,
+                    Some(format!(
+                        "reachable address {r:#x} is not a live allocation in the heap census"
+                    )),
+                );
+            }
+        }
+        let leaked = allocated.difference(&reachable).count() as u64;
+        (leaked, None)
+    }
+
+    /// Spash as a [`CrashTarget`] for the crash-point sweep.
+    pub fn crash_target(cfg: SpashConfig) -> CrashTarget {
+        let fmt_cfg = cfg.clone();
+        CrashTarget {
+            name: "Spash".into(),
+            // `fresh_volatile`: every replay (and every recovery — a real
+            // crash wipes volatile state) starts with an untrained hot-key
+            // detector, keeping the media-write sequence reproducible.
+            format: Box::new(move |ctx| {
+                Box::new(Spash::format(ctx, fmt_cfg.fresh_volatile()).expect("format Spash"))
+            }),
+            recover: Box::new(move |ctx| {
+                let idx = Spash::recover(ctx, cfg.fresh_volatile())?;
+                let mut audit_error = idx.verify_integrity(ctx).err().map(|e| e.to_string());
+                let (leaked_allocs, census_err) = idx.audit_heap(ctx);
+                if audit_error.is_none() {
+                    audit_error = census_err;
+                }
+                Some(Recovery {
+                    index: Box::new(idx),
+                    leaked_allocs,
+                    audit_error,
+                })
+            }),
+        }
+    }
+}

@@ -29,7 +29,7 @@
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use spash_pmem::sync::Mutex;
 use spash_htm::{Abort, Htm, LineId, Tx};
 use spash_pmem::{MemCtx, PmAddr};
 
@@ -664,11 +664,11 @@ mod tests {
         let htm = StdArc::new(Htm::new(HtmConfig::default()));
         let segs: Vec<PmAddr> = (0..256).map(seg).collect();
         let d = StdArc::new(Directory::new(8, &segs));
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             let dd = StdArc::clone(&d);
             let hh = StdArc::clone(&htm);
             let devd = StdArc::clone(&dev);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut ctx = devd.ctx();
                 let job = dd.begin_doubling(&mut ctx);
                 dd.drive_doubling(&mut ctx, &hh, &job);
@@ -676,7 +676,7 @@ mod tests {
             for _ in 0..3 {
                 let dd = StdArc::clone(&d);
                 let devd = StdArc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = devd.ctx();
                     for i in 0..10_000u64 {
                         let want = i % 256;
@@ -686,8 +686,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(d.depth(), 9);
     }
 }

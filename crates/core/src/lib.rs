@@ -39,6 +39,7 @@
 //! ```
 
 pub mod config;
+pub mod crash;
 pub mod dir;
 pub mod hotspot;
 pub mod integrity;
@@ -329,11 +330,11 @@ mod tests {
         let idx = Arc::new(Spash::format(&mut ctx, SpashConfig::test_default()).unwrap());
         let n_threads = 4u64;
         let per = 2000u64;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..n_threads {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for i in 0..per {
                         let k = t * per + i;
@@ -344,8 +345,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(idx.len(), n_threads * per);
         for k in 0..n_threads * per {
             assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "key {k} lost");
@@ -360,11 +360,11 @@ mod tests {
         for k in 0..16u64 {
             idx.insert_u64(&mut ctx, k, 0).unwrap();
         }
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for i in 0..500u64 {
                         let k = i % 16;
@@ -372,8 +372,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         // Every key must hold SOME thread's write, never garbage.
         for k in 0..16u64 {
             let v = idx.get_u64(&mut ctx, k).unwrap();
@@ -430,11 +429,11 @@ mod tests {
         for k in 0..n {
             idx.insert_u64(&mut ctx, k, k).unwrap();
         }
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     // Each thread deletes its own quarter except keys
                     // ending in 7 (survivors), reading survivors as it
@@ -449,8 +448,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for k in 0..n {
             let want = if k % 10 == 7 { Some(k) } else { None };
             assert_eq!(idx.get_u64(&mut ctx, k), want, "key {k}");

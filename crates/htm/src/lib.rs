@@ -732,11 +732,11 @@ mod tests {
         let htm = Arc::new(htm);
         let n_threads = 4;
         let per = 500;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..n_threads {
                 let dev = Arc::clone(&dev);
                 let htm = Arc::clone(&htm);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for _ in 0..per {
                         loop {
@@ -753,8 +753,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(
             dev.arena().load_u64(PmAddr(64)),
             (n_threads * per) as u64,

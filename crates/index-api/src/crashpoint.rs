@@ -1,0 +1,552 @@
+//! Crash-point sweep driver: exhaustive fault injection over every media
+//! write of a seeded workload.
+//!
+//! The paper's durability claim (§II-C) is that the index is *durably
+//! linearizable*: after a power failure at any instant, recovery restores
+//! exactly the committed operations. A handful of hand-picked crash sites
+//! cannot establish that — this driver proves it point by point:
+//!
+//! 1. **Record.** Run a seeded workload once on a fresh device and count
+//!    its media cacheline writes `W` (the only instants at which the
+//!    durable image changes — see `spash_pmem::fault`).
+//! 2. **Sweep.** For each scheduled `k ∈ 1..=W` (every `k` when
+//!    `W ≤ exhaustive_limit`, strided otherwise): rebuild the device,
+//!    arm the fault plan at `k`, replay the same workload until it
+//!    unwinds, apply the configured persistence-domain semantics with
+//!    `simulate_power_failure`, run the implementation's recovery, and
+//!    check the recovered index against a shadow model that knows which
+//!    operations committed and which single operation was in flight.
+//!
+//! The same driver sweeps Spash and all six baselines: an implementation
+//! plugs in through [`CrashTarget`] (format + recover + audit closures),
+//! so index crates keep their concrete types private.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use spash_pmem::{CrashPointHit, MemCtx, PersistenceDomain, PmConfig, PmDevice};
+
+use crate::{IndexError, PersistentIndex, Rng64};
+
+/// One operation of the seeded sweep workload.
+#[derive(Clone, Debug)]
+pub enum SweepOp {
+    Insert(u64, Vec<u8>),
+    Update(u64, Vec<u8>),
+    Remove(u64),
+    Get(u64),
+}
+
+impl SweepOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            SweepOp::Insert(k, _) | SweepOp::Update(k, _) | SweepOp::Remove(k) | SweepOp::Get(k) => {
+                k
+            }
+        }
+    }
+}
+
+/// Deterministic workload generator: ~45% inserts, ~25% updates, ~15%
+/// removes, ~15% gets over a small key space (so keys collide and exercise
+/// splits, merges, and delete-reinsert paths), with value sizes mixing the
+/// inline path and the out-of-place blob path.
+pub fn gen_workload(seed: u64, n_ops: u64, key_space: u64) -> Vec<SweepOp> {
+    let mut rng = Rng64::new(seed);
+    let mut ops = Vec::with_capacity(n_ops as usize);
+    for i in 0..n_ops {
+        let k = 1 + rng.below(key_space);
+        let roll = rng.below(100);
+        let op = if roll < 45 {
+            SweepOp::Insert(k, gen_value(&mut rng, k, i))
+        } else if roll < 70 {
+            SweepOp::Update(k, gen_value(&mut rng, k, i))
+        } else if roll < 85 {
+            SweepOp::Remove(k)
+        } else {
+            SweepOp::Get(k)
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// A value whose bytes are a pure function of `(key, op index)`, so the
+/// shadow model can be recomputed for any committed prefix.
+fn gen_value(rng: &mut Rng64, key: u64, i: u64) -> Vec<u8> {
+    let len = match rng.below(4) {
+        0 | 1 => 6,  // inline path
+        2 => 24,     // small blob
+        _ => 120,    // larger blob, spans cachelines
+    };
+    (0..len)
+        .map(|b| (key ^ i.wrapping_mul(0x9e37) ^ b) as u8)
+        .collect()
+}
+
+/// What the sweep asserts about the recovered index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckLevel {
+    /// Durable linearizability: every committed operation is recovered
+    /// exactly; the single in-flight operation may be observed either
+    /// not-at-all or fully applied (atomic visibility). The eADR check.
+    Exact,
+    /// Robustness-only: the durable image may be arbitrarily torn (an ADR
+    /// platform reverts every unflushed dirty line), so no data-survival
+    /// claim is made. What must still hold: recovery and the structural
+    /// audit complete without panicking on *any* torn image — declining
+    /// (`None`) or reporting a violation are recorded as statistics, not
+    /// failures. The ADR check for eADR-native designs such as Spash,
+    /// which deliberately issue no flushes and so lose unflushed data on
+    /// an ADR platform (see `tests/durability.rs`).
+    NoCorruption,
+}
+
+/// What one index implementation plugs into the sweep.
+pub struct CrashTarget {
+    /// Display name ("Spash", "CCEH", ...).
+    pub name: String,
+    /// Build a fresh, formatted index on the context's device. The
+    /// closure must not share *any* volatile state between calls (caches,
+    /// hotness detectors, RNGs): each call models a freshly booted
+    /// machine, and shared state that changes flush decisions breaks
+    /// replay determinism.
+    #[allow(clippy::type_complexity)]
+    pub format: Box<dyn Fn(&mut MemCtx) -> Box<dyn PersistentIndex>>,
+    /// Recover an index from the post-crash durable image, auditing it on
+    /// the way out. `None` = the image is unrecoverable.
+    #[allow(clippy::type_complexity)]
+    pub recover: Box<dyn Fn(&mut MemCtx) -> Option<Recovery>>,
+}
+
+/// What a [`CrashTarget::recover`] closure returns.
+pub struct Recovery {
+    pub index: Box<dyn PersistentIndex>,
+    /// Allocations live in the persistent heap but unreachable from the
+    /// recovered structure, beyond the implementation's documented
+    /// allowance (volatile free-cache slots, the in-flight operation).
+    pub leaked_allocs: u64,
+    /// A structural-audit violation (reachability, double-use, integrity),
+    /// if the implementation found one. Always a sweep failure.
+    pub audit_error: Option<String>,
+}
+
+/// Sweep parameters.
+pub struct SweepConfig {
+    /// Platform config; `fidelity` must be `Full` for ADR sweeps.
+    pub pm: PmConfig,
+    pub seed: u64,
+    pub n_ops: u64,
+    pub key_space: u64,
+    /// Inject at every write when the workload issues at most this many.
+    pub exhaustive_limit: u64,
+    /// Cap on injected points for strided schedules.
+    pub max_points: u64,
+    pub check: CheckLevel,
+}
+
+impl SweepConfig {
+    /// A small-footprint config suitable for CI: a deliberately small CPU
+    /// cache so evictions (the hard crash points) happen early and often.
+    pub fn ci(domain: PersistenceDomain) -> Self {
+        use spash_pmem::CrashFidelity;
+        let mut pm = PmConfig::small_test();
+        pm.arena_size = 48 << 20;
+        pm.cache_capacity = 256 << 10;
+        pm.domain = domain;
+        pm.fidelity = CrashFidelity::Full;
+        Self {
+            pm,
+            seed: 0xC0FFEE,
+            n_ops: 1000,
+            key_space: 400,
+            exhaustive_limit: 5_000,
+            max_points: 250,
+            check: match domain {
+                PersistenceDomain::Eadr => CheckLevel::Exact,
+                PersistenceDomain::Adr => CheckLevel::NoCorruption,
+            },
+        }
+    }
+}
+
+/// Per-crash-point record.
+#[derive(Clone, Debug)]
+pub struct CrashPointStat {
+    /// The media write at which the crash fired (1-based).
+    pub write_k: u64,
+    /// Operations fully completed before the crash.
+    pub committed_ops: u64,
+    /// Did recovery produce an index?
+    pub recovered: bool,
+    /// Host wall-clock nanoseconds spent in recovery (incl. audit).
+    pub recovery_ns: u64,
+    /// Dirty lines reverted by the ADR crash (0 under eADR).
+    pub reverted_lines: u64,
+    /// Dirty lines flushed by the eADR energy reserve (0 under ADR).
+    pub flushed_lines: u64,
+    /// Leaked allocations reported by the target's audit.
+    pub leaked_allocs: u64,
+    /// Did the target's structural audit pass? (Always required under
+    /// [`CheckLevel::Exact`]; informational under
+    /// [`CheckLevel::NoCorruption`].)
+    pub audit_ok: bool,
+}
+
+/// The outcome of a full sweep.
+pub struct SweepReport {
+    pub target: String,
+    pub domain: PersistenceDomain,
+    /// Media writes the recorded (uninjected) run issued.
+    pub total_writes: u64,
+    pub points: Vec<CrashPointStat>,
+    /// Crash points whose recovery declined (only legal under
+    /// [`CheckLevel::NoCorruption`]).
+    pub unrecovered: u64,
+    /// Check violations, capped at [`SweepReport::MAX_FAILURES`] details.
+    pub failures: Vec<String>,
+    /// Total violations including those past the cap.
+    pub failure_count: u64,
+}
+
+impl SweepReport {
+    pub const MAX_FAILURES: usize = 20;
+
+    pub fn is_ok(&self) -> bool {
+        self.failure_count == 0
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failures.len() < Self::MAX_FAILURES {
+            self.failures.push(msg);
+        }
+        self.failure_count += 1;
+    }
+}
+
+/// The shadow model: apply a committed prefix with the same semantics the
+/// trait promises.
+fn apply_shadow(model: &mut HashMap<u64, Vec<u8>>, op: &SweepOp) {
+    match op {
+        SweepOp::Insert(k, v) => {
+            model.entry(*k).or_insert_with(|| v.clone());
+        }
+        SweepOp::Update(k, v) => {
+            if let Some(slot) = model.get_mut(k) {
+                *slot = v.clone();
+            }
+        }
+        SweepOp::Remove(k) => {
+            model.remove(k);
+        }
+        SweepOp::Get(_) => {}
+    }
+}
+
+/// Drive one op against the real index, ignoring the expected
+/// `DuplicateKey`/`NotFound` outcomes (the shadow model mirrors them).
+fn apply_real(idx: &dyn PersistentIndex, ctx: &mut MemCtx, op: &SweepOp) {
+    match op {
+        SweepOp::Insert(k, v) => match idx.insert(ctx, *k, v) {
+            Ok(()) | Err(IndexError::DuplicateKey) => {}
+            Err(e) => panic!("workload insert({k}) failed: {e}"),
+        },
+        SweepOp::Update(k, v) => match idx.update(ctx, *k, v) {
+            Ok(()) | Err(IndexError::NotFound) => {}
+            Err(e) => panic!("workload update({k}) failed: {e}"),
+        },
+        SweepOp::Remove(k) => {
+            idx.remove(ctx, *k);
+        }
+        SweepOp::Get(k) => {
+            let mut buf = Vec::new();
+            idx.get(ctx, *k, &mut buf);
+        }
+    }
+}
+
+/// The injection schedule: every write when the run is short, else an even
+/// stride that always includes the first and last write.
+pub fn schedule(total_writes: u64, exhaustive_limit: u64, max_points: u64) -> Vec<u64> {
+    if total_writes == 0 {
+        return Vec::new();
+    }
+    if total_writes <= exhaustive_limit {
+        return (1..=total_writes).collect();
+    }
+    let n = max_points.clamp(2, total_writes);
+    let mut ks: Vec<u64> = (0..n)
+        .map(|i| 1 + i * (total_writes - 1) / (n - 1))
+        .collect();
+    ks.dedup();
+    ks
+}
+
+/// Run the full record-then-sweep procedure for one target.
+pub fn run_sweep(target: &CrashTarget, cfg: &SweepConfig) -> SweepReport {
+    spash_pmem::fault::silence_crash_point_panics();
+    let ops = gen_workload(cfg.seed, cfg.n_ops, cfg.key_space);
+    let mut report = SweepReport {
+        target: target.name.clone(),
+        domain: cfg.pm.domain,
+        total_writes: 0,
+        points: Vec::new(),
+        unrecovered: 0,
+        failures: Vec::new(),
+        failure_count: 0,
+    };
+
+    // Record: count the workload's media writes on an uninjected run.
+    let total_writes = {
+        let dev = PmDevice::new(cfg.pm.clone());
+        let mut ctx = dev.ctx();
+        let idx = (target.format)(&mut ctx);
+        dev.faults().reset(); // count workload writes only, not format
+        for op in &ops {
+            apply_real(idx.as_ref(), &mut ctx, op);
+        }
+        dev.faults().media_writes()
+    };
+    report.total_writes = total_writes;
+
+    for k in schedule(total_writes, cfg.exhaustive_limit, cfg.max_points) {
+        sweep_one(target, cfg, &ops, k, &mut report);
+    }
+    report
+}
+
+/// Inject a crash at write `k`, recover, and check.
+fn sweep_one(
+    target: &CrashTarget,
+    cfg: &SweepConfig,
+    ops: &[SweepOp],
+    k: u64,
+    report: &mut SweepReport,
+) {
+    let dev = PmDevice::new(cfg.pm.clone());
+    let mut ctx = dev.ctx();
+    let idx = (target.format)(&mut ctx);
+    dev.faults().reset();
+    dev.faults().arm(k);
+
+    let mut committed = 0u64;
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        for op in ops {
+            apply_real(idx.as_ref(), &mut ctx, op);
+            committed += 1;
+        }
+    }));
+    dev.faults().disarm();
+    drop(idx); // volatile index state dies with the "machine"
+
+    match outcome {
+        Ok(()) => {
+            // The armed write never happened: the replay diverged from the
+            // recorded run. Determinism is a prerequisite for the sweep.
+            report.fail(format!(
+                "{}: write {k} never fired on replay ({} of {} writes) — non-deterministic run",
+                target.name,
+                dev.faults().media_writes(),
+                report.total_writes,
+            ));
+            return;
+        }
+        Err(payload) if payload.downcast_ref::<CrashPointHit>().is_some() => {}
+        Err(payload) => {
+            let msg = panic_text(payload.as_ref());
+            report.fail(format!(
+                "{}: replay at write {k} panicked outside the fault plan: {msg}",
+                target.name
+            ));
+            return;
+        }
+    }
+
+    let crash = dev.simulate_power_failure();
+    let mut stat = CrashPointStat {
+        write_k: k,
+        committed_ops: committed,
+        recovered: false,
+        recovery_ns: 0,
+        reverted_lines: crash.reverted_lines.len() as u64,
+        flushed_lines: crash.flushed_lines.len() as u64,
+        leaked_allocs: 0,
+        audit_ok: true,
+    };
+
+    // Recover on a fresh context, timing the implementation's work.
+    let mut rctx = dev.ctx();
+    let t0 = Instant::now();
+    let recovery = catch_unwind(AssertUnwindSafe(|| (target.recover)(&mut rctx)));
+    stat.recovery_ns = t0.elapsed().as_nanos() as u64;
+
+    let recovery = match recovery {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = panic_text(payload.as_ref());
+            report.fail(format!(
+                "{}: recovery panicked at write {k} ({committed} ops committed): {msg}",
+                target.name
+            ));
+            report.points.push(stat);
+            return;
+        }
+    };
+
+    match recovery {
+        None => {
+            if cfg.check == CheckLevel::Exact {
+                report.fail(format!(
+                    "{}: unrecoverable image at write {k} ({committed} ops committed)",
+                    target.name
+                ));
+            }
+            report.unrecovered += 1;
+        }
+        Some(rec) => {
+            stat.recovered = true;
+            stat.leaked_allocs = rec.leaked_allocs;
+            if let Some(err) = rec.audit_error {
+                stat.audit_ok = false;
+                // A torn ADR image may legitimately fail the structural
+                // audit; only the exact (eADR) check treats it as fatal.
+                if cfg.check == CheckLevel::Exact {
+                    report.fail(format!("{}: audit failed at write {k}: {err}", target.name));
+                }
+            }
+            if cfg.check == CheckLevel::Exact {
+                check_recovered(
+                    target,
+                    cfg,
+                    ops,
+                    committed as usize,
+                    k,
+                    rec.index.as_ref(),
+                    &mut rctx,
+                    report,
+                );
+            }
+        }
+    }
+    report.points.push(stat);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_recovered(
+    target: &CrashTarget,
+    cfg: &SweepConfig,
+    ops: &[SweepOp],
+    committed: usize,
+    k: u64,
+    rec: &dyn PersistentIndex,
+    ctx: &mut MemCtx,
+    report: &mut SweepReport,
+) {
+    // Shadow state of the committed prefix.
+    let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+    for op in &ops[..committed] {
+        apply_shadow(&mut model, op);
+    }
+    let in_flight = ops.get(committed);
+
+    // The in-flight op's key may legally be observed in its pre- or
+    // post-op state; every other key must match the committed prefix.
+    let mut post = model.clone();
+    if let Some(op) = in_flight {
+        apply_shadow(&mut post, op);
+    }
+
+    let mut buf = Vec::new();
+    for key in 1..=cfg.key_space + 3 {
+        buf.clear();
+        let actual = rec.get(ctx, key, &mut buf).then(|| buf.clone());
+        let expect = model.get(&key);
+        let ok = actual.as_ref() == expect
+            || (in_flight.is_some_and(|op| op.key() == key) && actual.as_ref() == post.get(&key));
+        if !ok {
+            report.fail(format!(
+                "{}: write {k} ({committed} ops committed): key {key} recovered as {:?}, \
+                 expected {:?}{}",
+                target.name,
+                actual.as_ref().map(|v| summarize(v)),
+                expect.map(|v| summarize(v)),
+                if in_flight.is_some_and(|op| op.key() == key) {
+                    " (or in-flight post-state)"
+                } else {
+                    ""
+                },
+            ));
+        }
+    }
+}
+
+fn summarize(v: &[u8]) -> String {
+    let head: Vec<u8> = v.iter().take(8).copied().collect();
+    format!("{}B:{head:02x?}", v.len())
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generation_is_deterministic() {
+        let a = gen_workload(7, 200, 32);
+        let b = gen_workload(7, 200, 32);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (SweepOp::Insert(k1, v1), SweepOp::Insert(k2, v2)) => {
+                    assert_eq!((k1, v1), (k2, v2))
+                }
+                (SweepOp::Update(k1, v1), SweepOp::Update(k2, v2)) => {
+                    assert_eq!((k1, v1), (k2, v2))
+                }
+                (SweepOp::Remove(k1), SweepOp::Remove(k2)) => assert_eq!(k1, k2),
+                (SweepOp::Get(k1), SweepOp::Get(k2)) => assert_eq!(k1, k2),
+                (x, y) => panic!("op mismatch: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_is_exhaustive_when_short() {
+        assert_eq!(schedule(5, 10, 100), vec![1, 2, 3, 4, 5]);
+        assert_eq!(schedule(0, 10, 100), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn schedule_strides_when_long_and_covers_both_ends() {
+        let ks = schedule(100_000, 5_000, 200);
+        assert!(ks.len() <= 200);
+        assert_eq!(*ks.first().unwrap(), 1);
+        assert_eq!(*ks.last().unwrap(), 100_000);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn shadow_model_matches_trait_semantics() {
+        let mut m = HashMap::new();
+        apply_shadow(&mut m, &SweepOp::Insert(1, vec![1]));
+        apply_shadow(&mut m, &SweepOp::Insert(1, vec![2])); // duplicate: no-op
+        assert_eq!(m[&1], vec![1]);
+        apply_shadow(&mut m, &SweepOp::Update(1, vec![3]));
+        assert_eq!(m[&1], vec![3]);
+        apply_shadow(&mut m, &SweepOp::Update(2, vec![9])); // absent: no-op
+        assert!(!m.contains_key(&2));
+        apply_shadow(&mut m, &SweepOp::Remove(1));
+        assert!(m.is_empty());
+    }
+}

@@ -15,6 +15,11 @@
 
 use spash_pmem::MemCtx;
 
+pub mod crashpoint;
+pub mod rng;
+
+pub use rng::Rng64;
+
 /// Largest value storable inline in a compound slot.
 pub const MAX_INLINE_VALUE: u64 = (1 << 48) - 1;
 

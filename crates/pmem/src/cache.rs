@@ -10,7 +10,7 @@
 //! line on its clean-to-dirty transition so that an ADR crash can revert
 //! unflushed data — the mechanism behind the crash-consistency tests.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::arena::Arena;
 use crate::config::{CrashFidelity, PersistenceDomain};
@@ -179,11 +179,17 @@ impl CacheModel {
     /// A power failure. Under eADR every dirty line is flushed by the
     /// reserved energy (the flushed lines are returned so the device can
     /// count the writebacks); under ADR every dirty line is *lost*: its
-    /// pre-image is copied back into the arena.
+    /// pre-image is copied back into the arena and the line is returned in
+    /// the second (reverted) list.
     ///
     /// Panics if ADR semantics are requested without pre-image capture.
-    pub fn power_failure(&self, domain: PersistenceDomain, arena: &Arena) -> Vec<u64> {
+    pub fn power_failure(
+        &self,
+        domain: PersistenceDomain,
+        arena: &Arena,
+    ) -> (Vec<u64>, Vec<u64>) {
         let mut writebacks = Vec::new();
+        let mut reverted = Vec::new();
         for sh in &self.shards {
             let mut sh = sh.lock();
             for w in &mut sh.ways {
@@ -198,13 +204,14 @@ impl CacheModel {
                                 )
                             });
                             arena.write_line(w.tag - 1, &img);
+                            reverted.push(w.tag - 1);
                         }
                     }
                 }
                 *w = Way::default();
             }
         }
-        writebacks
+        (writebacks, reverted)
     }
 
     /// Write back and evict *everything* (like `wbinvd`): tests use this
@@ -321,8 +328,9 @@ mod tests {
         a.store_u64(addr, 111);
         c.access(3, true, &a);
         a.store_u64(addr, 222);
-        let wb = c.power_failure(PersistenceDomain::Eadr, &a);
+        let (wb, reverted) = c.power_failure(PersistenceDomain::Eadr, &a);
         assert_eq!(wb, vec![3]);
+        assert!(reverted.is_empty());
         assert_eq!(a.load_u64(addr), 222);
     }
 

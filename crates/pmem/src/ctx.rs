@@ -101,6 +101,18 @@ impl MemCtx {
         None
     }
 
+    /// Retire one media cacheline writeback: pay for its bandwidth and
+    /// report it to the fault plan. Every data-path `media.write_line`
+    /// goes through here so crash-point injection sees each change to the
+    /// durable image. Called with no platform locks held (the fault plan
+    /// may unwind).
+    #[inline]
+    fn media_writeback(&mut self, line: u64) {
+        let co = self.dev.media.write_line(line, &self.dev.stats);
+        self.pm_write_account(co);
+        self.dev.faults().on_media_write();
+    }
+
     /// Charge a cacheline *load* of `line`. The functional load itself is
     /// done by the caller against the arena.
     fn touch_read(&mut self, line: u64) {
@@ -110,8 +122,7 @@ impl MemCtx {
                 .stats
                 .dirty_evictions
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let co = self.dev.media.write_line(victim, &self.dev.stats);
-            self.pm_write_account(co);
+            self.media_writeback(victim);
         }
         if let Some(t) = self.take_prefetch(line) {
             // Data was already on its way: wait for it, don't re-fetch.
@@ -184,8 +195,7 @@ impl MemCtx {
                 .stats
                 .dirty_evictions
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let co = self.dev.media.write_line(victim, &self.dev.stats);
-            self.pm_write_account(co);
+            self.media_writeback(victim);
         }
         if r.hit {
             self.dev
@@ -316,18 +326,25 @@ impl MemCtx {
         for line in first..=last {
             // If the line is cached dirty, hardware would force it out.
             if self.dev.cache.flush(line) {
-                let co = self.dev.media.write_line(line, &self.dev.stats);
-                self.pm_write_account(co);
+                self.media_writeback(line);
             }
             self.dev
                 .stats
                 .ntstores
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let co = self.dev.media.write_line(line, &self.dev.stats);
-            self.pm_write_account(co);
+            // Store this line's slice before its writeback retires: the
+            // fault plan may end the run at that writeback, and the slice
+            // is then already part of the durable image (a partially
+            // completed ntstore persists exactly its retired lines).
+            let lo = (line * CACHELINE).max(addr.0);
+            let hi = ((line + 1) * CACHELINE).min(addr.0 + data.len() as u64);
+            self.dev.arena.write_bytes(
+                PmAddr(lo),
+                &data[(lo - addr.0) as usize..(hi - addr.0) as usize],
+            );
+            self.media_writeback(line);
             self.clock.advance(self.cost().ntstore_ns);
         }
-        self.dev.arena.write_bytes(addr, data);
         let done = self.clock.now() + self.cost().flush_drain_ns;
         self.outstanding_t = self.outstanding_t.max(done);
     }
@@ -342,8 +359,7 @@ impl MemCtx {
                 .stats
                 .flushes
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let co = self.dev.media.write_line(line, &self.dev.stats);
-            self.pm_write_account(co);
+            self.media_writeback(line);
             let done = self.clock.now() + self.cost().flush_drain_ns;
             self.outstanding_t = self.outstanding_t.max(done);
         }
@@ -389,8 +405,7 @@ impl MemCtx {
                 .stats
                 .dirty_evictions
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let co = self.dev.media.write_line(victim, &self.dev.stats);
-            self.pm_write_account(co);
+            self.media_writeback(victim);
         }
         // Issuing the prefetch instruction itself is nearly free.
         self.clock.advance(1);

@@ -7,8 +7,20 @@ use crate::arena::Arena;
 use crate::cache::CacheModel;
 use crate::config::PmConfig;
 use crate::ctx::MemCtx;
+use crate::fault::FaultPlan;
 use crate::media::Media;
 use crate::stats::{PmStats, StatsSnapshot};
+
+/// What a simulated power failure did to the cache, for per-crash-point
+/// reporting by the fault-injection harness.
+#[derive(Debug, Clone, Default)]
+pub struct CrashReport {
+    /// Dirty lines flushed by the eADR reserved energy (empty under ADR).
+    pub flushed_lines: Vec<u64>,
+    /// Dirty unflushed lines reverted to their pre-images under ADR
+    /// (empty under eADR).
+    pub reverted_lines: Vec<u64>,
+}
 
 /// The whole simulated platform. Shared (`Arc`) across simulated threads;
 /// each thread talks to it through its own [`MemCtx`].
@@ -37,6 +49,9 @@ pub struct PmDevice {
     /// so unrelated lines can alias — a false positive that mirrors
     /// real-world false sharing.
     rmw_release: Box<[AtomicU64]>,
+    /// Crash-point fault injection: counts media writes, optionally unwinds
+    /// at an armed write ordinal (see [`crate::fault`]).
+    faults: FaultPlan,
 }
 
 impl PmDevice {
@@ -56,8 +71,14 @@ impl PmDevice {
             vtime_floor: AtomicU64::new(0),
             sim_horizon: AtomicU64::new(0),
             rmw_release: (0..(1 << 20)).map(|_| AtomicU64::new(0)).collect(),
+            faults: FaultPlan::default(),
             cfg,
         })
+    }
+
+    /// The device's crash-point fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Create a per-thread context with a fresh virtual clock.
@@ -148,13 +169,18 @@ impl PmDevice {
     ///   pre-images (requires [`crate::CrashFidelity::Full`]).
     ///
     /// After this call the arena holds exactly the durable state a real
-    /// machine would recover.
-    pub fn simulate_power_failure(&self) {
-        let flushed = self.cache.power_failure(self.cfg.domain, &self.arena);
-        for line in flushed {
+    /// machine would recover. The returned report says which lines the
+    /// reserved energy flushed (eADR) or the crash reverted (ADR).
+    pub fn simulate_power_failure(&self) -> CrashReport {
+        let (flushed, reverted) = self.cache.power_failure(self.cfg.domain, &self.arena);
+        for &line in &flushed {
             self.media.write_line(line, &self.stats);
         }
         self.media.drain(&self.stats);
+        CrashReport {
+            flushed_lines: flushed,
+            reverted_lines: reverted,
+        }
     }
 
     /// Is a line resident in the modelled cache? (test/diagnostic hook)

@@ -1,0 +1,199 @@
+//! Deterministic crash-point fault injection.
+//!
+//! A [`FaultPlan`] rides on every [`crate::PmDevice`] and observes each
+//! *media cacheline writeback* issued from a data path ([`crate::MemCtx`]):
+//! dirty evictions, `clwb` flushes, and non-temporal stores. Those are
+//! exactly the points where the durable image changes, so they are exactly
+//! the points where a power failure produces a distinct post-crash state.
+//!
+//! Usage is two-phase, mirroring the sweep driver in `spash-index-api`:
+//!
+//! 1. **Record** — run a seeded workload once and read
+//!    [`FaultPlan::media_writes`] to learn the total number `W` of media
+//!    writes it issues.
+//! 2. **Replay** — for each chosen crash point `k ∈ 1..=W`, rebuild the
+//!    device, [`FaultPlan::arm`] it at `k`, and rerun the same workload.
+//!    Immediately after the `k`-th media write retires the plan unwinds
+//!    with [`CrashPointHit`] (caught by the driver with `catch_unwind`),
+//!    the driver calls [`crate::PmDevice::simulate_power_failure`], and
+//!    recovery runs against the durable image.
+//!
+//! The panic is raised from `MemCtx` with **no platform locks held** (the
+//! media and cache shards release their mutexes before the hook fires),
+//! and the platform's locks are poison-ignoring ([`crate::sync`]), so an
+//! injected crash leaves the device usable for the post-crash inspection.
+//!
+//! Determinism: with a single simulated thread, cache victim selection,
+//! XPBuffer retirement, and therefore the entire media-write sequence are
+//! pure functions of the access sequence — replaying the same seeded
+//! workload reproduces write `k` exactly.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Panic payload thrown when an armed crash point trips. Catch with
+/// `std::panic::catch_unwind` and downcast to this type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPointHit {
+    /// Ordinal of the media write at which the crash fired (1-based).
+    pub write: u64,
+}
+
+const DISARMED: u64 = u64::MAX;
+
+/// Per-device media-write counter and crash trigger.
+#[derive(Debug)]
+pub struct FaultPlan {
+    /// Media cacheline writebacks observed so far (data paths only;
+    /// harness helpers like `flush_cache_all` are not counted).
+    writes: AtomicU64,
+    /// Crash immediately after this (1-based) write retires. `DISARMED`
+    /// when inactive.
+    arm_at: AtomicU64,
+    /// Set when the armed point fired (diagnostic; also makes the trigger
+    /// one-shot).
+    tripped: AtomicBool,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            writes: AtomicU64::new(0),
+            arm_at: AtomicU64::new(DISARMED),
+            tripped: AtomicBool::new(false),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Media cacheline writebacks counted so far.
+    pub fn media_writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Arm a crash immediately after the `k`-th media write (1-based,
+    /// counted from the last [`FaultPlan::reset`]). `k = 0` disarms.
+    pub fn arm(&self, k: u64) {
+        self.tripped.store(false, Ordering::Relaxed);
+        self.arm_at
+            .store(if k == 0 { DISARMED } else { k }, Ordering::Relaxed);
+    }
+
+    /// Disarm without resetting the counter.
+    pub fn disarm(&self) {
+        self.arm_at.store(DISARMED, Ordering::Relaxed);
+    }
+
+    /// Zero the write counter and disarm.
+    pub fn reset(&self) {
+        self.writes.store(0, Ordering::Relaxed);
+        self.arm_at.store(DISARMED, Ordering::Relaxed);
+        self.tripped.store(false, Ordering::Relaxed);
+    }
+
+    /// Did the armed crash point fire?
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Record one media writeback; unwind with [`CrashPointHit`] if this
+    /// is the armed write. Called by `MemCtx` after the write retired and
+    /// after all platform locks are released.
+    #[inline]
+    pub(crate) fn on_media_write(&self) {
+        let n = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if n == self.arm_at.load(Ordering::Relaxed)
+            && !self.tripped.swap(true, Ordering::Relaxed)
+        {
+            silence_crash_point_panics();
+            std::panic::panic_any(CrashPointHit { write: n });
+        }
+    }
+}
+
+/// Install (once, process-wide) a panic hook that stays silent for
+/// [`CrashPointHit`] unwinds — they are control flow, not failures — and
+/// delegates everything else to the previously installed hook.
+pub fn silence_crash_point_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashPointHit>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PmAddr, PmConfig, PmDevice};
+
+    #[test]
+    fn counts_ntstore_media_writes() {
+        let dev = PmDevice::new(PmConfig::small_test());
+        let mut ctx = dev.ctx();
+        let before = dev.faults().media_writes();
+        ctx.ntstore_bytes(PmAddr(4096), &[7u8; 256]);
+        // 4 cachelines ntstored = 4 media writebacks.
+        assert_eq!(dev.faults().media_writes() - before, 4);
+    }
+
+    #[test]
+    fn armed_point_trips_exactly_once_at_k() {
+        let dev = PmDevice::new(PmConfig::small_test());
+        dev.faults().arm(3);
+        let d2 = std::sync::Arc::clone(&dev);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut ctx = d2.ctx();
+            for i in 0..8u64 {
+                ctx.write_u64(PmAddr(i * 64), i);
+                ctx.flush(PmAddr(i * 64));
+            }
+        }))
+        .expect_err("armed plan must unwind");
+        let hit = err
+            .downcast_ref::<CrashPointHit>()
+            .expect("payload must be CrashPointHit");
+        assert_eq!(hit.write, 3);
+        assert!(dev.faults().tripped());
+        assert_eq!(dev.faults().media_writes(), 3);
+        // One-shot: further writes proceed normally.
+        let mut ctx = dev.ctx();
+        ctx.write_u64(PmAddr(9 * 64), 9);
+        ctx.flush(PmAddr(9 * 64));
+        assert!(dev.faults().media_writes() > 3);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let run = |arm: u64| {
+            let dev = PmDevice::new(PmConfig::small_test());
+            if arm > 0 {
+                dev.faults().arm(arm);
+            }
+            let d2 = std::sync::Arc::clone(&dev);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                let mut ctx = d2.ctx();
+                for i in 0..64u64 {
+                    ctx.write_u64(PmAddr(i * 8), i ^ 0x5a);
+                    if i % 3 == 0 {
+                        ctx.flush(PmAddr(i * 8));
+                    }
+                }
+            }));
+            (dev.faults().media_writes(), r.is_err())
+        };
+        let (total, crashed) = run(0);
+        assert!(!crashed);
+        assert!(total > 0);
+        // Unarmed replays reproduce the same write count; an armed replay
+        // stops exactly at k.
+        assert_eq!(run(0).0, total);
+        let (at_k, crashed) = run(total.min(2));
+        assert!(crashed);
+        assert_eq!(at_k, total.min(2));
+    }
+}

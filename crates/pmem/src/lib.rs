@@ -32,15 +32,18 @@ pub mod config;
 pub mod cost;
 pub mod ctx;
 pub mod device;
+pub mod fault;
 pub mod media;
 pub mod stats;
+pub mod sync;
 pub mod vlock;
 
 pub use arena::{Arena, PmAddr};
 pub use config::{CrashFidelity, PersistenceDomain, PmConfig};
 pub use cost::{CostModel, VClock};
 pub use ctx::MemCtx;
-pub use device::PmDevice;
+pub use device::{CrashReport, PmDevice};
+pub use fault::{CrashPointHit, FaultPlan};
 pub use stats::{StatsDelta, StatsSnapshot};
 pub use vlock::{VLock, VRwLock};
 

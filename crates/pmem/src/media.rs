@@ -13,7 +13,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::stats::PmStats;
 use crate::{CACHELINE, XPLINE};

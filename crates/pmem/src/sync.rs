@@ -1,0 +1,134 @@
+//! Poison-ignoring `std::sync` lock wrappers with a `parking_lot`-style
+//! API (`lock()` / `read()` / `write()` return guards directly).
+//!
+//! Two reasons these exist instead of using `std::sync` types raw:
+//!
+//! 1. The workspace must build with no network access, so `parking_lot`
+//!    is out; every crate takes these via `spash_pmem::sync`.
+//! 2. The crash-point fault injector (see `crate::fault`) aborts a run by
+//!    unwinding with a panic from deep inside the memory model. A `std`
+//!    lock held across that unwind would poison and turn every later
+//!    access — including the post-crash recovery the harness is trying to
+//!    exercise — into a `PoisonError`. Crash simulation *requires* that
+//!    locks survive the unwind: on real hardware a power failure does not
+//!    corrupt a lock word in a coherent way either, and recovery never
+//!    trusts volatile lock state.
+
+use std::sync::PoisonError;
+
+/// Mutual exclusion that never poisons.
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, ignoring poison from a crash-injection unwind.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+/// Reader-writer lock that never poisons.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Self(std::sync::RwLock::new(value))
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared lock, ignoring poison from a crash-injection unwind.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire the exclusive lock, ignoring poison from a crash-injection
+    /// unwind.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_survives_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(7u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("simulated crash point");
+        })
+        .join();
+        // A std Mutex would be poisoned here; ours must keep working.
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn rwlock_survives_a_panicking_writer() {
+        let l = Arc::new(RwLock::new(3u64));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let mut g = l2.write();
+            *g = 4;
+            panic!("simulated crash point");
+        })
+        .join();
+        assert_eq!(*l.read(), 4);
+        *l.write() = 5;
+        assert_eq!(*l.read(), 5);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! On a host with fewer cores than the simulated thread count, wall-clock
 //! lock contention tells you nothing. These locks provide real mutual
-//! exclusion (a `parking_lot` lock underneath) **and** model contention in
+//! exclusion (a host lock underneath) **and** model contention in
 //! virtual time: an acquirer's clock jumps to the previous holder's release
 //! time, so critical sections on a hot lock serialize exactly as they would
 //! on real hardware, whatever the host core count.
@@ -13,7 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 
 use crate::cost::VClock;
 

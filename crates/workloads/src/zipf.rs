@@ -70,42 +70,9 @@ impl Zipfian {
     }
 }
 
-/// A tiny xorshift PRNG (deterministic, seedable; fast enough to never be
-/// the benchmark bottleneck).
-#[derive(Clone, Debug)]
-pub struct Rng64 {
-    s: u64,
-}
-
-impl Rng64 {
-    pub fn new(seed: u64) -> Self {
-        Self {
-            s: seed.max(1).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1,
-        }
-    }
-
-    #[inline]
-    pub fn next_u64(&mut self) -> u64 {
-        let mut x = self.s;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.s = x;
-        x
-    }
-
-    /// Uniform in `[0, 1)`.
-    #[inline]
-    pub fn next_f64(&mut self) -> f64 {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
-    /// Uniform in `[0, n)`.
-    #[inline]
-    pub fn below(&mut self, n: u64) -> u64 {
-        self.next_u64() % n
-    }
-}
+/// The shared deterministic generator (defined next to the index API so
+/// tests and the crash-point sweep use the same one).
+pub use spash_index_api::Rng64;
 
 #[cfg(test)]
 mod tests {

@@ -33,11 +33,11 @@ fn eadr_crash_and_recover() {
 
     // Four writers hammer the index...
     let index = Arc::new(index);
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..4u64 {
             let index = Arc::clone(&index);
             let dev = Arc::clone(&dev);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut ctx = dev.ctx();
                 for i in 0..25_000u64 {
                     let k = 1 + t * 25_000 + i;
@@ -48,8 +48,7 @@ fn eadr_crash_and_recover() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     let live = index.len();
     println!("before crash: {live} entries, depth grown through splits");
     drop(index);

@@ -60,11 +60,11 @@ fn run(policy: UpdatePolicy, label: &str) -> (f64, u64) {
     }
 
     let before = dev.snapshot();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..WORKERS {
             let store = Arc::clone(&store);
             let dev = Arc::clone(&dev);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut ctx = dev.ctx();
                 let zipf = Zipfian::new(SESSIONS, 0.99);
                 let mut rng = Rng64::new(100 + w);
@@ -84,8 +84,7 @@ fn run(policy: UpdatePolicy, label: &str) -> (f64, u64) {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     dev.quiesce();
     let d = dev.snapshot().since(&before);
     let mb = d.media_write_bytes as f64 / (1 << 20) as f64;

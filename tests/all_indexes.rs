@@ -136,11 +136,11 @@ fn concurrent_disjoint_writers_every_index() {
         let (dev, idx) = build(which);
         let idx: Arc<Box<dyn PersistentIndex>> = Arc::new(idx);
         let name = idx.name().to_string();
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let idx = Arc::clone(&idx);
                 let dev = Arc::clone(&dev);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut ctx = dev.ctx();
                     for i in 0..1500u64 {
                         let k = 1 + t * 1500 + i;
@@ -148,8 +148,7 @@ fn concurrent_disjoint_writers_every_index() {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let mut ctx = dev.ctx();
         for k in 1..=6000u64 {
             assert_eq!(idx.get_u64(&mut ctx, k), Some(k), "{name}: key {k}");
@@ -181,6 +180,52 @@ fn spash_has_the_fewest_pm_accesses_per_search() {
         assert!(
             spash <= *v + 0.05,
             "Spash ({spash:.2} cl/search) must not exceed {name} ({v:.2})"
+        );
+    }
+}
+
+/// Crash-point sweep over every baseline (sampled schedule; Spash's
+/// exhaustive sweeps live in tests/crashpoints.rs): under eADR, each
+/// baseline's recovery must restore exactly the committed prefix at every
+/// injected crash, and its heap audit must find no corruption.
+#[test]
+fn baseline_crash_sweeps_recover_committed_prefix() {
+    use spash_repro::index_api::crashpoint::{run_sweep, CheckLevel, CrashTarget, SweepConfig};
+    use spash_repro::pmem::PersistenceDomain;
+
+    let mut cfg = SweepConfig::ci(PersistenceDomain::Eadr);
+    assert_eq!(cfg.check, CheckLevel::Exact);
+    // Sampled: a short workload and a strided schedule keep six sweeps
+    // CI-sized; EXPERIMENTS.md has the full-scale recipe.
+    cfg.n_ops = 250;
+    cfg.key_space = 96;
+    cfg.exhaustive_limit = 40;
+    cfg.max_points = 40;
+    let targets: Vec<CrashTarget> = vec![
+        Cceh::crash_target(1),
+        Dash::crash_target(1),
+        Level::crash_target(4),
+        CLevel::crash_target(4),
+        Plush::crash_target(4),
+        Halo::crash_target(8 << 20, u64::MAX),
+    ];
+    for t in &targets {
+        let r = run_sweep(t, &cfg);
+        assert!(r.total_writes > 0, "{}: workload produced no media writes", r.target);
+        assert!(!r.points.is_empty(), "{}: no crash points injected", r.target);
+        assert!(
+            r.is_ok(),
+            "{}: {} of {} crash points failed:\n{}",
+            r.target,
+            r.failure_count,
+            r.points.len(),
+            r.failures.join("\n")
+        );
+        assert_eq!(r.unrecovered, 0, "{}: unrecoverable points", r.target);
+        assert!(
+            r.points.iter().all(|p| p.recovered && p.audit_ok),
+            "{}: audit failures",
+            r.target
         );
     }
 }

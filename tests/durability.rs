@@ -116,12 +116,12 @@ fn crash_during_concurrent_load_loses_nothing_committed() {
     let mut ctx = dev.ctx();
     let idx = std::sync::Arc::new(Spash::format(&mut ctx, SpashConfig::test_default()).unwrap());
     let committed: Mutex<Vec<u64>> = Mutex::new(Vec::new());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..4u64 {
             let idx = std::sync::Arc::clone(&idx);
             let dev = std::sync::Arc::clone(&dev);
             let committed = &committed;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut ctx = dev.ctx();
                 let mut mine = Vec::new();
                 for i in 0..4_000u64 {
@@ -132,8 +132,7 @@ fn crash_during_concurrent_load_loses_nothing_committed() {
                 committed.lock().unwrap().extend(mine);
             });
         }
-    })
-    .unwrap();
+    });
     drop(idx);
     dev.simulate_power_failure();
 
@@ -175,4 +174,52 @@ fn adr_platform_would_lose_index_writes_without_flushes() {
         !intact,
         "a volatile cache must lose unflushed index state (this is the gap eADR closes)"
     );
+}
+
+/// ADR platform semantics at line granularity: a crash reverts exactly the
+/// dirty unflushed cachelines to their pre-images — flushed lines survive,
+/// and the crash report names every reverted line.
+#[test]
+fn adr_crash_reverts_exactly_the_dirty_unflushed_lines() {
+    use spash_repro::pmem::{CrashFidelity, PmAddr};
+    let dev = PmDevice::new(PmConfig {
+        fidelity: CrashFidelity::Full,
+        ..PmConfig::adr_test()
+    });
+    let mut ctx = dev.ctx();
+
+    // Two lines dirtied and flushed, two dirtied and left unflushed.
+    ctx.write_u64(PmAddr(4096), 0xAAAA);
+    ctx.write_u64(PmAddr(4160), 0xBBBB);
+    ctx.flush(PmAddr(4096));
+    ctx.flush(PmAddr(4160));
+    ctx.fence();
+    ctx.write_u64(PmAddr(8192), 0xCCCC);
+    ctx.write_u64(PmAddr(8256), 0xDDDD);
+
+    let crash = dev.simulate_power_failure();
+    // ADR has no energy reserve: nothing is flushed at crash time.
+    assert!(crash.flushed_lines.is_empty(), "ADR must not flush at crash");
+    // The report names lines by index (byte address / 64).
+    for addr in [8192u64, 8256] {
+        assert!(
+            crash.reverted_lines.contains(&(addr / 64)),
+            "dirty unflushed line at {addr:#x} not reverted: {:?}",
+            crash.reverted_lines
+        );
+    }
+    for addr in [4096u64, 4160] {
+        assert!(
+            !crash.reverted_lines.contains(&(addr / 64)),
+            "flushed line at {addr:#x} must survive the crash"
+        );
+    }
+
+    // The durable image agrees with the report: flushed data survived,
+    // unflushed lines hold their pre-images (zeroes on a fresh arena).
+    let mut ctx = dev.ctx();
+    assert_eq!(ctx.read_u64(PmAddr(4096)), 0xAAAA);
+    assert_eq!(ctx.read_u64(PmAddr(4160)), 0xBBBB);
+    assert_eq!(ctx.read_u64(PmAddr(8192)), 0);
+    assert_eq!(ctx.read_u64(PmAddr(8256)), 0);
 }

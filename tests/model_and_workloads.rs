@@ -222,12 +222,12 @@ fn concurrent_ycsb_over_spash_is_lossless() {
     for &k in &keys {
         idx.insert_u64(&mut ctx, k, k).unwrap();
     }
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..8u64 {
             let idx = Arc::clone(&idx);
             let dev = Arc::clone(&dev);
             let cfg = cfg.clone();
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut ctx = dev.ctx();
                 let mut stream = OpStream::new(&cfg, t);
                 let mut buf = Vec::new();
@@ -243,8 +243,7 @@ fn concurrent_ycsb_over_spash_is_lossless() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(idx.len(), keys.len() as u64);
     // Full structural audit after the concurrent phase: routing, hints,
     // fingerprints, directory runs and counters must all be coherent.

@@ -1,11 +1,14 @@
-//! Property-based tests: Spash must behave exactly like a reference
+//! Randomized property tests: Spash must behave exactly like a reference
 //! `HashMap` under arbitrary operation sequences, and core encodings must
 //! be lossless for arbitrary inputs.
+//!
+//! Driven by the in-repo seeded [`Rng64`] (no external `proptest`): each
+//! property runs a fixed number of independently-seeded cases, and every
+//! assertion message carries the case seed so a failure replays exactly.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-use spash_repro::index_api::{IndexError, PersistentIndex};
+use spash_repro::index_api::{IndexError, PersistentIndex, Rng64};
 use spash_repro::pmem::{PmConfig, PmDevice};
 use spash_repro::spash::slot::{self, SlotKey};
 use spash_repro::spash::{Spash, SpashConfig};
@@ -19,24 +22,28 @@ enum Op {
     Remove(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    // A small key space so operations collide and exercise overflow
-    // buckets, hints, deletes-then-reinserts, splits and merges.
-    let key = 1u64..200;
-    let val = proptest::collection::vec(any::<u8>(), 0..300);
-    prop_oneof![
-        (key.clone(), val.clone()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (key.clone(), val).prop_map(|(k, v)| Op::Update(k, v)),
-        key.clone().prop_map(Op::Get),
-        key.prop_map(Op::Remove),
-    ]
+/// A small key space so operations collide and exercise overflow buckets,
+/// hints, deletes-then-reinserts, splits and merges.
+fn gen_op(rng: &mut Rng64) -> Op {
+    let key = 1 + rng.below(199);
+    match rng.below(4) {
+        0 => Op::Insert(key, gen_val(rng)),
+        1 => Op::Update(key, gen_val(rng)),
+        2 => Op::Get(key),
+        _ => Op::Remove(key),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn gen_val(rng: &mut Rng64) -> Vec<u8> {
+    let len = rng.below(300) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
 
-    #[test]
-    fn spash_matches_reference_hashmap(ops in proptest::collection::vec(op_strategy(), 1..400)) {
+#[test]
+fn spash_matches_reference_hashmap() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0x5EED + case);
+        let n_ops = 1 + rng.below(399);
         let dev = PmDevice::new(PmConfig {
             arena_size: 64 << 20,
             ..PmConfig::small_test()
@@ -45,24 +52,24 @@ proptest! {
         let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(&mut rng) {
                 Op::Insert(k, v) => {
                     let r = idx.insert(&mut ctx, k, &v);
                     if let std::collections::hash_map::Entry::Vacant(e) = model.entry(k) {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok(), "case {case}: insert({k}) -> {r:?}");
                         e.insert(v);
                     } else {
-                        prop_assert_eq!(r, Err(IndexError::DuplicateKey));
+                        assert_eq!(r, Err(IndexError::DuplicateKey), "case {case}: key {k}");
                     }
                 }
                 Op::Update(k, v) => {
                     let r = idx.update(&mut ctx, k, &v);
                     if let std::collections::hash_map::Entry::Occupied(mut e) = model.entry(k) {
-                        prop_assert!(r.is_ok());
+                        assert!(r.is_ok(), "case {case}: update({k}) -> {r:?}");
                         e.insert(v);
                     } else {
-                        prop_assert_eq!(r, Err(IndexError::NotFound));
+                        assert_eq!(r, Err(IndexError::NotFound), "case {case}: key {k}");
                     }
                 }
                 Op::Get(k) => {
@@ -70,34 +77,40 @@ proptest! {
                     let hit = idx.get(&mut ctx, k, &mut out);
                     match model.get(&k) {
                         Some(v) => {
-                            prop_assert!(hit);
-                            prop_assert_eq!(&out, v);
+                            assert!(hit, "case {case}: key {k} missing");
+                            assert_eq!(&out, v, "case {case}: key {k}");
                         }
-                        None => prop_assert!(!hit),
+                        None => assert!(!hit, "case {case}: ghost key {k}"),
                     }
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(idx.remove(&mut ctx, k), model.remove(&k).is_some());
+                    assert_eq!(
+                        idx.remove(&mut ctx, k),
+                        model.remove(&k).is_some(),
+                        "case {case}: remove({k})"
+                    );
                 }
             }
-            prop_assert_eq!(idx.len(), model.len() as u64);
+            assert_eq!(idx.len(), model.len() as u64, "case {case}");
         }
 
         // Full sweep at the end, plus a complete structural audit.
         let mut out = Vec::new();
         for (k, v) in &model {
             out.clear();
-            prop_assert!(idx.get(&mut ctx, *k, &mut out));
-            prop_assert_eq!(&out, v);
+            assert!(idx.get(&mut ctx, *k, &mut out), "case {case}: key {k}");
+            assert_eq!(&out, v, "case {case}: key {k}");
         }
         let report = idx.verify_integrity(&mut ctx);
-        prop_assert!(report.is_ok(), "integrity violated: {:?}", report);
+        assert!(report.is_ok(), "case {case}: integrity violated: {report:?}");
     }
+}
 
-    #[test]
-    fn spash_state_survives_crash_for_any_op_sequence(
-        ops in proptest::collection::vec(op_strategy(), 1..200)
-    ) {
+#[test]
+fn spash_state_survives_crash_for_any_op_sequence() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xC4A5 + case);
+        let n_ops = 1 + rng.below(199);
         let dev = PmDevice::new(PmConfig {
             arena_size: 64 << 20,
             ..PmConfig::eadr_test()
@@ -105,8 +118,8 @@ proptest! {
         let mut ctx = dev.ctx();
         let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(&mut rng) {
                 Op::Insert(k, v) => {
                     if idx.insert(&mut ctx, k, &v).is_ok() {
                         model.insert(k, v);
@@ -129,38 +142,60 @@ proptest! {
         dev.simulate_power_failure();
         let mut ctx2 = dev.ctx();
         let rec = Spash::recover(&mut ctx2, SpashConfig::test_default()).unwrap();
-        prop_assert_eq!(rec.len(), model.len() as u64);
+        assert_eq!(rec.len(), model.len() as u64, "case {case}");
         let mut out = Vec::new();
         for (k, v) in &model {
             out.clear();
-            prop_assert!(rec.get(&mut ctx2, *k, &mut out), "key {} lost", k);
-            prop_assert_eq!(&out, v);
+            assert!(rec.get(&mut ctx2, *k, &mut out), "case {case}: key {k} lost");
+            assert_eq!(&out, v, "case {case}: key {k}");
         }
         let report = rec.verify_integrity(&mut ctx2);
-        prop_assert!(report.is_ok(), "post-recovery integrity violated: {:?}", report);
+        assert!(
+            report.is_ok(),
+            "case {case}: post-recovery integrity violated: {report:?}"
+        );
     }
+}
 
-    #[test]
-    fn slot_key_word_roundtrips(key in 0u64..(1 << 48), fp in 0u16..(1 << 14)) {
+#[test]
+fn slot_key_word_roundtrips() {
+    let mut rng = Rng64::new(0x510);
+    for _ in 0..512 {
+        let key = rng.below(1 << 48);
+        let fp = rng.below(1 << 14) as u16;
         let inline = SlotKey::Inline { key, fp };
-        prop_assert_eq!(SlotKey::unpack(inline.pack()), inline);
-        let ptr = SlotKey::Ptr { addr: spash_repro::pmem::PmAddr(key), fp };
-        prop_assert_eq!(SlotKey::unpack(ptr.pack()), ptr);
+        assert_eq!(SlotKey::unpack(inline.pack()), inline);
+        let ptr = SlotKey::Ptr {
+            addr: spash_repro::pmem::PmAddr(key),
+            fp,
+        };
+        assert_eq!(SlotKey::unpack(ptr.pack()), ptr);
     }
+}
 
-    #[test]
-    fn value_word_fields_are_independent(payload in 0u64..(1 << 48), hint: u16, payload2 in 0u64..(1 << 48)) {
-        use slot::value_word as vw;
+#[test]
+fn value_word_fields_are_independent() {
+    use slot::value_word as vw;
+    let mut rng = Rng64::new(0x7a1);
+    for _ in 0..512 {
+        let payload = rng.below(1 << 48);
+        let hint = rng.next_u64() as u16;
+        let payload2 = rng.below(1 << 48);
         let w = vw::with_hint(vw::with_payload(0, payload), hint);
-        prop_assert_eq!(vw::payload(w), payload);
-        prop_assert_eq!(vw::hint(w), hint);
+        assert_eq!(vw::payload(w), payload);
+        assert_eq!(vw::hint(w), hint);
         let w2 = vw::with_payload(w, payload2);
-        prop_assert_eq!(vw::hint(w2), hint);
-        prop_assert_eq!(vw::payload(w2), payload2);
+        assert_eq!(vw::hint(w2), hint);
+        assert_eq!(vw::payload(w2), payload2);
     }
+}
 
-    #[test]
-    fn rank_to_key_is_a_bijection(n in 1u64..5_000, seed: u64) {
+#[test]
+fn rank_to_key_is_a_bijection() {
+    let mut rng = Rng64::new(0xb17);
+    for case in 0..48u64 {
+        let n = 1 + rng.below(4_999);
+        let seed = rng.next_u64();
         let cfg = WorkloadConfig {
             seed,
             ..WorkloadConfig::new(n, Distribution::Uniform, Mix::BALANCED, ValueSize::Inline)
@@ -168,21 +203,31 @@ proptest! {
         let mut keys: Vec<u64> = (0..n).map(|r| cfg.rank_to_key(r)).collect();
         keys.sort_unstable();
         keys.dedup();
-        prop_assert_eq!(keys.len() as u64, n);
-        prop_assert!(keys.iter().all(|&k| k >= 1 && k <= n));
+        assert_eq!(keys.len() as u64, n, "case {case}: seed {seed:#x}");
+        assert!(keys.iter().all(|&k| k >= 1 && k <= n), "case {case}");
     }
+}
 
-    #[test]
-    fn zipfian_ranks_in_range(n in 1u64..100_000, u in 0.0f64..1.0) {
+#[test]
+fn zipfian_ranks_in_range() {
+    let mut rng = Rng64::new(0x21f);
+    for _ in 0..64 {
+        let n = 1 + rng.below(99_999);
+        let u = rng.next_f64();
         let z = Zipfian::new(n, 0.99);
-        prop_assert!(z.rank(u) < n);
+        assert!(z.rank(u) < n, "n={n} u={u}");
     }
+}
 
-    #[test]
-    fn hints_never_collide_with_empty(h: u64, idx in 0u8..16) {
+#[test]
+fn hints_never_collide_with_empty() {
+    let mut rng = Rng64::new(0x417);
+    for _ in 0..512 {
+        let h = rng.next_u64();
+        let idx = rng.below(16) as u8;
         let hint = slot::make_hint(h, idx);
-        prop_assert_ne!(hint, 0);
+        assert_ne!(hint, 0);
         // A matching probe recovers the slot index.
-        prop_assert_eq!(slot::hint_matches(hint, h), Some(idx));
+        assert_eq!(slot::hint_matches(hint, h), Some(idx));
     }
 }

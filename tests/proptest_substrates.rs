@@ -1,11 +1,15 @@
-//! Property-based tests for the substrates: allocator non-overlap, HTM
-//! atomicity, and cache-model crash semantics under arbitrary inputs.
+//! Randomized property tests for the substrates: allocator non-overlap,
+//! HTM atomicity, and cache-model crash semantics under arbitrary inputs.
+//!
+//! Driven by the in-repo seeded [`Rng64`] (no external `proptest`): each
+//! property runs a fixed number of independently-seeded cases, and every
+//! assertion message carries the case seed so a failure replays exactly.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use spash_repro::alloc::{PmAllocator, CHUNK};
 use spash_repro::htm::{Abort, Htm, HtmConfig};
+use spash_repro::index_api::Rng64;
 use spash_repro::pmem::{PmAddr, PmConfig, PmDevice};
 
 #[derive(Clone, Debug)]
@@ -15,19 +19,20 @@ enum AllocOp {
     Segment,
 }
 
-fn alloc_op() -> impl Strategy<Value = AllocOp> {
-    prop_oneof![
-        3 => (1u64..4000).prop_map(AllocOp::Alloc),
-        2 => any::<usize>().prop_map(AllocOp::FreeNth),
-        1 => Just(AllocOp::Segment),
-    ]
+/// Weighted 3:2:1 like the original strategy.
+fn alloc_op(rng: &mut Rng64) -> AllocOp {
+    match rng.below(6) {
+        0 | 1 | 2 => AllocOp::Alloc(1 + rng.below(3999)),
+        3 | 4 => AllocOp::FreeNth(rng.next_u64() as usize),
+        _ => AllocOp::Segment,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn allocations_never_overlap(ops in proptest::collection::vec(alloc_op(), 1..300)) {
+#[test]
+fn allocations_never_overlap() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xA110C + case);
+        let n_ops = 1 + rng.below(299);
         let dev = PmDevice::new(PmConfig {
             arena_size: 32 << 20,
             ..PmConfig::small_test()
@@ -36,8 +41,8 @@ proptest! {
         let alloc = PmAllocator::format(&mut ctx, 0);
         // live: (addr, size, is_segment) — segments free via their own path.
         let mut live: Vec<(u64, u64, bool)> = Vec::new();
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match alloc_op(&mut rng) {
                 AllocOp::Alloc(size) => {
                     if let Ok(a) = alloc.alloc(&mut ctx, size) {
                         live.push((a.addr.0, size, false));
@@ -45,7 +50,7 @@ proptest! {
                 }
                 AllocOp::Segment => {
                     if let Ok(a) = alloc.alloc_segment(&mut ctx) {
-                        prop_assert_eq!(a.0 % CHUNK, 0, "segments are XPLine-aligned");
+                        assert_eq!(a.0 % CHUNK, 0, "segments are XPLine-aligned");
                         live.push((a.0, 256, true));
                     }
                 }
@@ -64,20 +69,32 @@ proptest! {
             let mut sorted: Vec<(u64, u64)> = live.iter().map(|&(a, s, _)| (a, s)).collect();
             sorted.sort_unstable();
             for w in sorted.windows(2) {
-                prop_assert!(
+                assert!(
                     w[0].0 + w[0].1 <= w[1].0,
-                    "allocation [{:#x}+{}] overlaps [{:#x}+{}]",
-                    w[0].0, w[0].1, w[1].0, w[1].1
+                    "case {case}: allocation [{:#x}+{}] overlaps [{:#x}+{}]",
+                    w[0].0,
+                    w[0].1,
+                    w[1].0,
+                    w[1].1
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn htm_transactions_are_all_or_nothing(
-        writes in proptest::collection::vec((0u64..64, any::<u64>()), 1..20),
-        abort_at in proptest::option::of(0usize..20),
-    ) {
+#[test]
+fn htm_transactions_are_all_or_nothing() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0x47 + case);
+        let writes: Vec<(u64, u64)> = (0..1 + rng.below(19))
+            .map(|_| (rng.below(64), rng.next_u64()))
+            .collect();
+        let abort_at = if rng.below(2) == 0 {
+            Some(rng.below(20) as usize)
+        } else {
+            None
+        };
+
         let dev = PmDevice::new(PmConfig::small_test());
         let htm = Htm::new(HtmConfig::default());
         let mut ctx = dev.ctx();
@@ -85,7 +102,9 @@ proptest! {
         for i in 0..64u64 {
             dev.arena().store_u64(PmAddr(i * 64), i + 1_000_000);
         }
-        let before: Vec<u64> = (0..64u64).map(|i| dev.arena().load_u64(PmAddr(i * 64))).collect();
+        let before: Vec<u64> = (0..64u64)
+            .map(|i| dev.arena().load_u64(PmAddr(i * 64)))
+            .collect();
 
         let r: Result<(), Abort> = htm.try_transaction(&mut ctx, |tx, ctx| {
             for (n, &(slot, val)) in writes.iter().enumerate() {
@@ -97,9 +116,11 @@ proptest! {
             Ok(())
         });
 
-        let after: Vec<u64> = (0..64u64).map(|i| dev.arena().load_u64(PmAddr(i * 64))).collect();
+        let after: Vec<u64> = (0..64u64)
+            .map(|i| dev.arena().load_u64(PmAddr(i * 64)))
+            .collect();
         match r {
-            Err(_) => prop_assert_eq!(after, before, "aborted tx must leave no trace"),
+            Err(_) => assert_eq!(after, before, "case {case}: aborted tx must leave no trace"),
             Ok(()) => {
                 // Last-write-wins per slot.
                 let mut want: HashMap<u64, u64> = HashMap::new();
@@ -108,17 +129,19 @@ proptest! {
                 }
                 for i in 0..64u64 {
                     let expect = want.get(&i).copied().unwrap_or(before[i as usize]);
-                    prop_assert_eq!(after[i as usize], expect, "slot {}", i);
+                    assert_eq!(after[i as usize], expect, "case {case}: slot {i}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn adr_crash_keeps_exactly_the_flushed_prefix(
-        n_writes in 1usize..40,
-        flushed_upto in 0usize..40,
-    ) {
+#[test]
+fn adr_crash_keeps_exactly_the_flushed_prefix() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xAD4 + case);
+        let n_writes = (1 + rng.below(39)) as usize;
+        let flushed_upto = rng.below(40) as usize;
         // Write N lines; flush the first F; crash. Exactly the flushed
         // ones survive.
         let dev = PmDevice::new(PmConfig::adr_test());
@@ -135,15 +158,19 @@ proptest! {
         for i in 0..n_writes {
             let v = dev.arena().load_u64(PmAddr(4096 + i as u64 * 64));
             if i < f {
-                prop_assert_eq!(v, 42 + i as u64, "flushed line {} lost", i);
+                assert_eq!(v, 42 + i as u64, "case {case}: flushed line {i} lost");
             } else {
-                prop_assert_eq!(v, 0, "unflushed line {} survived ADR crash", i);
+                assert_eq!(v, 0, "case {case}: unflushed line {i} survived ADR crash");
             }
         }
     }
+}
 
-    #[test]
-    fn eadr_crash_keeps_everything(n_writes in 1usize..60) {
+#[test]
+fn eadr_crash_keeps_everything() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0xEAD + case);
+        let n_writes = (1 + rng.below(59)) as usize;
         let dev = PmDevice::new(PmConfig::eadr_test());
         let mut ctx = dev.ctx();
         for i in 0..n_writes {
@@ -151,17 +178,22 @@ proptest! {
         }
         dev.simulate_power_failure();
         for i in 0..n_writes {
-            prop_assert_eq!(
+            assert_eq!(
                 dev.arena().load_u64(PmAddr(4096 + i as u64 * 64)),
-                7 + i as u64
+                7 + i as u64,
+                "case {case}: line {i}"
             );
         }
     }
+}
 
-    #[test]
-    fn allocator_recovery_preserves_non_overlap(
-        sizes in proptest::collection::vec(1u64..2000, 1..60)
-    ) {
+#[test]
+fn allocator_recovery_preserves_non_overlap() {
+    for case in 0..48u64 {
+        let mut rng = Rng64::new(0x4ec + case);
+        let sizes: Vec<u64> = (0..1 + rng.below(59))
+            .map(|_| 1 + rng.below(1999))
+            .collect();
         let dev = PmDevice::new(PmConfig {
             arena_size: 32 << 20,
             ..PmConfig::eadr_test()
@@ -183,9 +215,9 @@ proptest! {
             if let Ok(a) = rec.alloc.alloc(&mut ctx2, *s) {
                 for &(addr, size) in &live {
                     let no_overlap = a.addr.0 + *s <= addr || addr + size <= a.addr.0;
-                    prop_assert!(
+                    assert!(
                         no_overlap,
-                        "post-recovery alloc [{:#x}+{}] overlaps pre-crash [{:#x}+{}]",
+                        "case {case}: post-recovery alloc [{:#x}+{}] overlaps pre-crash [{:#x}+{}]",
                         a.addr.0, s, addr, size
                     );
                 }
