@@ -277,7 +277,7 @@ impl CLevel {
                     Ok(_) => {
                         ctx.flush(sa);
                         ctx.fence();
-                        std::thread::yield_now();
+                        spash_pmem::schedhook::spin_wait();
                         break; // retry outer placement with `word`
                     }
                     Err(actual) => {
@@ -571,7 +571,7 @@ impl PersistentIndex for CLevel {
                 Some((_, w)) if w & FROZEN != 0 => {
                     // Mid-migration: the copy in the newest level is about
                     // to appear; wait for it.
-                    std::thread::yield_now();
+                    spash_pmem::schedhook::spin_wait();
                     ctx.charge_compute(20);
                 }
                 Some((slot, w)) => {
@@ -602,7 +602,7 @@ impl PersistentIndex for CLevel {
             match self.find(ctx, key) {
                 None => return false,
                 Some((_, w)) if w & FROZEN != 0 => {
-                    std::thread::yield_now();
+                    spash_pmem::schedhook::spin_wait();
                     ctx.charge_compute(20);
                 }
                 Some((slot, w)) => {

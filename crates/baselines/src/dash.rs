@@ -683,7 +683,8 @@ impl PersistentIndex for Dash {
             let v1a = ctx.read_u64(seg.ver_addr(b));
             let v1b = ctx.read_u64(seg.ver_addr((b + 1) % BUCKETS));
             if v1a % 2 == 1 || v1b % 2 == 1 {
-                std::thread::yield_now();
+                // Writer holds the bucket seqlock: scheduler-aware wait.
+                spash_pmem::schedhook::spin_wait();
                 continue;
             }
             let hit = self.find(ctx, &seg, key, h);

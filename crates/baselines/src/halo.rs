@@ -274,6 +274,30 @@ impl PersistentIndex for Halo {
         }
         let h = hash_key(key);
         let len = value.len() as u32;
+        if crate::testhooks::halo_racy_insert() {
+            // Deliberately broken variant (checker validation only): the
+            // duplicate check and the append are in separate critical
+            // sections with a schedulable window between them, so two
+            // concurrent inserts of one key can both return `Ok`.
+            let present = self.shards[Self::shard_of(h)].read(ctx, |ctx, sh| {
+                ctx.charge_dram(1);
+                sh.map.contains_key(&key)
+            });
+            if present {
+                return Err(IndexError::DuplicateKey);
+            }
+            spash_pmem::schedhook::sync_point(spash_pmem::SyncEvent::TestRace);
+            let r = self.shards[Self::shard_of(h)].write(ctx, |ctx, sh| {
+                let off = self.log_append(ctx, key, value)?;
+                sh.map.insert(key, (off, len));
+                sh.muts += 1;
+                self.maybe_snapshot(ctx, sh);
+                Ok(())
+            });
+            return r.map(|()| {
+                self.entries.fetch_add(1, Ordering::Relaxed);
+            });
+        }
         // Check-then-append under the shard lock: appending a doomed
         // entry first (and invalidating it on failure) would let a crash
         // between the two resurrect a value the operation never committed.

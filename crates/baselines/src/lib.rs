@@ -23,6 +23,7 @@ pub mod dash;
 pub mod halo;
 pub mod level;
 pub mod plush;
+pub mod testhooks;
 
 pub use cceh::Cceh;
 pub use clevel::CLevel;

@@ -88,6 +88,13 @@ impl Lvl {
 pub struct Plush {
     alloc: Arc<PmAllocator>,
     shards: Vec<VLock<Shard>>,
+    /// Per-shard writer lock held across the check-then-append in
+    /// `insert`/`update`/`remove`. The LSM write path is a blind upsert,
+    /// so without this two concurrent removes of one key both observe it
+    /// present and both report success (caught by the schedule explorer;
+    /// see `tests/sched.rs`). Ordered strictly before the buffer shard
+    /// lock and the level lock; lookups don't take it.
+    op_locks: Vec<VLock<()>>,
     wal_base: PmAddr,
     levels: RwLock<Vec<Lvl>>,
     level0_buckets: u64,
@@ -136,6 +143,7 @@ impl Plush {
         }
         Ok(Self {
             alloc,
+            op_locks: (0..SHARDS).map(|_| VLock::new((), lock_ns)).collect(),
             shards: (0..SHARDS)
                 .map(|_| {
                     VLock::new(
@@ -503,6 +511,7 @@ impl Plush {
 
         let idx = Self {
             alloc: Arc::new(rec.alloc),
+            op_locks: (0..SHARDS).map(|_| VLock::new((), lock_ns)).collect(),
             shards,
             wal_base,
             levels: RwLock::new(levels),
@@ -605,24 +614,28 @@ impl PersistentIndex for Plush {
     }
 
     fn insert(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
-        if self.lookup(ctx, key).is_some() {
-            return Err(IndexError::DuplicateKey);
-        }
-        let vw = common::make_val(&self.alloc, ctx, key, value)?;
-        self.put(ctx, key, vw)?;
-        self.entries.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.op_locks[Self::shard_of(hash_key(key))].with(ctx, |ctx, _| {
+            if self.lookup(ctx, key).is_some() {
+                return Err(IndexError::DuplicateKey);
+            }
+            let vw = common::make_val(&self.alloc, ctx, key, value)?;
+            self.put(ctx, key, vw)?;
+            self.entries.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
     }
 
     fn update(&self, ctx: &mut MemCtx, key: u64, value: &[u8]) -> Result<(), IndexError> {
-        if self.lookup(ctx, key).is_none() {
-            return Err(IndexError::NotFound);
-        }
-        // Out-of-place: the old version is shadowed, not freed (reclaimed
-        // at merge in the original; the blob itself leaks here like any
-        // LSM until compaction).
-        let vw = common::make_val(&self.alloc, ctx, key, value)?;
-        self.put(ctx, key, vw)
+        self.op_locks[Self::shard_of(hash_key(key))].with(ctx, |ctx, _| {
+            if self.lookup(ctx, key).is_none() {
+                return Err(IndexError::NotFound);
+            }
+            // Out-of-place: the old version is shadowed, not freed
+            // (reclaimed at merge in the original; the blob itself leaks
+            // here like any LSM until compaction).
+            let vw = common::make_val(&self.alloc, ctx, key, value)?;
+            self.put(ctx, key, vw)
+        })
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
@@ -636,14 +649,16 @@ impl PersistentIndex for Plush {
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
-        if self.lookup(ctx, key).is_none() {
-            return false;
-        }
-        if self.put(ctx, key, TOMB).is_err() {
-            return false;
-        }
-        self.entries.fetch_sub(1, Ordering::Relaxed);
-        true
+        self.op_locks[Self::shard_of(hash_key(key))].with(ctx, |ctx, _| {
+            if self.lookup(ctx, key).is_none() {
+                return false;
+            }
+            if self.put(ctx, key, TOMB).is_err() {
+                return false;
+            }
+            self.entries.fetch_sub(1, Ordering::Relaxed);
+            true
+        })
     }
 
     fn entries(&self) -> u64 {

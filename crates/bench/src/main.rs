@@ -256,6 +256,175 @@ fn probes(scale: &Scale) {
     }
 }
 
+/// Deterministic schedule exploration with linearizability checking
+/// (DESIGN.md, "Deterministic schedule exploration"; recipe in
+/// EXPERIMENTS.md): run seeded concurrent workloads under the cooperative
+/// scheduler, one random interleaving per seed, topping up seeds until at
+/// least `--seeds` *distinct* recorded schedules were explored per index.
+/// Every completed history is checked with the Wing–Gong checker; any
+/// violation or panic prints its schedule seed + decision trace, is
+/// replayed for confirmation, and fails the run.
+///
+/// Knobs: `SPASH_SCHED_THREADS` (3), `SPASH_SCHED_OPS` (8, per thread),
+/// `SPASH_SCHED_KEYS` (12), `SPASH_SCHED_PREFILL` (keys/2),
+/// `SPASH_SCHED_SEED0` (1), `SPASH_SCHED_PREEMPTIONS` (24),
+/// `SPASH_SCHED_ARENA_MB` (48), `SPASH_SCHED_TARGETS=spash|baselines|all`,
+/// `SPASH_SCHED_MUTATE=1` (checker canary: enable the Halo racy-insert
+/// mutation and *require* a caught, replayable violation).
+fn sched_explore(want_distinct: u64) {
+    use spash::{Spash, SpashConfig};
+    use spash_baselines::{testhooks, CLevel, Cceh, Dash, Halo, Level, Plush};
+    use spash_index_api::crashpoint::CrashTarget;
+    use spash_pmem::{PersistenceDomain, PmConfig};
+    use spash_sched::explore::{explore, ExploreConfig, SeedFailure};
+    use spash_sched::lin::LinConfig;
+    use spash_sched::{SchedConfig, SchedMode};
+
+    fn knob(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default)
+    }
+
+    spash_sched::silence_sched_panics();
+    let mutate = knob("SPASH_SCHED_MUTATE", 0) != 0;
+    let threads = knob("SPASH_SCHED_THREADS", 3) as usize;
+    let ops = knob("SPASH_SCHED_OPS", 8);
+    let keys = knob("SPASH_SCHED_KEYS", if mutate { 4 } else { 12 });
+    let prefill = knob("SPASH_SCHED_PREFILL", if mutate { 0 } else { keys / 2 });
+    let seed0 = knob("SPASH_SCHED_SEED0", 1);
+    let preemptions = knob("SPASH_SCHED_PREEMPTIONS", 24) as u32;
+
+    let mut pm = PmConfig::small_test();
+    pm.arena_size = knob("SPASH_SCHED_ARENA_MB", 48) << 20;
+    pm.domain = PersistenceDomain::Eadr;
+
+    let which = std::env::var("SPASH_SCHED_TARGETS").unwrap_or_else(|_| "all".into());
+    let mut targets: Vec<CrashTarget> = Vec::new();
+    if mutate {
+        targets.push(Halo::crash_target(8 << 20, u64::MAX));
+    } else {
+        if which != "baselines" {
+            targets.push(Spash::crash_target(SpashConfig::test_default()));
+        }
+        if which == "baselines" || which == "all" {
+            targets.push(Cceh::crash_target(1));
+            targets.push(Dash::crash_target(1));
+            targets.push(Level::crash_target(4));
+            targets.push(CLevel::crash_target(4));
+            targets.push(Plush::crash_target(4));
+            targets.push(Halo::crash_target(8 << 20, u64::MAX));
+        }
+    }
+
+    let lin = LinConfig {
+        threads,
+        ops_per_thread: ops,
+        key_space: keys,
+        prefill,
+        workload_seed: 0x51AA_5EED,
+        sched: SchedConfig::random(0, preemptions),
+    };
+    println!(
+        "# sched: targets={} threads={threads} ops/thread={ops} keys={keys} \
+         prefill={prefill} seed0={seed0} preemptions={preemptions} \
+         want_distinct={want_distinct} mutate={}",
+        targets.len(),
+        u8::from(mutate),
+    );
+    println!("# target schedules distinct violations panics stopped");
+
+    if mutate {
+        testhooks::set_halo_racy_insert(true);
+    }
+    let mut failed = false;
+    for target in &targets {
+        let mut distinct = std::collections::HashSet::new();
+        let mut schedules = 0u64;
+        let mut violations: Vec<SeedFailure> = Vec::new();
+        let mut panics: Vec<SeedFailure> = Vec::new();
+        let mut stopped = 0u64;
+        let mut next_seed = seed0;
+        // Top up in batches until the distinct floor is met (random
+        // schedules occasionally collide) or the 4x valve trips.
+        while (distinct.len() as u64) < want_distinct && schedules < want_distinct * 4 {
+            let batch = (want_distinct - distinct.len() as u64).max(1);
+            let cfg = ExploreConfig {
+                seed0: next_seed,
+                seeds: batch,
+                lin: LinConfig {
+                    sched: SchedConfig {
+                        mode: SchedMode::Random {
+                            seed: 0,
+                            max_preemptions: preemptions,
+                        },
+                        ..lin.sched.clone()
+                    },
+                    ..lin.clone()
+                },
+            };
+            let r = explore(target, &pm, &cfg);
+            next_seed += batch;
+            schedules += r.schedules;
+            distinct.extend(r.trace_hashes.iter().copied());
+            violations.extend(r.violations);
+            panics.extend(r.panics);
+            stopped += r.stopped;
+            // In mutation mode one caught violation is the goal; don't
+            // grind through the remaining seed budget.
+            if mutate && !violations.is_empty() {
+                break;
+            }
+        }
+        println!(
+            "{} {} {} {} {} {}",
+            target.name,
+            schedules,
+            distinct.len(),
+            violations.len(),
+            panics.len(),
+            stopped
+        );
+        for f in violations.iter().chain(panics.iter()) {
+            eprintln!(
+                "# {}: {}\n# replay_reproduces={}",
+                target.name, f.detail, f.replay_reproduces
+            );
+        }
+        if mutate {
+            // Canary: the mutation MUST be caught, and the failure MUST
+            // replay deterministically from its recorded trace.
+            if violations.is_empty() || violations.iter().any(|f| !f.replay_reproduces) {
+                eprintln!(
+                    "# MUTATION CANARY FAILED for {}: caught={} replayable={}",
+                    target.name,
+                    violations.len(),
+                    violations.iter().filter(|f| f.replay_reproduces).count()
+                );
+                failed = true;
+            }
+        } else if !violations.is_empty() || !panics.is_empty() || stopped > 0 {
+            failed = true;
+        } else if (distinct.len() as u64) < want_distinct {
+            eprintln!(
+                "# {}: only {} distinct schedules in {} runs (wanted {})",
+                target.name,
+                distinct.len(),
+                schedules,
+                want_distinct
+            );
+            failed = true;
+        }
+    }
+    if mutate {
+        testhooks::set_halo_racy_insert(false);
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 /// Offline crash-point fault-injection sweep: record a seeded workload's
 /// media writes, then re-run it once per scheduled write with a crash
 /// injected there, recover, and check the survivors against a shadow
@@ -374,7 +543,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|crashpoints> ...\n\
+            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|crashpoints|sched [--seeds N]> ...\n\
              scale: SPASH_BENCH_KEYS={} SPASH_BENCH_OPS={} SPASH_BENCH_THREADS={:?}",
             scale.keys, scale.ops, scale.threads
         );
@@ -384,8 +553,24 @@ fn main() {
         "# scale: keys={} ops={} threads={:?}",
         scale.keys, scale.ops, scale.threads
     );
-    for a in &args {
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
         match a.as_str() {
+            "sched" => {
+                let mut seeds = 64u64;
+                if it.peek().map(|s| s.as_str()) == Some("--seeds") {
+                    it.next();
+                    seeds = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("sched --seeds needs a positive integer");
+                            std::process::exit(2);
+                        });
+                }
+                sched_explore(seeds.max(1));
+                continue;
+            }
             "fig1" => fig1::run(&scale),
             "fig7" => fig7::run(&scale),
             "fig8" => fig8::run(&scale),

@@ -355,7 +355,9 @@ impl Directory {
     /// virtual time by syncing to the job's completion stamp.
     pub fn await_stage(&self, ctx: &mut MemCtx, job: &Arc<DoublingJob>, s: usize) {
         while job.stage_state(s) != Stage::Done {
-            std::thread::yield_now();
+            // Scheduler-aware wait (blocking ablation): deschedule until
+            // the doubling thread finishes the stage.
+            spash_pmem::schedhook::spin_wait();
         }
         ctx.clock_mut()
             .sync_to(job.stage_done_t[s].load(Ordering::Acquire));
@@ -372,7 +374,7 @@ impl Directory {
                 .unwrap_or_else(|v| if v == 1 { Stage::Busy } else { Stage::Done })
             {
                 Stage::Done => return,
-                Stage::Busy => std::thread::yield_now(),
+                Stage::Busy => spash_pmem::schedhook::spin_wait(),
                 Stage::Pending => {
                     // We claimed it. The copy runs under the partition's
                     // non-transactional lock so that concurrent splits of

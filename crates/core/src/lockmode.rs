@@ -162,7 +162,8 @@ impl Spash {
             let lock = self.seg_lock(seg);
             let v1 = lock.ver.load(Ordering::Acquire);
             if v1 % 2 == 1 {
-                std::thread::yield_now();
+                // Writer in progress: scheduler-aware wait.
+                spash_pmem::schedhook::spin_wait();
                 continue;
             }
             let found = self.find_in_segment(ctx, seg, key, h);

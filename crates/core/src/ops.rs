@@ -419,7 +419,7 @@ impl Spash {
                         if let Abort::Conflict(slot) = a {
                             self.htm.wait_slot(slot);
                         } else {
-                            std::thread::yield_now();
+                            spash_pmem::schedhook::spin_wait();
                         }
                         continue;
                     }
@@ -953,7 +953,7 @@ impl Spash {
                     continue;
                 }
                 Err(Abort::Capacity) => {
-                    std::thread::yield_now();
+                    spash_pmem::schedhook::spin_wait();
                     continue;
                 }
             }

@@ -32,6 +32,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use spash_pmem::schedhook::{self, SyncEvent};
 use spash_pmem::{MemCtx, PmAddr, PmDevice};
 
 /// Identifies one conflict-detection granule (a cacheline or a volatile
@@ -182,6 +183,9 @@ impl Htm {
         let cost = &ctx.device().config().cost;
         let (begin_ns, commit_ns, abort_ns) =
             (cost.htm_begin_ns, cost.htm_commit_ns, cost.htm_abort_ns);
+        // Scheduler decision point: a transaction is about to open its
+        // conflict window (`_xbegin`).
+        schedhook::sync_point(SyncEvent::HtmBegin);
         ctx.charge_compute(begin_ns);
         let dev = Arc::clone(ctx.device());
         let mut tx = Tx {
@@ -204,6 +208,7 @@ impl Htm {
                 Err(a) => {
                     self.count_abort(a);
                     ctx.charge_compute(abort_ns);
+                    schedhook::sync_point(SyncEvent::HtmAbort);
                     Err(a)
                 }
             },
@@ -211,6 +216,7 @@ impl Htm {
                 tx.rollback();
                 self.count_abort(a);
                 ctx.charge_compute(abort_ns);
+                schedhook::sync_point(SyncEvent::HtmAbort);
                 Err(a)
             }
         }
@@ -234,6 +240,7 @@ impl Htm {
         let cost_lock = ctx.device().config().cost.lock_ns;
         let slot = self.slot(id);
         let owner = (ctx.tid() as u64 + 1) << 1 | LOCKED;
+        schedhook::sync_point(SyncEvent::LockAcquire);
         loop {
             let s = slot.state.load(Ordering::Acquire);
             if s & LOCKED == 0
@@ -247,7 +254,11 @@ impl Htm {
                 clk.advance(cost_lock);
                 return;
             }
-            std::thread::yield_now();
+            // Scheduler-aware wait: under real threads this is a plain
+            // `yield_now`, under the deterministic scheduler it
+            // deschedules us until the owner can run (the 1-core
+            // livelock fix — a preempted owner otherwise never commits).
+            schedhook::spin_wait();
         }
     }
 
@@ -267,6 +278,7 @@ impl Htm {
         // can never equal a version some stale reader recorded.
         let ver = slot.release_t.load(Ordering::Acquire).wrapping_add(1);
         slot.state.store(ver << 1, Ordering::Release);
+        schedhook::sync_point(SyncEvent::LockRelease);
     }
 
     /// Is the line currently locked (by anyone)? Diagnostic hook.
@@ -291,7 +303,10 @@ impl Htm {
         }
         let slot = &self.slots[idx as usize];
         while slot.state.load(Ordering::Acquire) & LOCKED != 0 {
-            std::thread::yield_now();
+            // Hooked wait (satellite of the sched harness): real threads
+            // `yield_now` so a preempted owner gets CPU time; scheduled
+            // tasks are descheduled until the owner commits or unlocks.
+            schedhook::spin_wait();
         }
     }
 }
@@ -332,6 +347,9 @@ impl Tx<'_> {
         if self.owns(idx) {
             return Ok(());
         }
+        // Decision point: between here and the version sample, a
+        // conflicting commit may slip in (caught at validation).
+        schedhook::sync_point(SyncEvent::HtmAcquire(id.0));
         if self.read_set.len() + self.write_set.len() >= self.htm.cfg.read_capacity {
             return Err(Abort::Capacity);
         }
@@ -351,6 +369,9 @@ impl Tx<'_> {
         if self.owns(idx) {
             return Ok(());
         }
+        // Decision point: the eager-lock CAS below races with other
+        // transactions' guards and with non-transactional lockers.
+        schedhook::sync_point(SyncEvent::HtmAcquire(id.0));
         if self.write_set.len() >= self.htm.cfg.write_capacity
             || self.read_set.len() + self.write_set.len() >= self.htm.cfg.read_capacity
         {
@@ -441,6 +462,9 @@ impl Tx<'_> {
     }
 
     fn commit(mut self, ctx: &mut MemCtx) -> Result<(), Abort> {
+        // Decision point: the last instant at which a conflicting commit
+        // can invalidate this transaction's read set.
+        schedhook::sync_point(SyncEvent::HtmCommit);
         // Validate the read set.
         for &(idx, ver) in &self.read_set {
             if self.owns(idx) {

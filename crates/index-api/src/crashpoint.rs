@@ -30,7 +30,7 @@ use spash_pmem::{CrashPointHit, MemCtx, PersistenceDomain, PmConfig, PmDevice};
 use crate::{IndexError, PersistentIndex, Rng64};
 
 /// One operation of the seeded sweep workload.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SweepOp {
     Insert(u64, Vec<u8>),
     Update(u64, Vec<u8>),

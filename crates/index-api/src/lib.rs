@@ -16,6 +16,7 @@
 use spash_pmem::MemCtx;
 
 pub mod crashpoint;
+pub mod history;
 pub mod rng;
 
 pub use rng::Rng64;

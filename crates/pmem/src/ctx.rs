@@ -237,25 +237,30 @@ impl MemCtx {
         self.clock.advance(xfer);
     }
 
-    /// Compare-and-swap an aligned u64.
+    /// Compare-and-swap an aligned u64. An [`crate::schedhook`] sync
+    /// point: atomic RMWs are the publication points of every lock-free
+    /// structure, so the deterministic scheduler gets a decision here.
     pub fn cas_u64(&mut self, addr: PmAddr, current: u64, new: u64) -> Result<u64, u64> {
         let line = line_of(addr.0);
+        crate::schedhook::sync_point(crate::SyncEvent::AtomicRmw(line));
         self.rmw_token(line);
         self.touch_write(line);
         self.dev.arena.cas_u64(addr, current, new)
     }
 
-    /// Atomic fetch-or on PM.
+    /// Atomic fetch-or on PM (a scheduler sync point, like [`Self::cas_u64`]).
     pub fn fetch_or_u64(&mut self, addr: PmAddr, bits: u64) -> u64 {
         let line = line_of(addr.0);
+        crate::schedhook::sync_point(crate::SyncEvent::AtomicRmw(line));
         self.rmw_token(line);
         self.touch_write(line);
         self.dev.arena.fetch_or_u64(addr, bits)
     }
 
-    /// Atomic fetch-and on PM.
+    /// Atomic fetch-and on PM (a scheduler sync point, like [`Self::cas_u64`]).
     pub fn fetch_and_u64(&mut self, addr: PmAddr, bits: u64) -> u64 {
         let line = line_of(addr.0);
+        crate::schedhook::sync_point(crate::SyncEvent::AtomicRmw(line));
         self.rmw_token(line);
         self.touch_write(line);
         self.dev.arena.fetch_and_u64(addr, bits)

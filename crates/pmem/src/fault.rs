@@ -108,6 +108,24 @@ impl FaultPlan {
             std::panic::panic_any(CrashPointHit { write: n });
         }
     }
+
+    /// Fire the crash *now*, from an arbitrary program point, with the
+    /// same [`CrashPointHit`] payload an armed media write would raise.
+    ///
+    /// This is the deterministic scheduler's entry into the fault plan:
+    /// `spash-sched` calls it at a chosen *scheduling decision* instead of
+    /// a chosen media write, composing the crash-point sweep with
+    /// concurrency (a power failure while several tasks are mid-operation
+    /// at scheduler-controlled points). One-shot like an armed write; the
+    /// payload carries the media-write ordinal at which the schedule
+    /// stopped so post-crash diagnostics line up with the sweep's.
+    pub fn trip_now(&self) -> ! {
+        self.tripped.store(true, Ordering::Relaxed);
+        silence_crash_point_panics();
+        std::panic::panic_any(CrashPointHit {
+            write: self.media_writes(),
+        });
+    }
 }
 
 /// Install (once, process-wide) a panic hook that stays silent for

@@ -13,8 +13,19 @@
 //!    locks survive the unwind: on real hardware a power failure does not
 //!    corrupt a lock word in a coherent way either, and recovery never
 //!    trusts volatile lock state.
+//!
+//! A third duty arrived with the deterministic scheduler: under a
+//! [`crate::schedhook`] hook exactly one task runs at a time, so blocking
+//! on the host primitive while a *descheduled* task holds it would
+//! deadlock the whole schedule. When a hook is active every acquisition
+//! therefore spins on `try_lock`, yielding to the scheduler between
+//! attempts ([`crate::schedhook::spin_wait`]); the scheduler then runs
+//! the holder until it releases. Without a hook the fast blocking path is
+//! unchanged.
 
-use std::sync::PoisonError;
+use std::sync::{PoisonError, TryLockError};
+
+use crate::schedhook::{self, SyncEvent};
 
 /// Mutual exclusion that never poisons.
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
@@ -36,8 +47,19 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, ignoring poison from a crash-injection unwind.
+    /// Cooperative under a scheduler hook (see module docs).
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if schedhook::active() {
+            schedhook::sync_point(SyncEvent::LockAcquire);
+            loop {
+                match self.0.try_lock() {
+                    Ok(g) => return g,
+                    Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+                    Err(TryLockError::WouldBlock) => schedhook::spin_wait(),
+                }
+            }
+        }
         self.0.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
@@ -75,15 +97,36 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire a shared lock, ignoring poison from a crash-injection unwind.
+    /// Cooperative under a scheduler hook (see module docs).
     #[inline]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if schedhook::active() {
+            schedhook::sync_point(SyncEvent::LockAcquire);
+            loop {
+                match self.0.try_read() {
+                    Ok(g) => return g,
+                    Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+                    Err(TryLockError::WouldBlock) => schedhook::spin_wait(),
+                }
+            }
+        }
         self.0.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Acquire the exclusive lock, ignoring poison from a crash-injection
-    /// unwind.
+    /// unwind. Cooperative under a scheduler hook (see module docs).
     #[inline]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if schedhook::active() {
+            schedhook::sync_point(SyncEvent::LockAcquire);
+            loop {
+                match self.0.try_write() {
+                    Ok(g) => return g,
+                    Err(TryLockError::Poisoned(p)) => return p.into_inner(),
+                    Err(TryLockError::WouldBlock) => schedhook::spin_wait(),
+                }
+            }
+        }
         self.0.write().unwrap_or_else(PoisonError::into_inner)
     }
 

@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::schedhook::{self, SyncEvent};
 use crate::sync::{Mutex, RwLock};
 
 use crate::cost::VClock;
@@ -49,6 +50,10 @@ impl<T> VLock<T> {
 
     /// Run `f` holding the lock. The caller's clock first jumps to the
     /// previous holder's release time.
+    ///
+    /// Under a scheduler hook the acquisition is cooperative (the inner
+    /// [`Mutex`] spins with yields), and the release is itself a sync
+    /// point so waiters can be scheduled immediately after.
     pub fn with<C: HasClock, R>(&self, c: &mut C, f: impl FnOnce(&mut C, &mut T) -> R) -> R {
         let mut guard = self.inner.lock();
         let release = self.release_t.load(Ordering::Acquire);
@@ -59,6 +64,8 @@ impl<T> VLock<T> {
         }
         let r = f(c, &mut guard);
         self.release_t.fetch_max(c.vclock().now(), Ordering::AcqRel);
+        drop(guard);
+        schedhook::sync_point(SyncEvent::LockRelease);
         r
     }
 }
@@ -94,6 +101,8 @@ impl<T> VRwLock<T> {
         }
         let r = f(c, &guard);
         self.read_release_t.fetch_max(c.vclock().now(), Ordering::AcqRel);
+        drop(guard);
+        schedhook::sync_point(SyncEvent::LockRelease);
         r
     }
 
@@ -111,6 +120,8 @@ impl<T> VRwLock<T> {
         }
         let r = f(c, &mut guard);
         self.write_release_t.fetch_max(c.vclock().now(), Ordering::AcqRel);
+        drop(guard);
+        schedhook::sync_point(SyncEvent::LockRelease);
         r
     }
 }

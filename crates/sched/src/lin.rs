@@ -1,0 +1,174 @@
+//! One scheduled concurrent run over a [`CrashTarget`], with history
+//! recording and linearizability checking.
+//!
+//! The driver formats a fresh index, prefills it sequentially (building
+//! the checker's initial model state), then runs `threads` tasks under
+//! the deterministic scheduler, each applying its own seeded slice of the
+//! same workload generator the crash-point sweep uses. Every completed
+//! operation is timestamped and recorded; after the run the history is
+//! checked against the sequential map model with
+//! [`spash_index_api::history::check_linearizable`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex as StdMutex;
+
+use spash_index_api::crashpoint::{gen_workload, CrashTarget, SweepOp};
+use spash_index_api::history::{self, fingerprint, HistOp, Recorder, Violation};
+use spash_index_api::PersistentIndex;
+use spash_pmem::{PmConfig, PmDevice};
+
+use crate::{run_tasks, SchedConfig, SchedOutcome};
+
+/// Parameters of one concurrent linearizability run.
+#[derive(Clone, Debug)]
+pub struct LinConfig {
+    /// Simulated threads (tasks). The checker is exponential in history
+    /// width; 2–4 is the useful range.
+    pub threads: usize,
+    /// Operations per thread. Total history length must stay ≤ 128.
+    pub ops_per_thread: u64,
+    /// Key space for the workload generator — small, so tasks collide.
+    pub key_space: u64,
+    /// Keys `1..=prefill` are inserted sequentially before the run.
+    pub prefill: u64,
+    /// Base seed for per-thread workloads (thread `t` uses a whitened
+    /// `workload_seed + t`).
+    pub workload_seed: u64,
+    /// Scheduler mode, budget, and valves.
+    pub sched: SchedConfig,
+}
+
+impl LinConfig {
+    /// A small CI-sized run: 3 tasks × 8 ops over 12 keys.
+    pub fn small(schedule_seed: u64) -> Self {
+        Self {
+            threads: 3,
+            ops_per_thread: 8,
+            key_space: 12,
+            prefill: 6,
+            workload_seed: 0x51AA_5EED,
+            sched: SchedConfig::random(schedule_seed, 24),
+        }
+    }
+}
+
+/// Everything one scheduled run produced.
+pub struct LinRun {
+    /// Completed operations (unordered; the checker sorts by timestamp).
+    pub history: Vec<HistOp>,
+    /// Scheduler outcome: decision trace, panics, valves.
+    pub outcome: SchedOutcome,
+    /// Prefill state the checker started from (key → value fingerprint).
+    pub initial: HashMap<u64, u64>,
+    /// `Some` if the history is not linearizable.
+    pub violation: Option<Violation>,
+}
+
+impl LinRun {
+    /// Did the run complete cleanly (no panics, no valve) and pass the
+    /// linearizability check?
+    pub fn ok(&self) -> bool {
+        self.violation.is_none() && self.outcome.panics.is_empty() && self.outcome.stopped.is_none()
+    }
+
+    /// Deterministic byte encoding of the recorded history (for replay
+    /// equality assertions).
+    pub fn encoded_history(&self) -> Vec<u8> {
+        history::encode(&self.history)
+    }
+}
+
+/// Deterministic 6-byte prefill value for key `k` (inline-path sized).
+pub fn prefill_value(k: u64) -> Vec<u8> {
+    (0..6u64).map(|i| (k ^ (i.wrapping_mul(0xA5))) as u8).collect()
+}
+
+/// Per-thread workload: same generator as the crash-point sweep, whitened
+/// per thread so slices differ but stay reproducible.
+pub fn thread_workload(cfg: &LinConfig, t: usize) -> Vec<SweepOp> {
+    gen_workload(
+        cfg.workload_seed
+            .wrapping_add((t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        cfg.ops_per_thread,
+        cfg.key_space,
+    )
+}
+
+/// Run one schedule against `target` and check the history.
+///
+/// `crash_fn` wires the device fault plan into the scheduler when
+/// [`SchedConfig::crash_at_decision`] is set (see [`crate::crashsched`]);
+/// plain linearizability runs pass nothing and get no crash.
+pub fn run_schedule(target: &CrashTarget, pm: &PmConfig, cfg: &LinConfig) -> LinRun {
+    let dev = PmDevice::new(pm.clone());
+    let mut ctx = dev.ctx();
+    let idx = (target.format)(&mut ctx);
+
+    // Sequential prefill on the formatting context; its results seed the
+    // checker's initial model state.
+    let mut initial = HashMap::new();
+    for k in 1..=cfg.prefill {
+        let v = prefill_value(k);
+        if idx.insert(&mut ctx, k, &v).is_ok() {
+            initial.insert(k, fingerprint(&v));
+        }
+    }
+
+    let idx: Arc<dyn PersistentIndex> = Arc::from(idx);
+    let recorder = Recorder::new();
+    let history = Arc::new(StdMutex::new(Vec::<HistOp>::new()));
+
+    // Per-task contexts are created *before* spawning, in task order, so
+    // simulated-thread ids (and thus any tid-dependent behaviour) are a
+    // pure function of the configuration, not of spawn timing.
+    let mut bodies: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(cfg.threads);
+    for t in 0..cfg.threads {
+        let ops = thread_workload(cfg, t);
+        let idx = Arc::clone(&idx);
+        let rec = recorder.clone();
+        let hist = Arc::clone(&history);
+        let mut tctx = dev.ctx();
+        bodies.push(Box::new(move || {
+            for op in &ops {
+                let done = rec.run_op(idx.as_ref(), &mut tctx, t, op);
+                // Published immediately (not batched at task exit) so
+                // completed ops survive injected crashes and valve stops.
+                // The host lock is never held across a sync point.
+                hist.lock().unwrap().push(done);
+            }
+        }));
+    }
+
+    let crash_fn: Option<Box<dyn Fn() + Send + Sync>> = if cfg.sched.crash_at_decision.is_some() {
+        let d = Arc::clone(&dev);
+        Some(Box::new(move || d.faults().trip_now()))
+    } else {
+        None
+    };
+
+    let outcome = run_tasks(&cfg.sched, crash_fn, bodies);
+
+    let history = Arc::try_unwrap(history)
+        .map(|m| m.into_inner().unwrap())
+        .unwrap_or_default();
+
+    // Only a clean, complete run has a checkable history: after a crash
+    // or a valve stop, in-flight operations are missing by design (the
+    // crash-schedule driver checks *recovery* instead).
+    let violation = if outcome.panics.is_empty()
+        && outcome.stopped.is_none()
+        && outcome.injected_crash.is_none()
+    {
+        history::check_linearizable(&history, &initial).err()
+    } else {
+        None
+    };
+
+    LinRun {
+        history,
+        outcome,
+        initial,
+        violation,
+    }
+}

@@ -57,3 +57,49 @@ fn spash_adr_sweep_recovery_is_panic_free_on_torn_images() {
     // proper lives in tests/durability.rs).
     assert!(r.points.iter().all(|p| p.flushed_lines == 0));
 }
+
+/// Concurrent-crash sweep: a power failure at sampled *scheduler decision
+/// points* of a 2-thread workload (not just at media writes of a
+/// sequential one). The crash fires mid-interleaving via the device fault
+/// plan while both tasks may be mid-operation; under ADR the torn image
+/// makes no data-survival claim, but recovery and the structural audit
+/// must complete without panicking at every sampled point
+/// (`CheckLevel::NoCorruption`).
+#[test]
+fn spash_adr_crash_at_scheduler_decision_points_recovers_panic_free() {
+    use spash_repro::sched::crashsched::{measure_decisions, run_crash_schedule};
+    use spash_repro::sched::lin::LinConfig;
+
+    let pm = SweepConfig::ci(PersistenceDomain::Adr).pm;
+    let target = Spash::crash_target(SpashConfig::test_default());
+
+    for seed in [3u64, 11] {
+        let mut cfg = LinConfig::small(seed);
+        cfg.threads = 2;
+        cfg.ops_per_thread = 10;
+        let total = measure_decisions(&target, &pm, &cfg);
+        assert!(total > 10, "schedule too short to sample ({total} decisions)");
+
+        // Even stride including early and late points. The tail of the
+        // trace is task-exit handoffs with no further sync point, so the
+        // last armable ordinal sits a few decisions before the end.
+        let samples = 6u64;
+        let max_d = total - cfg.threads as u64 - 1;
+        for i in 0..samples {
+            let d = 1 + i * (max_d - 1) / (samples - 1);
+            let mut crash_cfg = cfg.clone();
+            crash_cfg.sched.crash_at_decision = Some(d);
+            let out = run_crash_schedule(&target, &pm, &crash_cfg);
+            assert!(
+                out.fired,
+                "seed {seed}: crash at decision {d} of {total} never fired"
+            );
+            assert!(
+                out.no_corruption(),
+                "seed {seed}: crash at decision {d}: {}\ntrace = {:?}",
+                out.unexpected_panic.as_deref().unwrap_or(""),
+                out.trace
+            );
+        }
+    }
+}

@@ -231,3 +231,82 @@ fn hints_never_collide_with_empty() {
         assert_eq!(slot::hint_matches(hint, h), Some(idx));
     }
 }
+
+/// Schedule record/replay determinism: for arbitrary schedule seeds, a
+/// run's decision trace replays to a byte-identical operation history —
+/// the property that makes every failing seed printed by the explorer a
+/// complete reproducer. Checked both on healthy code (Spash) and on a
+/// deliberately broken target (the Halo racy-insert mutation), where the
+/// replayed run must also reproduce the *violation* itself.
+#[test]
+fn failing_schedule_seeds_replay_byte_identical_histories() {
+    use spash_repro::baselines::{testhooks, Halo};
+    use spash_repro::sched::lin::{run_schedule, LinConfig};
+    use spash_repro::sched::SchedConfig;
+
+    let pm = {
+        let mut pm = PmConfig::small_test();
+        pm.arena_size = 48 << 20;
+        pm
+    };
+
+    // Healthy target: every seed's trace replays byte-identically.
+    let target = Spash::crash_target(SpashConfig::test_default());
+    for case in 0..8u64 {
+        let seed = Rng64::new(0xDE7E_5EED + case).next_u64();
+        let cfg = LinConfig::small(seed);
+        let run = run_schedule(&target, &pm, &cfg);
+        assert!(run.ok(), "seed {seed:#x}: healthy Spash run failed");
+        let mut replay = cfg.clone();
+        replay.sched = SchedConfig::replay(run.outcome.trace.clone());
+        let rerun = run_schedule(&target, &pm, &replay);
+        assert_eq!(
+            run.outcome.trace, rerun.outcome.trace,
+            "case {case}: replay diverged from recorded trace"
+        );
+        assert_eq!(
+            run.encoded_history(),
+            rerun.encoded_history(),
+            "case {case}: replayed history is not byte-identical"
+        );
+    }
+
+    // Broken target: hunt for failing seeds, then require each failure to
+    // replay byte-identically, violation included.
+    let was = testhooks::set_halo_racy_insert(true);
+    let result = std::panic::catch_unwind(|| {
+        let target = Halo::crash_target(8 << 20, u64::MAX);
+        let mut failing = 0u32;
+        for seed in 0..96u64 {
+            let mut cfg = LinConfig::small(seed);
+            cfg.key_space = 4;
+            cfg.prefill = 0;
+            let run = run_schedule(&target, &pm, &cfg);
+            if run.violation.is_none() {
+                continue;
+            }
+            failing += 1;
+            let mut replay = cfg.clone();
+            replay.sched = SchedConfig::replay(run.outcome.trace.clone());
+            let rerun = run_schedule(&target, &pm, &replay);
+            assert_eq!(run.outcome.trace, rerun.outcome.trace, "seed {seed}");
+            assert_eq!(
+                run.encoded_history(),
+                rerun.encoded_history(),
+                "seed {seed}: failing history is not byte-identical on replay"
+            );
+            assert!(
+                rerun.violation.is_some(),
+                "seed {seed}: replay lost the linearizability violation"
+            );
+            if failing >= 3 {
+                break;
+            }
+        }
+        assert!(failing > 0, "mutation produced no failing seeds in 96 tries");
+    });
+    testhooks::set_halo_racy_insert(was);
+    if let Err(p) = result {
+        std::panic::resume_unwind(p);
+    }
+}
