@@ -158,6 +158,11 @@ impl PmAllocator {
         }
         ctx.fence();
         layout::write_superblock(ctx, arena_size, &l);
+        ctx.san_tag(PmAddr(0), CHUNK, "superblock");
+        ctx.san_tag(PmAddr(l.table_start), table_len, "alloc-headers");
+        if l.reserved_len > 0 {
+            ctx.san_tag(PmAddr(l.reserved_start), l.reserved_len, "reserved");
+        }
         Self::from_layout(l)
     }
 
@@ -325,8 +330,16 @@ impl PmAllocator {
             let cur = ctx.device().arena().load_u64(addr);
             let new = (cur & mask) | ((val as u64) << shift);
             if ctx.cas_u64(addr, cur, new).is_ok() {
-                return;
+                break;
             }
+        }
+        // The header table is recovery-critical: under ADR an unflushed
+        // header CAS is reverted by a crash, losing the allocation (or a
+        // free) while the data it governs survives. eADR keeps the
+        // dirty line alive, so the flush is elided there (paper §II-A).
+        if ctx.device().config().domain == spash_pmem::PersistenceDomain::Adr {
+            ctx.flush(addr);
+            ctx.fence();
         }
     }
 
@@ -365,7 +378,9 @@ impl PmAllocator {
     pub fn alloc_segment(&self, ctx: &mut MemCtx) -> Result<PmAddr, AllocError> {
         let c = self.take_run(1)?;
         self.header_set(ctx, c, Self::pack_header(ST_SEGMENT, 0, 0));
-        Ok(self.layout.chunk_addr(c))
+        let addr = self.layout.chunk_addr(c);
+        ctx.san_tag(addr, CHUNK, "segment");
+        Ok(addr)
     }
 
     /// Free a segment allocated with [`PmAllocator::alloc_segment`].
@@ -397,8 +412,10 @@ impl PmAllocator {
         for i in 1..nchunks {
             self.header_set(ctx, start + i, Self::pack_header(ST_LARGE_CONT, 0, 0));
         }
+        let addr = self.layout.chunk_addr(start);
+        ctx.san_tag(addr, nchunks * CHUNK, "large");
         Ok(SmallAlloc {
-            addr: self.layout.chunk_addr(start),
+            addr,
             exhausted_chunk: None,
         })
     }
@@ -442,6 +459,11 @@ impl PmAllocator {
         // 3. Open a fresh chunk.
         let chunk = self.take_run(1)?;
         self.header_set(ctx, chunk, Self::pack_header(class as u8 + 1, 0, 0b1));
+        ctx.san_tag(
+            self.layout.chunk_addr(chunk),
+            CHUNK,
+            &format!("small-{}", slot_size),
+        );
         {
             let mut th = self.threads[shard].lock();
             th.active[class] = ActiveChunk {
@@ -463,6 +485,17 @@ impl PmAllocator {
     /// levels, Halo logs). Only the *start* chunk's header records the
     /// length, so freeing needs no size argument.
     pub fn alloc_region(&self, ctx: &mut MemCtx, size: u64) -> Result<PmAddr, AllocError> {
+        self.alloc_region_tagged(ctx, size, "region")
+    }
+
+    /// [`PmAllocator::alloc_region`] with a sanitizer region tag naming
+    /// the structure the region backs (rendered in violation reports).
+    pub fn alloc_region_tagged(
+        &self,
+        ctx: &mut MemCtx,
+        size: u64,
+        tag: &str,
+    ) -> Result<PmAddr, AllocError> {
         let nchunks = size.div_ceil(CHUNK).max(1);
         if nchunks >= 1 << 24 {
             return Err(AllocError::TooLarge);
@@ -484,7 +517,9 @@ impl PmAllocator {
         if nchunks > 1 {
             self.header_set(ctx, start + nchunks - 1, (ST_REGION_CONT as u32) << 24);
         }
-        Ok(self.layout.chunk_addr(start))
+        let addr = self.layout.chunk_addr(start);
+        ctx.san_tag(addr, nchunks * CHUNK, tag);
+        Ok(addr)
     }
 
     /// Free a region allocated with [`PmAllocator::alloc_region`].

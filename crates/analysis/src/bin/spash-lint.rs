@@ -1,0 +1,39 @@
+//! `spash-lint`: check the workspace's source-level invariants.
+//!
+//! Usage: `spash-lint [ROOT]` (default: current directory). Exits 0 when
+//! clean, 1 with one line per violation otherwise. See
+//! `spash_analysis::lint` for the rules and the waiver syntax.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use spash_analysis::lint::{lint_tree, RULES};
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    if matches!(arg.as_deref(), Some("--help") | Some("-h")) {
+        println!("usage: spash-lint [ROOT]");
+        println!("rules: {}", RULES.join(", "));
+        println!("waive: // lint:allow(<rule>): <reason>   (line or block above)");
+        println!("       // lint:allow-file(<rule>): <reason>");
+        return ExitCode::SUCCESS;
+    }
+    let root = arg.unwrap_or_else(|| ".".to_string());
+    let findings = match lint_tree(Path::new(&root)) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("spash-lint: cannot walk {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("spash-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("spash-lint: {} violation(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

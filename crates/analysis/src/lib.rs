@@ -1,0 +1,51 @@
+//! Static and dynamic analysis for the Spash reproduction.
+//!
+//! Two tools live here, both dependency-free:
+//!
+//! * [`sandrive`] — a seeded workload driver for the persistence-ordering
+//!   sanitizer (`spash_pmem::san`). It runs every index with the sanitizer
+//!   armed and reports publication-ordering violations plus the
+//!   redundant-flush / no-op-fence perf diagnostics.
+//! * [`lint`] — `spash-lint`, a source-level checker (handwritten
+//!   tokenizer, no `syn`) for the workspace's cross-cutting invariants:
+//!   no host sync primitives or host clocks in sched-instrumented code,
+//!   busy-waits through `spin_wait()`, `// SAFETY:` on every `unsafe`,
+//!   and no raw arena stores outside the instrumented platform.
+
+pub mod lint;
+pub mod sandrive;
+
+use spash::{Spash, SpashConfig};
+use spash_baselines::{CLevel, Cceh, Dash, Halo, Level, Plush};
+use spash_index_api::crashpoint::CrashTarget;
+use spash_pmem::SanMode;
+
+/// Every index in the repo as a [`CrashTarget`], constructed with the same
+/// parameters the crash-point sweep uses (`spash-bench crashpoints`).
+pub fn all_targets() -> Vec<CrashTarget> {
+    vec![
+        Spash::crash_target(SpashConfig::test_default()),
+        Cceh::crash_target(1),
+        Dash::crash_target(1),
+        Level::crash_target(4),
+        CLevel::crash_target(4),
+        Plush::crash_target(4),
+        Halo::crash_target(8 << 20, u64::MAX),
+    ]
+}
+
+/// The sanitizer mode appropriate for an index, keyed by target name.
+///
+/// Spash is eADR-native: its data path deliberately issues no flushes, so
+/// under `Strict` every publication would be flagged. It runs `Relaxed`,
+/// where only ranges it explicitly registers with `san_ordered` (its ADR
+/// downgrade path) are checked. The six baselines are ADR-era flush+fence
+/// designs and must survive `Strict`: every line they write is checked at
+/// every visibility edge.
+pub fn san_mode_for(target_name: &str) -> SanMode {
+    if target_name.starts_with("Spash") {
+        SanMode::Relaxed
+    } else {
+        SanMode::Strict
+    }
+}

@@ -1,0 +1,730 @@
+//! `spash-lint`: source-level invariant checker for the workspace.
+//!
+//! The simulation's determinism and crash fidelity rest on conventions no
+//! type checker sees: all PM traffic flows through the instrumented
+//! `MemCtx`, all blocking goes through the platform's cooperative
+//! primitives, no host clock leaks into scheduled code. This module
+//! enforces them with a handwritten lexer (the workspace is offline and
+//! dependency-free, so no `syn`): comments, strings, and char literals
+//! are blanked, then rules match token patterns in what remains.
+//!
+//! ## Rules
+//!
+//! | rule             | invariant                                                          |
+//! |------------------|--------------------------------------------------------------------|
+//! | `std-sync`       | no `std::sync::{Mutex, RwLock, Condvar}` outside `pmem/src/sync.rs` (host locks deadlock the cooperative scheduler) |
+//! | `host-time`      | no `Instant::now` / `SystemTime` / `thread::sleep` in instrumented crates (time is virtual; host time breaks replay) |
+//! | `spin-hygiene`   | no raw `yield_now` / `spin_loop`: busy-waits must route through `spin_wait()` so the scheduler can deschedule them |
+//! | `safety-comment` | every `unsafe` carries a `// SAFETY:` comment                       |
+//! | `arena-direct`   | no `arena.store_*` / `arena.write_*` outside `crates/pmem` (raw stores bypass the cache model and the sanitizer) |
+//!
+//! ## Waivers
+//!
+//! A deliberate exception carries a reasoned waiver on the same line or in
+//! the comment block directly above:
+//!
+//! ```text
+//! // lint:allow(std-sync): host-side history buffer, never held across a sync point
+//! ```
+//!
+//! `lint:allow-file(rule): reason` anywhere in a file waives the rule for
+//! the whole file. A waiver without a reason does not count.
+//!
+//! Files under `tests/`, `benches/`, or `examples/`, and regions inside
+//! `#[cfg(test)]` modules, are exempt from every rule except
+//! `safety-comment` (test code may use host primitives; unsafe still
+//! needs its argument written down).
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub const RULE_STD_SYNC: &str = "std-sync";
+pub const RULE_HOST_TIME: &str = "host-time";
+pub const RULE_SPIN_HYGIENE: &str = "spin-hygiene";
+pub const RULE_SAFETY_COMMENT: &str = "safety-comment";
+pub const RULE_ARENA_DIRECT: &str = "arena-direct";
+
+/// All rule names, for `--help` style listings.
+pub const RULES: [&str; 5] = [
+    RULE_STD_SYNC,
+    RULE_HOST_TIME,
+    RULE_SPIN_HYGIENE,
+    RULE_SAFETY_COMMENT,
+    RULE_ARENA_DIRECT,
+];
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name.
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Lint one file's source. `rel_path` decides rule applicability (which
+/// crate, test context) and is echoed into findings.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let path = rel_path.replace('\\', "/");
+    let original: Vec<&str> = src.lines().collect();
+    let stripped = strip_non_code(src);
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let test_region = cfg_test_lines(&stripped);
+
+    let is_test_file = path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/");
+    let in_pmem = path.starts_with("crates/pmem/");
+    let is_sync_home = path == "crates/pmem/src/sync.rs";
+    let is_schedhook = path == "crates/pmem/src/schedhook.rs";
+    let is_bench_crate = path.starts_with("crates/bench/");
+
+    let lenient = |i: usize| is_test_file || test_region.get(i).copied().unwrap_or(false);
+
+    let mut out = Vec::new();
+    let push = |findings: &mut Vec<Finding>, line_idx: usize, rule: &'static str, msg: String| {
+        if !waived(&original, line_idx, rule) {
+            findings.push(Finding {
+                file: path.clone(),
+                line: line_idx + 1,
+                rule,
+                msg,
+            });
+        }
+    };
+
+    for (i, line) in stripped_lines.iter().enumerate() {
+        // std-sync: qualified paths. Use-group imports are handled below
+        // (they can span lines).
+        if !is_sync_home && !lenient(i) {
+            for prim in ["Mutex", "RwLock", "Condvar"] {
+                let pat = format!("std::sync::{prim}");
+                if contains_token(line, &pat) {
+                    push(
+                        &mut out,
+                        i,
+                        RULE_STD_SYNC,
+                        format!(
+                            "host `std::sync::{prim}` outside pmem/src/sync.rs; use the \
+                             cooperative `spash_pmem::sync` primitives"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if !is_bench_crate && !lenient(i) {
+            for (pat, what) in [
+                ("Instant::now", "host clock `Instant::now`"),
+                ("SystemTime", "host clock `SystemTime`"),
+                ("thread::sleep", "host `thread::sleep`"),
+            ] {
+                if contains_token(line, pat) {
+                    push(
+                        &mut out,
+                        i,
+                        RULE_HOST_TIME,
+                        format!("{what} in instrumented code; time here is virtual (`VClock`)"),
+                    );
+                }
+            }
+        }
+
+        if !is_schedhook && !lenient(i) {
+            for pat in ["yield_now", "spin_loop"] {
+                if contains_token(line, pat) {
+                    push(
+                        &mut out,
+                        i,
+                        RULE_SPIN_HYGIENE,
+                        format!(
+                            "raw `{pat}` busy-wait; route through \
+                             `spash_pmem::schedhook::spin_wait()` so the deterministic \
+                             scheduler can deschedule the spinner"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if !in_pmem && !lenient(i) {
+            for pat in ["arena.store_", "arena.write_", "arena().store_", "arena().write_"] {
+                if line.contains(pat) {
+                    push(
+                        &mut out,
+                        i,
+                        RULE_ARENA_DIRECT,
+                        format!(
+                            "direct arena store (`{pat}*`) outside crates/pmem; PM writes \
+                             must flow through `MemCtx` so the cache model, fault plan, \
+                             and sanitizer see them"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+
+        // safety-comment applies everywhere, tests included.
+        if contains_token(line, "unsafe") && !has_safety_comment(&original, i) {
+            push(
+                &mut out,
+                i,
+                RULE_SAFETY_COMMENT,
+                "`unsafe` without a `// SAFETY:` comment on the same line or the \
+                 comment block above"
+                    .to_string(),
+            );
+        }
+    }
+
+    // Multi-line use-group imports: `use std::sync::{Mutex, Arc};`.
+    if !is_sync_home {
+        for (line_idx, body) in use_groups(&stripped, "std::sync::{") {
+            if lenient(line_idx) {
+                continue;
+            }
+            for prim in ["Mutex", "RwLock", "Condvar"] {
+                if contains_token(&body, prim) {
+                    push(
+                        &mut out,
+                        line_idx,
+                        RULE_STD_SYNC,
+                        format!(
+                            "host `std::sync::{prim}` (via use-group) outside \
+                             pmem/src/sync.rs; use the cooperative `spash_pmem::sync` \
+                             primitives"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.dedup();
+    out
+}
+
+/// Lint every `.rs` file under `root` (skipping `target/` and `.git/`).
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        out.extend(lint_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "related" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Lexer: blank out comments, strings, and char literals.
+// ---------------------------------------------------------------------------
+
+/// Replace every comment, string literal, and char literal with spaces,
+/// preserving line structure, so rules match only real code tokens.
+/// Handles nested block comments, raw strings (`r"…"`, `r#"…"#`), byte
+/// strings, escapes, and the char-literal/lifetime ambiguity.
+pub fn strip_non_code(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 1;
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = skip_string(&b, i, &mut out),
+            'r' | 'b' if is_raw_or_byte_string(&b, i) => {
+                // Emit the prefix chars as blanks, then the literal.
+                let mut j = i;
+                while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+                    out.push(' ');
+                    j += 1;
+                }
+                if b.get(j) == Some(&'"') {
+                    i = skip_string(&b, j, &mut out);
+                } else {
+                    // r#"..."# raw string with hashes.
+                    let mut hashes = 0;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        out.push(' ');
+                        j += 1;
+                    }
+                    debug_assert_eq!(b.get(j), Some(&'"'));
+                    out.push(' ');
+                    j += 1;
+                    loop {
+                        match b.get(j) {
+                            None => break,
+                            Some('"') => {
+                                let mut k = 0;
+                                while k < hashes && b.get(j + 1 + k) == Some(&'#') {
+                                    k += 1;
+                                }
+                                if k == hashes {
+                                    for _ in 0..=hashes {
+                                        out.push(' ');
+                                    }
+                                    j += 1 + hashes;
+                                    break;
+                                }
+                                out.push(' ');
+                                j += 1;
+                            }
+                            Some('\n') => {
+                                out.push('\n');
+                                j += 1;
+                            }
+                            Some(_) => {
+                                out.push(' ');
+                                j += 1;
+                            }
+                        }
+                    }
+                    i = j;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: a lifetime is `'ident` with no
+                // closing quote right after one character.
+                let is_char_lit = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some('\\'), _) => true,
+                    (Some(_), Some('\'')) => true,
+                    _ => false,
+                };
+                if is_char_lit {
+                    out.push(' ');
+                    i += 1;
+                    if b.get(i) == Some(&'\\') {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2; // escape + escaped char
+                        // \u{...} and multi-char escapes: skip to quote.
+                        while i < b.len() && b[i] != '\'' {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                    if b.get(i) == Some(&'\'') {
+                        out.push(' ');
+                        i += 1;
+                    }
+                } else {
+                    // Lifetime: keep as-is (harmless to rules).
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// At `b[i] == '"'`: blank the string literal (with escapes), return the
+/// index past its closing quote.
+fn skip_string(b: &[char], mut i: usize, out: &mut String) -> usize {
+    debug_assert_eq!(b[i], '"');
+    out.push(' ');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => {
+                out.push(' ');
+                out.push(' ');
+                i += 2;
+            }
+            '"' => {
+                out.push(' ');
+                i += 1;
+                break;
+            }
+            '\n' => {
+                out.push('\n');
+                i += 1;
+            }
+            _ => {
+                out.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Is `b[i]` the start of a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`)? Must not be the tail of an identifier (`attr"` is not).
+fn is_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    if i > 0 && is_ident_char(b[i - 1]) {
+        return false;
+    }
+    let mut j = i;
+    while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    match b.get(j) {
+        Some('"') => true,
+        Some('#') => {
+            // Only a raw string if the hashes end in a quote.
+            let mut k = j;
+            while b.get(k) == Some(&'#') {
+                k += 1;
+            }
+            b.get(k) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `line` contain `pat` as a whole token (no identifier characters
+/// adjacent on either side)? `pat` may contain `::` / `.` separators.
+pub fn contains_token(line: &str, pat: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(pat) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !is_ident_char(line[..at].chars().next_back().unwrap());
+        let after = line[at + pat.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + pat.len();
+    }
+    false
+}
+
+/// Find `use`-group bodies starting with `prefix` (e.g. `std::sync::{`),
+/// returning `(0-based line of the opening, body text)` for each.
+fn use_groups(stripped: &str, prefix: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = stripped[start..].find(prefix) {
+        let at = start + pos;
+        let line_idx = stripped[..at].matches('\n').count();
+        let body_start = at + prefix.len();
+        let mut depth = 1;
+        let mut end = body_start;
+        for (off, c) in stripped[body_start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = body_start + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push((line_idx, stripped[body_start..end].to_string()));
+        start = body_start;
+    }
+    out
+}
+
+/// Mark the lines inside `#[cfg(test)]`-gated items (brace-tracked from
+/// the attribute to the item's closing brace).
+fn cfg_test_lines(stripped: &str) -> Vec<bool> {
+    let n_lines = stripped.lines().count();
+    let mut marks = vec![false; n_lines];
+    let mut start = 0;
+    while let Some(pos) = stripped[start..].find("#[cfg(test)]") {
+        let at = start + pos;
+        let open = match stripped[at..].find('{') {
+            Some(o) => at + o,
+            None => break,
+        };
+        let mut depth = 0usize;
+        let mut end = stripped.len();
+        for (off, c) in stripped[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first = stripped[..at].matches('\n').count();
+        let last = stripped[..end].matches('\n').count();
+        for m in marks.iter_mut().take(last + 1).skip(first) {
+            *m = true;
+        }
+        start = at + 1;
+    }
+    marks
+}
+
+// ---------------------------------------------------------------------------
+// Waivers and SAFETY comments.
+// ---------------------------------------------------------------------------
+
+/// Is line `idx` covered by a reasoned `lint:allow(rule)` waiver — on the
+/// line itself, in the comment/attribute block directly above, or by a
+/// file-level `lint:allow-file(rule)` anywhere?
+fn waived(original: &[&str], idx: usize, rule: &str) -> bool {
+    let inline = format!("lint:allow({rule}):");
+    let file_level = format!("lint:allow-file({rule}):");
+    if has_reasoned_marker(original[idx], &inline) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = original[i].trim_start();
+        let is_block = t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!");
+        if !is_block {
+            break;
+        }
+        if has_reasoned_marker(t, &inline) {
+            return true;
+        }
+    }
+    original.iter().any(|l| has_reasoned_marker(l, &file_level))
+}
+
+/// `marker` must be followed by a non-empty reason for the waiver to count.
+fn has_reasoned_marker(line: &str, marker: &str) -> bool {
+    match line.find(marker) {
+        Some(pos) => !line[pos + marker.len()..].trim().is_empty(),
+        None => false,
+    }
+}
+
+/// Does the `unsafe` on line `idx` carry a `// SAFETY:` comment — same
+/// line, or in the contiguous comment/attribute block above?
+fn has_safety_comment(original: &[&str], idx: usize) -> bool {
+    if original[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = original[i].trim_start();
+        let is_block = t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!");
+        if !is_block {
+            break;
+        }
+        if t.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn std_sync_fires_and_waives() {
+        let src = "use std::sync::Mutex;\n";
+        let f = lint_source("crates/core/src/ops.rs", src);
+        assert_eq!(rules_of(&f), [RULE_STD_SYNC], "{f:?}");
+
+        // Use-group form, split across lines.
+        let src = "use std::sync::{\n    Arc,\n    RwLock,\n};\n";
+        let f = lint_source("crates/core/src/ops.rs", src);
+        assert_eq!(rules_of(&f), [RULE_STD_SYNC], "{f:?}");
+
+        // Waived with a reason: clean.
+        let src = "// lint:allow(std-sync): host-side only, never held across a sync point\nuse std::sync::Mutex;\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+
+        // Waiver without a reason does not count.
+        let src = "// lint:allow(std-sync):\nuse std::sync::Mutex;\n";
+        assert_eq!(rules_of(&lint_source("crates/core/src/ops.rs", src)), [RULE_STD_SYNC]);
+
+        // Home of the cooperative wrappers is exempt.
+        let src = "use std::sync::Mutex;\n";
+        assert!(lint_source("crates/pmem/src/sync.rs", src).is_empty());
+
+        // Atomics and other std::sync items are fine.
+        let src = "use std::sync::{Arc, atomic::AtomicU64};\nuse std::sync::MutexGuard;\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+    }
+
+    #[test]
+    fn host_time_fires_outside_bench() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/ops.rs", src)),
+            [RULE_HOST_TIME]
+        );
+        // The bench harness measures wall time legitimately.
+        assert!(lint_source("crates/bench/src/main.rs", src).is_empty());
+        // Test files are exempt.
+        assert!(lint_source("tests/durability.rs", src).is_empty());
+        // cfg(test) regions are exempt.
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::SystemTime::now(); }\n}\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+    }
+
+    #[test]
+    fn spin_hygiene_fires_outside_schedhook() {
+        let src = "std::thread::yield_now();\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/htm/src/lib.rs", src)),
+            [RULE_SPIN_HYGIENE]
+        );
+        let src = "std::hint::spin_loop();\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/htm/src/lib.rs", src)),
+            [RULE_SPIN_HYGIENE]
+        );
+        // spin_wait() itself degrades to yield_now in its home module.
+        let src = "std::thread::yield_now();\n";
+        assert!(lint_source("crates/pmem/src/schedhook.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_required_even_in_tests() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(
+            rules_of(&lint_source("tests/durability.rs", src)),
+            [RULE_SAFETY_COMMENT]
+        );
+        let src = "// SAFETY: p is valid for reads per the caller contract.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        // Comment directly above is not on the unsafe line but the block
+        // above the flagged line covers it.
+        assert!(lint_source("tests/durability.rs", src).is_empty());
+        let src = "unsafe impl Send for X {} // SAFETY: no thread-affine state.\n";
+        assert!(lint_source("crates/htm/src/lib.rs", src).is_empty());
+        // The word "unsafe" in a comment or string is not a finding.
+        let src = "// this is unsafe in spirit\nlet s = \"unsafe\";\n";
+        assert!(lint_source("crates/htm/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn arena_direct_fires_outside_pmem() {
+        let src = "ctx.device().arena().store_u64(a, v);\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/htm/src/lib.rs", src)),
+            [RULE_ARENA_DIRECT]
+        );
+        // Inside pmem the arena is the implementation.
+        assert!(lint_source("crates/pmem/src/ctx.rs", src).is_empty());
+        // Loads are allowed (recovery scans read the durable image).
+        let src = "let v = ctx.device().arena().load_u64(a);\n";
+        assert!(lint_source("crates/htm/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lexer_blanks_comments_strings_and_char_literals() {
+        let src = "let a = \"std::sync::Mutex\"; // std::sync::Mutex\nlet b = 'x'; /* SystemTime */\nlet r = r#\"Instant::now\"#;\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+        // Lifetimes survive stripping without eating the rest of the line.
+        let src = "fn f<'a>(x: &'a u64) -> &'a u64 { x }\nuse std::sync::Condvar;\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/ops.rs", src)),
+            [RULE_STD_SYNC]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* outer /* inner SystemTime */ still comment SystemTime */\nlet x = 1;\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+        let src = "let s = r\"thread::sleep\";\nlet t = br#\"yield_now\"#;\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+    }
+
+    #[test]
+    fn file_level_waiver_covers_all_occurrences() {
+        let src = "// lint:allow-file(host-time): harness-side timing only\nlet a = Instant::now();\nlet b = Instant::now();\n";
+        assert!(lint_source("crates/index-api/src/x.rs", src).is_empty());
+    }
+}

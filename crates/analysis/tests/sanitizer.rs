@@ -1,0 +1,173 @@
+//! Mutation canaries and clean-run gates for the persistence-ordering
+//! sanitizer.
+//!
+//! Each index has two canary sites compiled into its publication path
+//! (the last flush and the last fence before the operation becomes
+//! visible), gated on [`spash_pmem::san::site_enabled`]. Suppressing the
+//! flush must surface as a `published-dirty` violation on a
+//! `DirtyUnflushed` cacheline; suppressing the fence must surface as the
+//! line being caught in `FlushedUnfenced` (`published-unfenced` at the
+//! next visibility edge, or `write-after-flush-before-fence` if a store
+//! gets there first).
+//!
+//! The site registry is process-global, so every test here serializes on
+//! one mutex: a canary left armed would poison a concurrently running
+//! clean-run gate.
+
+use std::sync::{Mutex, PoisonError};
+
+use spash_analysis::all_targets;
+use spash_analysis::sandrive::{run_san, SanRunConfig, SanRunResult};
+use spash_pmem::san::{reset_sites, set_site, SanViolationKind};
+use spash_pmem::PersistenceDomain;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn target_named(name: &str) -> spash_index_api::crashpoint::CrashTarget {
+    all_targets()
+        .into_iter()
+        .find(|t| t.name == name)
+        .unwrap_or_else(|| panic!("no crash target named {name}"))
+}
+
+/// Run `target` with one canary site suppressed, restoring the registry
+/// even if the workload panics.
+fn run_with_suppressed(target_name: &str, site: &str) -> SanRunResult {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            reset_sites();
+        }
+    }
+    let _restore = Restore;
+    reset_sites();
+    set_site(site, false);
+    run_san(
+        &target_named(target_name),
+        &SanRunConfig::quick(PersistenceDomain::Adr),
+    )
+}
+
+/// Suppressed publication flush: the sanitizer must localize at least
+/// one `published-dirty` violation on a `DirtyUnflushed` line.
+fn assert_flush_canary_caught(target_name: &str, site: &str) {
+    let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = run_with_suppressed(target_name, site);
+    assert!(
+        !r.report.clean(),
+        "{target_name}: suppressing {site} went unnoticed"
+    );
+    assert!(
+        r.report
+            .violations
+            .iter()
+            .any(|v| v.kind == SanViolationKind::PublishedDirty && v.state == "DirtyUnflushed"),
+        "{target_name}: suppressing {site} did not yield published-dirty \
+         on a DirtyUnflushed line; got {:#?}",
+        r.report.violations
+    );
+}
+
+/// Suppressed publication fence: the sanitizer must catch the line in
+/// `FlushedUnfenced`, and the first visibility edge after the
+/// suppressed fence must report it as `published-unfenced`.
+fn assert_fence_canary_caught(target_name: &str, site: &str) {
+    let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let r = run_with_suppressed(target_name, site);
+    assert!(
+        !r.report.clean(),
+        "{target_name}: suppressing {site} went unnoticed"
+    );
+    assert!(
+        r.report
+            .violations
+            .iter()
+            .any(|v| v.state == "FlushedUnfenced"),
+        "{target_name}: suppressing {site} never caught a FlushedUnfenced \
+         line; got {:#?}",
+        r.report.violations
+    );
+    assert!(
+        r.report
+            .violations
+            .iter()
+            .any(|v| v.kind == SanViolationKind::PublishedUnfenced),
+        "{target_name}: suppressing {site} never reported \
+         published-unfenced at a visibility edge; got {:#?}",
+        r.report.violations
+    );
+}
+
+#[test]
+fn canary_spash_payload() {
+    assert_flush_canary_caught("Spash", "spash.payload.flush");
+    assert_fence_canary_caught("Spash", "spash.payload.fence");
+}
+
+#[test]
+fn canary_cceh_insert() {
+    assert_flush_canary_caught("CCEH", "cceh.insert.flush");
+    assert_fence_canary_caught("CCEH", "cceh.insert.fence");
+}
+
+#[test]
+fn canary_dash_insert() {
+    assert_flush_canary_caught("Dash", "dash.insert.flush");
+    assert_fence_canary_caught("Dash", "dash.insert.fence");
+}
+
+#[test]
+fn canary_level_insert() {
+    assert_flush_canary_caught("Level", "level.insert.flush");
+    assert_fence_canary_caught("Level", "level.insert.fence");
+}
+
+#[test]
+fn canary_clevel_insert() {
+    assert_flush_canary_caught("CLevel", "clevel.insert.flush");
+    assert_fence_canary_caught("CLevel", "clevel.insert.fence");
+}
+
+#[test]
+fn canary_plush_insert() {
+    assert_flush_canary_caught("Plush", "plush.insert.flush");
+    assert_fence_canary_caught("Plush", "plush.insert.fence");
+}
+
+#[test]
+fn canary_halo_insert() {
+    assert_flush_canary_caught("Halo", "halo.insert.flush");
+    assert_fence_canary_caught("Halo", "halo.insert.fence");
+}
+
+/// Zero-false-positive gate: the full 10k-op acceptance workload is
+/// clean for every index under ADR (publication checks armed).
+#[test]
+fn clean_run_adr_all_targets() {
+    let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    reset_sites();
+    let cfg = SanRunConfig::full(PersistenceDomain::Adr);
+    for t in all_targets() {
+        let r = run_san(&t, &cfg);
+        assert!(r.clean(), "{} ADR run not clean: {}", r.name, r.summary());
+        assert!(
+            r.report.violations.is_empty(),
+            "{}: {:#?}",
+            r.name,
+            r.report.violations
+        );
+    }
+}
+
+/// Zero-false-positive gate: the same workload under eADR (publication
+/// checks off, perf diagnostics still live).
+#[test]
+fn clean_run_eadr_all_targets() {
+    let _g = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    reset_sites();
+    let cfg = SanRunConfig::full(PersistenceDomain::Eadr);
+    for t in all_targets() {
+        let r = run_san(&t, &cfg);
+        assert!(r.clean(), "{} eADR run not clean: {}", r.name, r.summary());
+    }
+}

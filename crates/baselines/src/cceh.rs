@@ -314,8 +314,14 @@ impl Cceh {
                     Some(s) => {
                         ctx.write_u64(PmAddr(seg.slot_addr(s).0 + 8), vw);
                         ctx.write_u64(seg.slot_addr(s), key);
-                        ctx.flush_range(seg.slot_addr(s), 16);
-                        ctx.fence();
+                        // Mutation-canary sites (tests/sanitizer.rs):
+                        // always enabled outside the canary tests.
+                        if spash_pmem::san::site_enabled("cceh.insert.flush") {
+                            ctx.flush_range(seg.slot_addr(s), 16);
+                        }
+                        if spash_pmem::san::site_enabled("cceh.insert.fence") {
+                            ctx.fence();
+                        }
                         Out::Done
                     }
                 }

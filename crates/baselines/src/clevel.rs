@@ -250,8 +250,14 @@ impl CLevel {
                 for s in 0..SLOTS {
                     let sa = newest.slot(b, s);
                     if ctx.read_u64(sa) == 0 && ctx.cas_u64(sa, 0, word).is_ok() {
-                        ctx.flush(sa);
-                        ctx.fence();
+                        // Mutation-canary sites (tests/sanitizer.rs):
+                        // always enabled outside the canary tests.
+                        if spash_pmem::san::site_enabled("clevel.insert.flush") {
+                            ctx.flush(sa);
+                        }
+                        if spash_pmem::san::site_enabled("clevel.insert.fence") {
+                            ctx.fence();
+                        }
                         placed = Some((sa, b));
                         break 'outer;
                     }
@@ -370,6 +376,9 @@ impl CLevel {
                     if w & FROZEN == 0 && ctx.cas_u64(sa, w, w | FROZEN).is_err() {
                         continue; // raced with an update; re-read
                     }
+                    // The FROZEN bit is a recovery don't-care: recovery
+                    // strips it from every slot before the table is used.
+                    ctx.san_forgive(sa, 8);
                     let item = w & ADDR_MASK;
                     let key = ctx.read_u64(PmAddr(item));
                     if self.try_place(ctx, w & !FROZEN, key) {
@@ -383,6 +392,7 @@ impl CLevel {
                         // done, so the level is never retired with the
                         // item still inside.
                         ctx.write_u64(sa, w & !FROZEN);
+                        ctx.san_forgive(sa, 8);
                         bucket_drained = false;
                     }
                     break;

@@ -183,6 +183,9 @@ impl PmRwLock {
 
     /// Shared lock; maintains the PM reader count (2 PM writes).
     pub fn read<R>(&self, ctx: &mut MemCtx, f: impl FnOnce(&mut MemCtx) -> R) -> R {
+        // Lock words are dirty by design and never flushed: recovery
+        // never trusts lock state, so the sanitizer must not flag them.
+        ctx.san_transient(self.word, 8);
         self.vrw.read(ctx, |ctx, _| {
             ctx.fetch_or_u64(self.word, 0); // reader-count RMW
             let r = f(ctx);
@@ -193,6 +196,7 @@ impl PmRwLock {
 
     /// Exclusive lock (2 PM writes).
     pub fn write<R>(&self, ctx: &mut MemCtx, f: impl FnOnce(&mut MemCtx) -> R) -> R {
+        ctx.san_transient(self.word, 8);
         self.vrw.write(ctx, |ctx, _| {
             ctx.write_u64(self.word, 1);
             let r = f(ctx);

@@ -244,8 +244,14 @@ impl Dash {
         ctx.write_bytes(PmAddr(seg.fp_addr(b).0 + free), &fp);
         ctx.write_u64(seg.meta_addr(b), bitmap | 1 << free);
         ctx.write_u64(seg.ver_addr(b), v + 2);
-        ctx.flush_range(seg.bucket_addr(b), 32);
-        ctx.fence();
+        // Mutation-canary sites (tests/sanitizer.rs): always enabled
+        // outside the canary tests.
+        if spash_pmem::san::site_enabled("dash.insert.flush") {
+            ctx.flush_range(seg.bucket_addr(b), 32);
+        }
+        if spash_pmem::san::site_enabled("dash.insert.fence") {
+            ctx.fence();
+        }
         true
     }
 
@@ -263,6 +269,11 @@ impl Dash {
         ctx.fence();
         ctx.write_u64(seg.slot_addr(b, s), EMPTY_KEY);
         ctx.write_u64(seg.ver_addr(b), v + 2);
+        // Both writes are recovery don't-cares: the bitmap (flushed above)
+        // already unpublished the slot, and the seqlock word is never
+        // read by recovery.
+        ctx.san_forgive(seg.slot_addr(b, s), 8);
+        ctx.san_forgive(seg.ver_addr(b), 8);
     }
 
     /// Insert with balanced insert → displacement → stash → split.
@@ -656,6 +667,10 @@ impl PersistentIndex for Dash {
                         ctx.flush(PmAddr(seg.slot_addr(b, s).0 + 8));
                         ctx.fence();
                         ctx.write_u64(seg.ver_addr(b), v + 2);
+                        // The PM seqlock word is concurrency metadata:
+                        // recovery never reads it, so its dirtiness is
+                        // not an unordered publication.
+                        ctx.san_forgive(seg.ver_addr(b), 8);
                         Out::Done(old)
                     }),
                 }

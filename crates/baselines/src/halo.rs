@@ -81,11 +81,17 @@ impl Halo {
         // "no Halo here" rather than as garbage.
         let (root, root_len) = alloc.reserved();
         if root_len >= ROOT_LEN {
+            // Persist the layout fields before the magic publishes them:
+            // recovery trusts every field once it sees MAGIC.
             ctx.write_u64(PmAddr(root.0 + 8), log_base.0);
             ctx.write_u64(PmAddr(root.0 + 16), log_bytes);
             ctx.write_u64(PmAddr(root.0 + 24), snap_base.0);
             ctx.write_u64(PmAddr(root.0 + 32), snap_len);
+            ctx.flush_range(PmAddr(root.0 + 8), 32);
+            ctx.fence();
             ctx.write_u64(root, MAGIC);
+            ctx.flush(root);
+            ctx.fence();
         }
         Ok(Self {
             alloc,
@@ -138,8 +144,14 @@ impl Halo {
         ctx.flush_range(PmAddr(a + 8), 8 + value.len() as u64);
         ctx.fence();
         ctx.write_u64(PmAddr(a), key);
-        ctx.flush(PmAddr(a));
-        ctx.fence();
+        // Mutation-canary sites (tests/sanitizer.rs): always enabled
+        // outside the canary tests.
+        if spash_pmem::san::site_enabled("halo.insert.flush") {
+            ctx.flush(PmAddr(a));
+        }
+        if spash_pmem::san::site_enabled("halo.insert.fence") {
+            ctx.fence();
+        }
         let _ = EXTENT; // extent-grained allocation folded into the head bump
         Ok(off)
     }

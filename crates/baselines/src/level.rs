@@ -193,8 +193,14 @@ impl Level {
         ctx.flush_range(PmAddr(b.0 + 8 + free * 16), 16);
         ctx.fence();
         ctx.write_u64(b, bitmap | 1 << free); // metadata PM write
-        ctx.flush(b);
-        ctx.fence();
+        // Mutation-canary sites (tests/sanitizer.rs): always enabled
+        // outside the canary tests.
+        if spash_pmem::san::site_enabled("level.insert.flush") {
+            ctx.flush(b);
+        }
+        if spash_pmem::san::site_enabled("level.insert.fence") {
+            ctx.fence();
+        }
         true
     }
 
@@ -485,6 +491,9 @@ impl PersistentIndex for Level {
                     ctx.flush(b);
                     ctx.fence();
                     ctx.write_u64(PmAddr(b.0 + 8 + s * 16), 0);
+                    // The scrub is a recovery don't-care: the bitmap
+                    // (flushed above) already unpublished the slot.
+                    ctx.san_forgive(PmAddr(b.0 + 8 + s * 16), 8);
                     vw
                 })
             });

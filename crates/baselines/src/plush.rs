@@ -197,8 +197,14 @@ impl Plush {
         ctx.write_u64(PmAddr(base + 8), k);
         ctx.write_u64(PmAddr(base + 16), vw);
         ctx.write_u64(PmAddr(base + 24), seq);
-        ctx.flush_range(PmAddr(base), REC_BYTES);
-        ctx.fence();
+        // Mutation-canary sites (tests/sanitizer.rs): always enabled
+        // outside the canary tests.
+        if spash_pmem::san::site_enabled("plush.insert.flush") {
+            ctx.flush_range(PmAddr(base), REC_BYTES);
+        }
+        if spash_pmem::san::site_enabled("plush.insert.fence") {
+            ctx.fence();
+        }
         *off += REC_BYTES;
     }
 

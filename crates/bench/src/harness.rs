@@ -127,6 +127,12 @@ where
     });
     dev.quiesce();
     let delta = dev.snapshot().since(&before);
+    if delta.san_redundant_flushes + delta.san_noop_fences > 0 {
+        println!(
+            "# san: {} redundant flushes, {} no-op fences this phase",
+            delta.san_redundant_flushes, delta.san_noop_fences
+        );
+    }
     let ops: u64 = results.iter().map(|r| r.0).sum();
     let max_clock = results
         .iter()

@@ -76,9 +76,18 @@ pub fn bench_device(keys: u64, value_bytes: u64) -> Arc<PmDevice> {
     // keys vs a 42 MB LLC) so the run is PM-bound and the zipfian hot set
     // still fits.
     let cache = (dataset / 96).clamp(128 << 10, 64 << 20);
+    // Optional: arm the persistence-ordering sanitizer for any benchmark
+    // run. Diagnostics (redundant flushes / no-op fences) are printed by
+    // `run_phase` when the counters move.
+    let san = match std::env::var("SPASH_BENCH_SAN").as_deref() {
+        Ok("strict") => Some(spash_pmem::SanMode::Strict),
+        Ok("relaxed") => Some(spash_pmem::SanMode::Relaxed),
+        _ => None,
+    };
     PmDevice::new(PmConfig {
         arena_size: arena,
         cache_capacity: cache,
+        san,
         ..PmConfig::default()
     })
 }

@@ -49,6 +49,8 @@ fn probe(scale: &Scale) {
         let dev2 = bench_device(scale.keys, pv as u64);
         let mut c2 = dev2.ctx();
         let idx2 = std::sync::Arc::new(Spash::format(&mut c2, SpashConfig::default()).unwrap());
+        // lint:allow(std-sync): harness-side result collection by real
+        // benchmark threads; never locked inside a scheduled region.
         let clocks2 = std::sync::Mutex::new(Vec::new());
         let i2 = idx2.clone();
         let keys2 = keys.clone();
@@ -75,6 +77,8 @@ fn probe(scale: &Scale) {
     }
     let h0 = idx.htm_stats();
     let index = idx.clone();
+    // lint:allow(std-sync): harness-side result collection by real
+    // benchmark threads; never locked inside a scheduled region.
     let clocks = std::sync::Mutex::new(Vec::new());
     let r = run_phase(&dev, threads, |tid, ctx| {
         let mut s = OpStream::new(&wcfg, tid as u64);
@@ -298,7 +302,14 @@ fn sched_explore(want_distinct: u64) {
 
     let mut pm = PmConfig::small_test();
     pm.arena_size = knob("SPASH_SCHED_ARENA_MB", 48) << 20;
-    pm.domain = PersistenceDomain::Eadr;
+    pm.domain = match std::env::var("SPASH_SCHED_DOMAIN").as_deref() {
+        Ok("adr") => PersistenceDomain::Adr,
+        _ => PersistenceDomain::Eadr,
+    };
+    if pm.domain == PersistenceDomain::Adr {
+        pm.fidelity = spash_pmem::CrashFidelity::Full;
+    }
+    let san_on = !matches!(std::env::var("SPASH_SCHED_SAN").as_deref(), Ok("off"));
 
     let which = std::env::var("SPASH_SCHED_TARGETS").unwrap_or_else(|_| "all".into());
     let mut targets: Vec<CrashTarget> = Vec::new();
@@ -340,6 +351,12 @@ fn sched_explore(want_distinct: u64) {
     }
     let mut failed = false;
     for target in &targets {
+        // Persistence-ordering sanitizer rides every explored schedule;
+        // its findings are replayable SeedFailures like any other
+        // ordering violation. Publication checks fire when
+        // SPASH_SCHED_DOMAIN=adr; SPASH_SCHED_SAN=off disarms.
+        let mut pm = pm.clone();
+        pm.san = san_on.then(|| spash_analysis::san_mode_for(&target.name));
         let mut distinct = std::collections::HashSet::new();
         let mut schedules = 0u64;
         let mut violations: Vec<SeedFailure> = Vec::new();
@@ -479,6 +496,13 @@ fn crashpoints() {
             targets.push(Halo::crash_target(8 << 20, u64::MAX));
         }
         for target in &targets {
+            // Arm the persistence-ordering sanitizer: violations on the
+            // record pass or any recovery path are hard sweep failures
+            // (SPASH_CRASH_SAN=off to disable).
+            cfg.pm.san = match std::env::var("SPASH_CRASH_SAN").as_deref() {
+                Ok("off") => None,
+                _ => Some(spash_analysis::san_mode_for(&target.name)),
+            };
             let r = run_sweep(target, &cfg);
             println!(
                 "# target={} domain={:?} seed={:#x} ops={} keys={} total_writes={} points={}",
@@ -538,12 +562,71 @@ fn crashpoints() {
     }
 }
 
+/// Persistence-ordering sanitizer run (DESIGN.md, "Persistence-ordering
+/// sanitizer"; recipe in EXPERIMENTS.md): drive every index through the
+/// seeded sweep workload with the sanitizer armed — `Strict` for the six
+/// ADR-era baselines (every written line checked at every visibility
+/// edge), `Relaxed` for eADR-native Spash (only `san_ordered`-registered
+/// ranges) — and fail the run on any violation. Redundant-flush and
+/// no-op-fence perf diagnostics are reported per target.
+///
+/// Knobs: `SPASH_SAN_DOMAIN=adr|eadr|both` (both), `SPASH_SAN_OPS`
+/// (10000), `SPASH_SAN_KEYS` (1000), `SPASH_SAN_SEED` (0x5a17),
+/// `SPASH_SAN_TARGETS=spash|baselines|all` (all).
+fn san_run() {
+    use spash_analysis::sandrive::{run_san, SanRunConfig};
+    use spash_pmem::PersistenceDomain;
+
+    fn knob(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| {
+                let v = v.trim().to_ascii_lowercase();
+                match v.strip_prefix("0x") {
+                    Some(h) => u64::from_str_radix(h, 16).ok(),
+                    None => v.parse().ok(),
+                }
+            })
+            .unwrap_or(default)
+    }
+
+    let domains: &[PersistenceDomain] = match std::env::var("SPASH_SAN_DOMAIN").as_deref() {
+        Ok("adr") => &[PersistenceDomain::Adr],
+        Ok("eadr") => &[PersistenceDomain::Eadr],
+        _ => &[PersistenceDomain::Adr, PersistenceDomain::Eadr],
+    };
+    let which = std::env::var("SPASH_SAN_TARGETS").unwrap_or_else(|_| "all".into());
+    let mut failed = false;
+    for &domain in domains {
+        let mut cfg = SanRunConfig::full(domain);
+        cfg.seed = knob("SPASH_SAN_SEED", cfg.seed);
+        cfg.n_ops = knob("SPASH_SAN_OPS", cfg.n_ops);
+        cfg.key_space = knob("SPASH_SAN_KEYS", cfg.key_space);
+        for target in spash_analysis::all_targets() {
+            let is_spash = target.name.starts_with("Spash");
+            if (which == "spash" && !is_spash) || (which == "baselines" && is_spash) {
+                continue;
+            }
+            let r = run_san(&target, &cfg);
+            println!("{}", r.summary());
+            for v in &r.report.violations {
+                println!("  {v}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!("sanitizer violations found");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let scale = Scale::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|crashpoints|sched [--seeds N]> ...\n\
+            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|crashpoints|san|sched [--seeds N]> ...\n\
              scale: SPASH_BENCH_KEYS={} SPASH_BENCH_OPS={} SPASH_BENCH_THREADS={:?}",
             scale.keys, scale.ops, scale.threads
         );
@@ -594,6 +677,7 @@ fn main() {
             }
             "ext" => ext::run(&scale),
             "crashpoints" => crashpoints(),
+            "san" => san_run(),
             "probes" => probes(&scale),
             "probeb" => probeb(&scale),
             "probe" => probe(&scale),

@@ -143,7 +143,13 @@ impl Spash {
                         ..
                     } = payload
                     {
-                        if self.cfg.insert_policy == crate::config::InsertPolicy::CompactedFlush {
+                        // Same ADR elision as `tx_insert`: the downgrade in
+                        // `make_payload` already persisted the blobs, the
+                        // chunk is clean.
+                        if self.cfg.insert_policy == crate::config::InsertPolicy::CompactedFlush
+                            && ctx.device().config().domain
+                                == spash_pmem::PersistenceDomain::Eadr
+                        {
                             ctx.flush_range(c, spash_alloc::CHUNK);
                         }
                     }

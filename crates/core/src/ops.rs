@@ -367,6 +367,21 @@ impl Spash {
         ctx.write_u64(a.addr, key);
         ctx.write_u64(PmAddr(a.addr.0 + 8), value.len() as u64);
         ctx.write_bytes(PmAddr(a.addr.0 + 16), value);
+        if ctx.device().config().domain == spash_pmem::PersistenceDomain::Adr {
+            // ADR downgrade: without a persistent CPU cache the blob must
+            // be durable before the slot word can publish it. Under eADR
+            // (the paper's platform) visibility is durability and this
+            // block disappears. The range is registered as
+            // publication-ordered so the sanitizer's Relaxed mode checks
+            // exactly this obligation at the next visibility edge.
+            if spash_pmem::san::site_enabled("spash.payload.flush") {
+                ctx.flush_range(a.addr, blob_len);
+            }
+            if spash_pmem::san::site_enabled("spash.payload.fence") {
+                ctx.fence();
+            }
+            ctx.san_ordered(a.addr, blob_len);
+        }
         Ok(Payload::Blob {
             addr: a.addr,
             val_len: value.len() as u64,
@@ -582,7 +597,13 @@ impl Spash {
                     ..
                 } = payload
                 {
-                    if self.cfg.insert_policy == InsertPolicy::CompactedFlush {
+                    // Under ADR the downgrade in `make_payload` already
+                    // flushed + fenced every blob before it was published,
+                    // so the whole chunk is clean here and the XPLine
+                    // flush would be redundant (sanitizer diagnostic).
+                    if self.cfg.insert_policy == InsertPolicy::CompactedFlush
+                        && ctx.device().config().domain == spash_pmem::PersistenceDomain::Eadr
+                    {
                         ctx.flush_range(c, spash_alloc::CHUNK);
                     }
                 }

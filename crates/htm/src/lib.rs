@@ -504,6 +504,10 @@ impl Tx<'_> {
         }
         // Undo memory effects in reverse order.
         for &(addr, old) in self.undo_pm.iter().rev() {
+            // lint:allow(arena-direct): rollback restores pre-images the
+            // transaction captured before its own instrumented writes; it
+            // must not dirty the cache model or advance clocks again, or
+            // aborted attempts would change the durable image and costs.
             self.dev.arena().store_u64(addr, old);
         }
         for u in self.undo_vol.iter().rev() {

@@ -299,6 +299,9 @@ pub fn run_sweep(target: &CrashTarget, cfg: &SweepConfig) -> SweepReport {
     };
 
     // Record: count the workload's media writes on an uninjected run.
+    // When `cfg.pm.san` is set this pass doubles as the sanitizer's
+    // clean-workload gate: any persistence-ordering violation over the
+    // full uninjected run is a hard sweep failure.
     let total_writes = {
         let dev = PmDevice::new(cfg.pm.clone());
         let mut ctx = dev.ctx();
@@ -306,6 +309,19 @@ pub fn run_sweep(target: &CrashTarget, cfg: &SweepConfig) -> SweepReport {
         dev.faults().reset(); // count workload writes only, not format
         for op in &ops {
             apply_real(idx.as_ref(), &mut ctx, op);
+        }
+        if let Some(san) = dev.san() {
+            san.final_check();
+            let r = san.report();
+            for v in &r.violations {
+                report.fail(format!("{}: sanitizer (record pass): {v}", target.name));
+            }
+            if r.dropped > 0 {
+                report.fail(format!(
+                    "{}: sanitizer (record pass): {} further violation(s) dropped",
+                    target.name, r.dropped
+                ));
+            }
         }
         dev.faults().media_writes()
     };
@@ -365,6 +381,12 @@ fn sweep_one(
     }
 
     let crash = dev.simulate_power_failure();
+    // Pre-crash workload violations are the record pass's findings
+    // replayed; drop them so the injected runs gate the recovery path
+    // only. The crash itself already reset the shadow state (on_crash).
+    if let Some(san) = dev.san() {
+        san.clear_violations();
+    }
     let mut stat = CrashPointStat {
         write_k: k,
         committed_ops: committed,
@@ -378,6 +400,8 @@ fn sweep_one(
 
     // Recover on a fresh context, timing the implementation's work.
     let mut rctx = dev.ctx();
+    // lint:allow(host-time): wall-clock recovery timing is a reported
+    // statistic about the harness run, not part of the modelled platform.
     let t0 = Instant::now();
     let recovery = catch_unwind(AssertUnwindSafe(|| (target.recover)(&mut rctx)));
     stat.recovery_ns = t0.elapsed().as_nanos() as u64;
@@ -427,6 +451,21 @@ fn sweep_one(
                     &mut rctx,
                     report,
                 );
+            }
+            // Recovery-path ordering gate: anything recovery wrote must
+            // be persisted (or forgiven) by the time it hands the index
+            // back. Violations here are hard failures in both domains'
+            // check levels — a recovery that leaves repairs unflushed
+            // re-breaks on the next crash.
+            if let Some(san) = dev.san() {
+                san.final_check();
+                let r = san.report();
+                for v in &r.violations {
+                    report.fail(format!(
+                        "{}: sanitizer (recovery at write {k}): {v}",
+                        target.name
+                    ));
+                }
             }
         }
     }

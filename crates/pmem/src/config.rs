@@ -49,6 +49,9 @@ pub struct PmConfig {
     pub domain: PersistenceDomain,
     /// Pre-image capture mode.
     pub fidelity: CrashFidelity,
+    /// Enable the persistence-ordering sanitizer ([`crate::san`]) in the
+    /// given mode. `None` (the default) costs nothing on data paths.
+    pub san: Option<crate::san::SanMode>,
     /// Latency/bandwidth constants.
     pub cost: CostModel,
 }
@@ -63,6 +66,7 @@ impl Default for PmConfig {
             xpbuffer_slots: 64,
             domain: PersistenceDomain::Eadr,
             fidelity: CrashFidelity::Fast,
+            san: None,
             cost: CostModel::default(),
         }
     }

@@ -42,6 +42,9 @@ impl MemCtx {
     pub(crate) fn new(dev: Arc<PmDevice>, tid: u32) -> Self {
         let mut clock = VClock::new();
         clock.sync_to(dev.vtime_floor());
+        if let Some(san) = &dev.san {
+            crate::san::install_observer(san, tid);
+        }
         Self {
             dev,
             tid,
@@ -117,6 +120,9 @@ impl MemCtx {
     /// done by the caller against the arena.
     fn touch_read(&mut self, line: u64) {
         let r = self.dev.cache.access(line, false, &self.dev.arena);
+        if let (Some(san), Some(victim)) = (&self.dev.san, r.evicted_dirty) {
+            san.on_evict(victim);
+        }
         if let Some(victim) = r.evicted_dirty {
             self.dev
                 .stats
@@ -190,6 +196,10 @@ impl MemCtx {
     /// pre-image capture sees the old data.
     fn touch_write(&mut self, line: u64) {
         let r = self.dev.cache.access(line, true, &self.dev.arena);
+        if let Some(san) = &self.dev.san {
+            crate::san::install_observer(san, self.tid);
+            san.on_write(self.tid, line, r.evicted_dirty);
+        }
         if let Some(victim) = r.evicted_dirty {
             self.dev
                 .stats
@@ -244,8 +254,16 @@ impl MemCtx {
         let line = line_of(addr.0);
         crate::schedhook::sync_point(crate::SyncEvent::AtomicRmw(line));
         self.rmw_token(line);
-        self.touch_write(line);
-        self.dev.arena.cas_u64(addr, current, new)
+        let res = self.dev.arena.cas_u64(addr, current, new);
+        // A failed CMPXCHG takes the line for ownership but stores
+        // nothing: the line stays clean, so charge it as a read. Only a
+        // successful CAS dirties the line (and owes a flush under ADR).
+        if res.is_ok() {
+            self.touch_write(line);
+        } else {
+            self.touch_read(line);
+        }
+        res
     }
 
     /// Atomic fetch-or on PM (a scheduler sync point, like [`Self::cas_u64`]).
@@ -331,6 +349,9 @@ impl MemCtx {
         for line in first..=last {
             // If the line is cached dirty, hardware would force it out.
             if self.dev.cache.flush(line) {
+                if let Some(san) = &self.dev.san {
+                    san.on_evict(line);
+                }
                 self.media_writeback(line);
             }
             self.dev
@@ -347,6 +368,10 @@ impl MemCtx {
                 PmAddr(lo),
                 &data[(lo - addr.0) as usize..(hi - addr.0) as usize],
             );
+            if let Some(san) = &self.dev.san {
+                crate::san::install_observer(san, self.tid);
+                san.on_ntstore(self.tid, line);
+            }
             self.media_writeback(line);
             self.clock.advance(self.cost().ntstore_ns);
         }
@@ -359,7 +384,12 @@ impl MemCtx {
     pub fn flush(&mut self, addr: PmAddr) {
         let line = line_of(addr.0);
         self.clock.advance(self.cost().flush_issue_ns);
-        if self.dev.cache.flush(line) {
+        let dirty = self.dev.cache.flush(line);
+        if let Some(san) = &self.dev.san {
+            crate::san::install_observer(san, self.tid);
+            san.on_flush(self.tid, line, dirty, &self.dev.stats);
+        }
+        if dirty {
             self.dev
                 .stats
                 .flushes
@@ -382,6 +412,10 @@ impl MemCtx {
 
     /// `sfence`: wait for outstanding flushes/ntstores to drain.
     pub fn fence(&mut self) {
+        if let Some(san) = &self.dev.san {
+            crate::san::install_observer(san, self.tid);
+            san.on_fence(self.tid, &self.dev.stats);
+        }
         self.clock.sync_to(self.outstanding_t);
         self.clock.advance(self.cost().fence_ns);
     }
@@ -406,6 +440,9 @@ impl MemCtx {
         self.prefetch_len += 1;
         self.dev.media.read_line(line, &mut self.recent, &self.dev.stats);
         if let Some(victim) = self.dev.cache.install_clean(line, &self.dev.arena) {
+            if let Some(san) = &self.dev.san {
+                san.on_evict(victim);
+            }
             self.dev
                 .stats
                 .dirty_evictions
@@ -433,6 +470,52 @@ impl MemCtx {
     /// Charge raw compute time.
     pub fn charge_compute(&mut self, ns: u64) {
         self.clock.advance(ns);
+    }
+
+    // --- persistence-ordering sanitizer annotations (no-ops when the
+    // sanitizer is off; see `crate::san`) ---
+
+    /// Exempt `[addr, addr+len)` from sanitizer publication checks
+    /// (PM-resident lock words and other recovery-insensitive state).
+    pub fn san_transient(&self, addr: PmAddr, len: u64) {
+        if let Some(san) = &self.dev.san {
+            san.mark_transient(addr.0, len);
+        }
+    }
+
+    /// Declare that the bytes just written to `[addr, addr+len)` are a
+    /// recovery don't-care (concurrency metadata, scrubbed slots): their
+    /// current dirtiness is exempt from publication checks. Future
+    /// writes to the same lines are tracked anew.
+    pub fn san_forgive(&self, addr: PmAddr, len: u64) {
+        if let Some(san) = &self.dev.san {
+            san.forgive(addr.0, len);
+        }
+    }
+
+    /// Declare that `[addr, addr+len)` must be fully persisted before
+    /// this thread's next visibility edge (checked in
+    /// [`crate::san::SanMode::Relaxed`] under ADR).
+    pub fn san_ordered(&self, addr: PmAddr, len: u64) {
+        if let Some(san) = &self.dev.san {
+            san.register_ordered(self.tid, addr.0, len);
+        }
+    }
+
+    /// Tag `[addr, addr+len)` with an allocation-region name for
+    /// sanitizer violation rendering.
+    pub fn san_tag(&self, addr: PmAddr, len: u64, tag: &str) {
+        if let Some(san) = &self.dev.san {
+            san.tag_region(addr.0, len, tag);
+        }
+    }
+
+    /// Label this thread's subsequent sanitizer findings with the
+    /// operation being executed (harness drivers call this per op).
+    pub fn san_op_label(&self, label: &str) {
+        if let Some(san) = &self.dev.san {
+            san.set_op_label(self.tid, label);
+        }
     }
 }
 

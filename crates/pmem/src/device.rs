@@ -9,6 +9,7 @@ use crate::config::PmConfig;
 use crate::ctx::MemCtx;
 use crate::fault::FaultPlan;
 use crate::media::Media;
+use crate::san::San;
 use crate::stats::{PmStats, StatsSnapshot};
 
 /// What a simulated power failure did to the cache, for per-crash-point
@@ -20,6 +21,9 @@ pub struct CrashReport {
     /// Dirty unflushed lines reverted to their pre-images under ADR
     /// (empty under eADR).
     pub reverted_lines: Vec<u64>,
+    /// Sanitizer descriptions of what the reverted lines were (with
+    /// allocation-region tags). Empty when the sanitizer is off.
+    pub san_lost: Vec<String>,
 }
 
 /// The whole simulated platform. Shared (`Arc`) across simulated threads;
@@ -52,6 +56,9 @@ pub struct PmDevice {
     /// Crash-point fault injection: counts media writes, optionally unwinds
     /// at an armed write ordinal (see [`crate::fault`]).
     faults: FaultPlan,
+    /// Persistence-ordering sanitizer ([`crate::san`]); present only when
+    /// [`PmConfig::san`] is set.
+    pub(crate) san: Option<Arc<San>>,
 }
 
 impl PmDevice {
@@ -72,6 +79,7 @@ impl PmDevice {
             sim_horizon: AtomicU64::new(0),
             rmw_release: (0..(1 << 20)).map(|_| AtomicU64::new(0)).collect(),
             faults: FaultPlan::default(),
+            san: cfg.san.map(|mode| Arc::new(San::new(mode, cfg.domain))),
             cfg,
         })
     }
@@ -79,6 +87,12 @@ impl PmDevice {
     /// The device's crash-point fault plan.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// The persistence-ordering sanitizer, when enabled via
+    /// [`PmConfig::san`].
+    pub fn san(&self) -> Option<&Arc<San>> {
+        self.san.as_ref()
     }
 
     /// Create a per-thread context with a fresh virtual clock.
@@ -149,6 +163,9 @@ impl PmDevice {
             self.media.write_line(line, &self.stats);
         }
         self.media.drain(&self.stats);
+        if let Some(san) = &self.san {
+            san.persist_all();
+        }
     }
 
     /// Write back and evict the whole cache (`wbinvd`-style). Benchmarks
@@ -158,6 +175,9 @@ impl PmDevice {
             self.media.write_line(line, &self.stats);
         }
         self.media.drain(&self.stats);
+        if let Some(san) = &self.san {
+            san.persist_all();
+        }
     }
 
     /// Simulate a power failure under the configured persistence domain.
@@ -177,10 +197,15 @@ impl PmDevice {
             self.media.write_line(line, &self.stats);
         }
         self.media.drain(&self.stats);
-        CrashReport {
+        let mut report = CrashReport {
             flushed_lines: flushed,
             reverted_lines: reverted,
+            san_lost: Vec::new(),
+        };
+        if let Some(san) = &self.san {
+            report.san_lost = san.on_crash(&report);
         }
+        report
     }
 
     /// Is a line resident in the modelled cache? (test/diagnostic hook)

@@ -34,6 +34,7 @@ pub mod ctx;
 pub mod device;
 pub mod fault;
 pub mod media;
+pub mod san;
 pub mod schedhook;
 pub mod stats;
 pub mod sync;
@@ -45,6 +46,7 @@ pub use cost::{CostModel, VClock};
 pub use ctx::MemCtx;
 pub use device::{CrashReport, PmDevice};
 pub use fault::{CrashPointHit, FaultPlan};
+pub use san::{San, SanMode, SanReport, SanViolation, SanViolationKind};
 pub use schedhook::{SchedHook, SyncEvent};
 pub use stats::{StatsDelta, StatsSnapshot};
 pub use vlock::{VLock, VRwLock};

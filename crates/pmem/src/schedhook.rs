@@ -114,6 +114,9 @@ pub fn active() -> bool {
 /// cost nothing.
 #[inline]
 pub fn sync_point(ev: SyncEvent) {
+    // Visibility edges feed the persistence-ordering sanitizer first
+    // (publication checks happen whether or not a scheduler is driving).
+    crate::san::observe_event(ev);
     // Clone the Arc out instead of calling under the borrow: the hook may
     // block for a long time, and a panic unwinding through a held RefCell
     // borrow would poison every later sync point on this thread.

@@ -36,6 +36,13 @@ pub struct PmStats {
     pub media_read_bytes: AtomicU64,
     /// Bytes written to PM media.
     pub media_write_bytes: AtomicU64,
+    /// Sanitizer diagnostic: `clwb`s that found the line clean (wasted
+    /// flush-issue cost; see [`crate::san`]). Zero when the sanitizer is
+    /// off.
+    pub san_redundant_flushes: AtomicU64,
+    /// Sanitizer diagnostic: `sfence`s with no outstanding flush or
+    /// ntstore. Zero when the sanitizer is off.
+    pub san_noop_fences: AtomicU64,
 }
 
 /// A point-in-time copy of [`PmStats`].
@@ -53,6 +60,8 @@ pub struct StatsSnapshot {
     pub dram_accesses: u64,
     pub media_read_bytes: u64,
     pub media_write_bytes: u64,
+    pub san_redundant_flushes: u64,
+    pub san_noop_fences: u64,
 }
 
 /// The difference between two snapshots — what one benchmark phase cost.
@@ -74,6 +83,8 @@ impl PmStats {
             dram_accesses: self.dram_accesses.load(Ordering::Relaxed),
             media_read_bytes: self.media_read_bytes.load(Ordering::Relaxed),
             media_write_bytes: self.media_write_bytes.load(Ordering::Relaxed),
+            san_redundant_flushes: self.san_redundant_flushes.load(Ordering::Relaxed),
+            san_noop_fences: self.san_noop_fences.load(Ordering::Relaxed),
         }
     }
 }
@@ -95,6 +106,10 @@ impl StatsSnapshot {
             dram_accesses: self.dram_accesses.saturating_sub(earlier.dram_accesses),
             media_read_bytes: self.media_read_bytes.saturating_sub(earlier.media_read_bytes),
             media_write_bytes: self.media_write_bytes.saturating_sub(earlier.media_write_bytes),
+            san_redundant_flushes: self
+                .san_redundant_flushes
+                .saturating_sub(earlier.san_redundant_flushes),
+            san_noop_fences: self.san_noop_fences.saturating_sub(earlier.san_noop_fences),
         }
     }
 

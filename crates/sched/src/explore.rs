@@ -126,6 +126,8 @@ pub fn explore(target: &CrashTarget, pm: &PmConfig, cfg: &ExploreConfig) -> Expl
             Some(v.to_string())
         } else if !run.outcome.panics.is_empty() {
             Some(run.outcome.panics.join("\n"))
+        } else if !run.san_violations.is_empty() {
+            Some(run.san_violations.join("\n"))
         } else {
             None
         };
@@ -138,14 +140,17 @@ pub fn explore(target: &CrashTarget, pm: &PmConfig, cfg: &ExploreConfig) -> Expl
             let reproduces = rerun.outcome.trace == run.outcome.trace
                 && rerun.encoded_history() == run.encoded_history()
                 && (rerun.violation.is_some() == run.violation.is_some())
-                && (rerun.outcome.panics.is_empty() == run.outcome.panics.is_empty());
+                && (rerun.outcome.panics.is_empty() == run.outcome.panics.is_empty())
+                && rerun.san_violations == run.san_violations;
             let failure = SeedFailure {
                 seed,
                 trace: run.outcome.trace.clone(),
                 detail: render_failure(seed, &run.outcome.trace, &detail),
                 replay_reproduces: reproduces,
             };
-            if run.violation.is_some() {
+            // Sanitizer findings are ordering violations too: they gate
+            // the explorer exactly like a non-linearizable history.
+            if run.violation.is_some() || !run.san_violations.is_empty() {
                 report.violations.push(failure);
             } else {
                 report.panics.push(failure);

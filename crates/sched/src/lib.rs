@@ -41,6 +41,9 @@ pub mod explore;
 pub mod lin;
 
 use std::panic::{self, AssertUnwindSafe};
+// lint:allow(std-sync): the scheduler's baton is the one place that must
+// block the host thread for real — it *implements* descheduling, so it
+// cannot route through the cooperative primitives it coordinates.
 use std::sync::{Arc, Condvar, Mutex};
 
 use spash_index_api::rng::Rng64;

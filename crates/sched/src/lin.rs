@@ -11,6 +11,8 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+// lint:allow(std-sync): host-side history buffer; never held across a
+// sync point, so it cannot deadlock the cooperative scheduler.
 use std::sync::Mutex as StdMutex;
 
 use spash_index_api::crashpoint::{gen_workload, CrashTarget, SweepOp};
@@ -63,13 +65,19 @@ pub struct LinRun {
     pub initial: HashMap<u64, u64>,
     /// `Some` if the history is not linearizable.
     pub violation: Option<Violation>,
+    /// Persistence-ordering sanitizer findings, rendered (empty when the
+    /// device ran without a sanitizer, or the run crashed/stalled).
+    pub san_violations: Vec<String>,
 }
 
 impl LinRun {
     /// Did the run complete cleanly (no panics, no valve) and pass the
-    /// linearizability check?
+    /// linearizability check and the sanitizer?
     pub fn ok(&self) -> bool {
-        self.violation.is_none() && self.outcome.panics.is_empty() && self.outcome.stopped.is_none()
+        self.violation.is_none()
+            && self.outcome.panics.is_empty()
+            && self.outcome.stopped.is_none()
+            && self.san_violations.is_empty()
     }
 
     /// Deterministic byte encoding of the recorded history (for replay
@@ -156,13 +164,30 @@ pub fn run_schedule(target: &CrashTarget, pm: &PmConfig, cfg: &LinConfig) -> Lin
     // Only a clean, complete run has a checkable history: after a crash
     // or a valve stop, in-flight operations are missing by design (the
     // crash-schedule driver checks *recovery* instead).
-    let violation = if outcome.panics.is_empty()
+    let complete = outcome.panics.is_empty()
         && outcome.stopped.is_none()
-        && outcome.injected_crash.is_none()
-    {
+        && outcome.injected_crash.is_none();
+    let violation = if complete {
         history::check_linearizable(&history, &initial).err()
     } else {
         None
+    };
+
+    // Persistence-ordering gate: only a complete run ends at a real
+    // visibility edge. A crashed or valve-stopped run legitimately has
+    // unflushed in-flight state (the crash-schedule driver checks its
+    // recovery instead).
+    let san_violations = match dev.san() {
+        Some(san) if complete => {
+            san.final_check();
+            let r = san.report();
+            let mut out: Vec<String> = r.violations.iter().map(|v| v.to_string()).collect();
+            if r.dropped > 0 {
+                out.push(format!("[san] {} further violation(s) dropped", r.dropped));
+            }
+            out
+        }
+        _ => Vec::new(),
     };
 
     LinRun {
@@ -170,5 +195,6 @@ pub fn run_schedule(target: &CrashTarget, pm: &PmConfig, cfg: &LinConfig) -> Lin
         outcome,
         initial,
         violation,
+        san_violations,
     }
 }
