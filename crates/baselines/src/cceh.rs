@@ -186,6 +186,10 @@ impl Cceh {
     /// base operation uses), so there is no ABBA deadlock: the doubling
     /// path takes only the directory lock.
     fn split(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        ctx.stats_span(spash_pmem::SPAN_SPLIT, |ctx| self.split_impl(ctx, h))
+    }
+
+    fn split_impl(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
         let lock_ns = ctx.device().config().cost.lock_ns;
         loop {
             let (seg, ld, depth) = self.route(ctx, h);
@@ -348,6 +352,10 @@ impl Cceh {
     /// route to — the copies a crash prevented the splitter from
     /// tombstoning — and tombstones the stale copy.
     pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        ctx.stats_span(spash_pmem::SPAN_LOG_REPLAY, Self::recover_impl)
+    }
+
+    fn recover_impl(ctx: &mut MemCtx) -> Option<Self> {
         let rec = PmAllocator::recover(ctx)?;
         let (root, root_len) = rec.alloc.reserved();
         if root_len < ROOT_LEN || ctx.read_u64(root) != ROOT_MAGIC {
@@ -538,37 +546,39 @@ impl PersistentIndex for Cceh {
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
-        let h = hash_key(key);
-        loop {
-            let (seg, _, depth) = self.route(ctx, h);
-            enum Out {
-                Hit(u64),
-                Miss,
-                Moved,
+        ctx.stats_span(spash_pmem::SPAN_PROBE, |ctx| {
+            let h = hash_key(key);
+            loop {
+                let (seg, _, depth) = self.route(ctx, h);
+                enum Out {
+                    Hit(u64),
+                    Miss,
+                    Moved,
+                }
+                // The PM read-write lock: this is the PM write on the read
+                // path the paper measures.
+                let r = seg.lock.read(ctx, |ctx| {
+                    let d = self.dir.read();
+                    let idx = (h >> (64 - d.depth)) as usize;
+                    if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                        return Out::Moved;
+                    }
+                    drop(d);
+                    match self.probe_find(ctx, &seg, h, key) {
+                        Some((_, vw)) => Out::Hit(vw),
+                        None => Out::Miss,
+                    }
+                });
+                match r {
+                    Out::Moved => continue,
+                    Out::Miss => return false,
+                    Out::Hit(vw) => {
+                        common::append_value(ctx, vw, out);
+                        return true;
+                    }
+                }
             }
-            // The PM read-write lock: this is the PM write on the read
-            // path the paper measures.
-            let r = seg.lock.read(ctx, |ctx| {
-                let d = self.dir.read();
-                let idx = (h >> (64 - d.depth)) as usize;
-                if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
-                    return Out::Moved;
-                }
-                drop(d);
-                match self.probe_find(ctx, &seg, h, key) {
-                    Some((_, vw)) => Out::Hit(vw),
-                    None => Out::Miss,
-                }
-            });
-            match r {
-                Out::Moved => continue,
-                Out::Miss => return false,
-                Out::Hit(vw) => {
-                    common::append_value(ctx, vw, out);
-                    return true;
-                }
-            }
-        }
+        })
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {

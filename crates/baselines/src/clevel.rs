@@ -302,6 +302,12 @@ impl CLevel {
     /// Prepend a level twice the size of the newest. `expected_newest`
     /// guards against concurrent growers stacking levels.
     fn grow(&self, ctx: &mut MemCtx, expected_newest: u64) -> Result<(), IndexError> {
+        ctx.stats_span(spash_pmem::SPAN_COMPACTION, |ctx| {
+            self.grow_impl(ctx, expected_newest)
+        })
+    }
+
+    fn grow_impl(&self, ctx: &mut MemCtx, expected_newest: u64) -> Result<(), IndexError> {
         let mut levels = self.levels.write();
         if levels[0].n_buckets != expected_newest {
             return Ok(()); // someone else already grew
@@ -413,6 +419,10 @@ impl CLevel {
     /// older log position — is cleared, so a restarted migration can never
     /// duplicate it into the newest level).
     pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        ctx.stats_span(spash_pmem::SPAN_LOG_REPLAY, Self::recover_impl)
+    }
+
+    fn recover_impl(ctx: &mut MemCtx) -> Option<Self> {
         let rec = PmAllocator::recover(ctx)?;
         let (root, root_len) = rec.alloc.reserved();
         if root_len < ROOT_LEN || ctx.read_u64(root) != MAGIC {
@@ -598,13 +608,13 @@ impl PersistentIndex for CLevel {
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
-        match self.find(ctx, key) {
+        ctx.stats_span(spash_pmem::SPAN_PROBE, |ctx| match self.find(ctx, key) {
             None => false,
             Some((_, w)) => {
                 common::read_blob_value(ctx, PmAddr(w & ADDR_MASK), out);
                 true
             }
-        }
+        })
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {

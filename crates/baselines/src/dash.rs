@@ -352,6 +352,10 @@ impl Dash {
     }
 
     fn split(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        ctx.stats_span(spash_pmem::SPAN_SPLIT, |ctx| self.split_impl(ctx, h))
+    }
+
+    fn split_impl(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
         loop {
             let (seg, ld, depth) = self.route(ctx, h);
             if u32::from(ld) == depth {
@@ -468,6 +472,10 @@ impl Dash {
     /// image holds no committed Dash (unformatted, foreign, or torn at a
     /// point before the first commit).
     pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        ctx.stats_span(spash_pmem::SPAN_LOG_REPLAY, Self::recover_impl)
+    }
+
+    fn recover_impl(ctx: &mut MemCtx) -> Option<Self> {
         let rec = PmAllocator::recover(ctx)?;
         let (root, root_len) = rec.alloc.reserved();
         if root_len < ROOT_LEN || ctx.read_u64(root) != ROOT_MAGIC {
@@ -690,41 +698,43 @@ impl PersistentIndex for Dash {
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
-        let h = hash_key(key);
-        loop {
-            let (seg, _, depth) = self.route(ctx, h);
-            // Optimistic read: sample the bucket versions, read, validate.
-            let b = Self::home_bucket(h);
-            let v1a = ctx.read_u64(seg.ver_addr(b));
-            let v1b = ctx.read_u64(seg.ver_addr((b + 1) % BUCKETS));
-            if v1a % 2 == 1 || v1b % 2 == 1 {
-                // Writer holds the bucket seqlock: scheduler-aware wait.
-                spash_pmem::schedhook::spin_wait();
-                continue;
-            }
-            let hit = self.find(ctx, &seg, key, h);
-            let v2a = ctx.read_u64(seg.ver_addr(b));
-            let v2b = ctx.read_u64(seg.ver_addr((b + 1) % BUCKETS));
-            if v1a != v2a || v1b != v2b {
-                ctx.charge_compute(20);
-                continue;
-            }
-            // Routing may have changed mid-read (split).
-            {
-                let d = self.dir.read();
-                let idx = (h >> (64 - d.depth)) as usize;
-                if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+        ctx.stats_span(spash_pmem::SPAN_PROBE, |ctx| {
+            let h = hash_key(key);
+            loop {
+                let (seg, _, depth) = self.route(ctx, h);
+                // Optimistic read: sample the bucket versions, read, validate.
+                let b = Self::home_bucket(h);
+                let v1a = ctx.read_u64(seg.ver_addr(b));
+                let v1b = ctx.read_u64(seg.ver_addr((b + 1) % BUCKETS));
+                if v1a % 2 == 1 || v1b % 2 == 1 {
+                    // Writer holds the bucket seqlock: scheduler-aware wait.
+                    spash_pmem::schedhook::spin_wait();
                     continue;
                 }
-            }
-            return match hit {
-                None => false,
-                Some((_, _, vw)) => {
-                    common::append_value(ctx, vw, out);
-                    true
+                let hit = self.find(ctx, &seg, key, h);
+                let v2a = ctx.read_u64(seg.ver_addr(b));
+                let v2b = ctx.read_u64(seg.ver_addr((b + 1) % BUCKETS));
+                if v1a != v2a || v1b != v2b {
+                    ctx.charge_compute(20);
+                    continue;
                 }
-            };
-        }
+                // Routing may have changed mid-read (split).
+                {
+                    let d = self.dir.read();
+                    let idx = (h >> (64 - d.depth)) as usize;
+                    if !Arc::ptr_eq(&d.entries[idx].0, &seg) || d.depth != depth {
+                        continue;
+                    }
+                }
+                return match hit {
+                    None => false,
+                    Some((_, _, vw)) => {
+                        common::append_value(ctx, vw, out);
+                        true
+                    }
+                };
+            }
+        })
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {

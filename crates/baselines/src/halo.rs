@@ -195,6 +195,12 @@ impl Halo {
     /// several live entries — a crash can land between appending a new
     /// version and invalidating the old — the later offset wins.
     pub fn recover(ctx: &mut MemCtx, dram_budget: u64) -> Option<Self> {
+        ctx.stats_span(spash_pmem::SPAN_LOG_REPLAY, |ctx| {
+            Self::recover_impl(ctx, dram_budget)
+        })
+    }
+
+    fn recover_impl(ctx: &mut MemCtx, dram_budget: u64) -> Option<Self> {
         let rec = PmAllocator::recover(ctx)?;
         let (root, root_len) = rec.alloc.reserved();
         if root_len < ROOT_LEN || ctx.read_u64(root) != MAGIC {
@@ -353,22 +359,24 @@ impl PersistentIndex for Halo {
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
-        let h = hash_key(key);
-        // Lock-free read of the DRAM table (a read lock with no PM word;
-        // virtual-time cost only from writer serialization).
-        let hit = self.shards[Self::shard_of(h)].read(ctx, |ctx, sh| {
-            ctx.charge_dram(1);
-            sh.map.get(&key).copied()
-        });
-        match hit {
-            None => false,
-            Some((off, len)) => {
-                let start = out.len();
-                out.resize(start + len as usize, 0);
-                ctx.read_bytes(PmAddr(self.log_base.0 + off + HDR), &mut out[start..]);
-                true
+        ctx.stats_span(spash_pmem::SPAN_PROBE, |ctx| {
+            let h = hash_key(key);
+            // Lock-free read of the DRAM table (a read lock with no PM word;
+            // virtual-time cost only from writer serialization).
+            let hit = self.shards[Self::shard_of(h)].read(ctx, |ctx, sh| {
+                ctx.charge_dram(1);
+                sh.map.get(&key).copied()
+            });
+            match hit {
+                None => false,
+                Some((off, len)) => {
+                    let start = out.len();
+                    out.resize(start + len as usize, 0);
+                    ctx.read_bytes(PmAddr(self.log_base.0 + off + HDR), &mut out[start..]);
+                    true
+                }
             }
-        }
+        })
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {

@@ -208,6 +208,10 @@ impl Level {
     /// bottom, old bottom's entries are re-inserted. Holds the global
     /// table write lock for the duration (the stall the paper measures).
     fn rehash(&self, ctx: &mut MemCtx) -> Result<(), IndexError> {
+        ctx.stats_span(spash_pmem::SPAN_COMPACTION, |ctx| self.rehash_impl(ctx))
+    }
+
+    fn rehash_impl(&self, ctx: &mut MemCtx) -> Result<(), IndexError> {
         let mut t = self.table.write();
         let new_n = t.n_top * 2;
         let new_top = self
@@ -283,6 +287,10 @@ impl Level {
 
     /// Rebuild from the persistent root after a crash.
     pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        ctx.stats_span(spash_pmem::SPAN_LOG_REPLAY, Self::recover_impl)
+    }
+
+    fn recover_impl(ctx: &mut MemCtx) -> Option<Self> {
         let rec = PmAllocator::recover(ctx)?;
         let (root, root_len) = rec.alloc.reserved();
         if root_len < ROOT_LEN || ctx.read_u64(root) != MAGIC {
@@ -461,21 +469,23 @@ impl PersistentIndex for Level {
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
-        let (h1, h2) = Self::hashes(key);
-        let t = self.table.read();
-        for &(lvl, i) in &t.candidates(h1, h2) {
-            let b = t.bucket(lvl, i);
-            // Read lock per bucket: the PM lock writes on the read path.
-            let hit = self
-                .lock_of(lvl, i)
-                .read(ctx, |ctx| self.scan(ctx, b, key).map(|(_, vw)| vw));
-            if let Some(vw) = hit {
-                drop(t);
-                common::append_value(ctx, vw, out);
-                return true;
+        ctx.stats_span(spash_pmem::SPAN_PROBE, |ctx| {
+            let (h1, h2) = Self::hashes(key);
+            let t = self.table.read();
+            for &(lvl, i) in &t.candidates(h1, h2) {
+                let b = t.bucket(lvl, i);
+                // Read lock per bucket: the PM lock writes on the read path.
+                let hit = self
+                    .lock_of(lvl, i)
+                    .read(ctx, |ctx| self.scan(ctx, b, key).map(|(_, vw)| vw));
+                if let Some(vw) = hit {
+                    drop(t);
+                    common::append_value(ctx, vw, out);
+                    return true;
+                }
             }
-        }
-        false
+            false
+        })
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {

@@ -321,6 +321,17 @@ impl Plush {
         levels: &mut Vec<Lvl>,
         li: usize,
     ) -> Result<(), IndexError> {
+        ctx.stats_span(spash_pmem::SPAN_COMPACTION, |ctx| {
+            self.merge_level_impl(ctx, levels, li)
+        })
+    }
+
+    fn merge_level_impl(
+        &self,
+        ctx: &mut MemCtx,
+        levels: &mut Vec<Lvl>,
+        li: usize,
+    ) -> Result<(), IndexError> {
         if li + 1 >= levels.len() {
             if li + 1 >= MAX_LEVELS {
                 return Err(IndexError::OutOfMemory);
@@ -437,6 +448,10 @@ impl Plush {
     /// shard's flush watermark into that shard's buffer (newest wins).
     /// Returns `None` when the image holds no committed Plush.
     pub fn recover(ctx: &mut MemCtx) -> Option<Self> {
+        ctx.stats_span(spash_pmem::SPAN_LOG_REPLAY, Self::recover_impl)
+    }
+
+    fn recover_impl(ctx: &mut MemCtx) -> Option<Self> {
         let rec = PmAllocator::recover(ctx)?;
         let (root, root_len) = rec.alloc.reserved();
         if root_len < ROOT_LEN || ctx.read_u64(root) != ROOT_MAGIC {
@@ -545,6 +560,11 @@ impl Plush {
                 }
             }
         }
+        // Sorted walk: `lookup` issues PM reads, and hash-order iteration
+        // would make the modelled cache's hit/miss pattern (and thus the
+        // perf gate's bit-exact counters) depend on `RandomState`.
+        let mut keys: Vec<u64> = keys.into_iter().collect();
+        keys.sort_unstable();
         let mut live = 0u64;
         for &k in &keys {
             if idx.lookup(ctx, k).is_some() {
@@ -645,13 +665,13 @@ impl PersistentIndex for Plush {
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
-        match self.lookup(ctx, key) {
+        ctx.stats_span(spash_pmem::SPAN_PROBE, |ctx| match self.lookup(ctx, key) {
             None => false,
             Some(vw) => {
                 common::append_value(ctx, vw, out);
                 true
             }
-        }
+        })
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {

@@ -17,14 +17,7 @@ use spash_workloads::{load_keys, Distribution, Mix, ValueSize, WorkloadConfig};
 
 use crate::experiments::my_chunk;
 use crate::harness::{print_table, run_phase, Scale};
-
-fn percentile(sorted: &[u64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let i = ((sorted.len() - 1) as f64 * p) as usize;
-    sorted[i] as f64 / 1e3
-}
+use crate::statskit::percentile;
 
 /// Insert-only growth run; returns (Mops, p50 µs, p99 µs, p999 µs, max µs).
 fn run_mode(scale: &Scale, collaborative: bool) -> [f64; 5] {
@@ -83,13 +76,20 @@ fn run_mode(scale: &Scale, collaborative: bool) -> [f64; 5] {
     );
     let mut lats = lats.into_inner().unwrap();
     lats.sort_unstable();
-    [
+    let series = if collaborative { "collaborative" } else { "blocking" };
+    crate::report::emit_phase("ext", series, "growth", "insert", "mops", r.mops(), threads, &r);
+    // percentile() returns raw ns; tables report virtual µs.
+    let out = [
         r.mops(),
-        percentile(&lats, 0.50),
-        percentile(&lats, 0.99),
-        percentile(&lats, 0.999),
+        percentile(&lats, 0.50) / 1e3,
+        percentile(&lats, 0.99) / 1e3,
+        percentile(&lats, 0.999) / 1e3,
         *lats.last().unwrap_or(&0) as f64 / 1e3,
-    ]
+    ];
+    for (name, v) in ["p50", "p99", "p999", "max"].iter().zip(&out[1..]) {
+        crate::report::emit_value("ext", series, "growth", name, "us", *v);
+    }
+    out
 }
 
 pub fn run(scale: &Scale) {

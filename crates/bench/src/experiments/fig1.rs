@@ -66,13 +66,18 @@ fn run_one(scale: &Scale, zipf: bool, strategy: Strategy, size: u64) -> f64 {
 /// Run the full Fig 1 sweep and print both panels.
 pub fn run(scale: &Scale) {
     for (zipf, panel) in [(false, "(a) uniform"), (true, "(b) zipfian 0.99")] {
+        let phase = if zipf { "zipfian" } else { "uniform" };
+        let names = ["write-f", "write-nf", "hot-1pct-nf"];
         let columns = vec!["write-f".into(), "write-nf".into(), "hot-1% nf".into()];
         let mut rows = Vec::new();
         for size in SIZES {
-            let vals = [Strategy::WriteF, Strategy::WriteNf, Strategy::Hot1Nf]
+            let vals: Vec<f64> = [Strategy::WriteF, Strategy::WriteNf, Strategy::Hot1Nf]
                 .into_iter()
                 .map(|s| run_one(scale, zipf, s, size))
                 .collect();
+            for (name, v) in names.iter().zip(&vals) {
+                crate::report::emit_value("fig1", name, &format!("{size}B"), phase, "GBps", *v);
+            }
             rows.push((format!("{size} B"), vals));
         }
         print_table(&format!("Fig 1{panel}: PM write throughput"), &columns, &rows, "GB/s");

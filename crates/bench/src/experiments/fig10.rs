@@ -71,8 +71,21 @@ pub fn run(scale: &Scale) {
         .iter()
         .map(|&k| run_one(scale, k, ValueSize::Inline))
         .collect();
+    let threads = scale.max_threads();
     let mut rows = Vec::new();
     for (p, (label, _)) in PHASES.iter().enumerate() {
+        for (kind, r) in kinds.iter().zip(&results) {
+            crate::report::emit_phase(
+                "fig10",
+                kind.label(),
+                "inline",
+                label,
+                "mops",
+                r[p].mops(),
+                threads,
+                &r[p],
+            );
+        }
         rows.push((
             label.to_string(),
             results.iter().map(|r| r[p].mops()).collect(),

@@ -28,9 +28,22 @@ pub fn run(scale: &Scale) {
                 .collect()
         })
         .collect();
+    let threads = scale.max_threads();
     for (p, (label, _)) in fig10::PHASES.iter().enumerate() {
         let mut rows = Vec::new();
         for (si, &vs) in VALUE_SIZES.iter().enumerate() {
+            for (kind, r) in kinds.iter().zip(&results[si]) {
+                crate::report::emit_phase(
+                    "fig11",
+                    kind.label(),
+                    &format!("{vs}B"),
+                    label,
+                    "mops",
+                    r[p].mops(),
+                    threads,
+                    &r[p],
+                );
+            }
             rows.push((
                 format!("value {vs} B"),
                 results[si].iter().map(|r| r[p].mops()).collect(),

@@ -82,6 +82,16 @@ pub fn run_a(scale: &Scale) {
             let idx = build_spash_variant(&dev, cfg);
             load(&dev, &idx, &wcfg, threads);
             let r = run_mix(&dev, &idx, &wcfg, threads, scale.ops);
+            crate::report::emit_phase(
+                "fig12a",
+                var,
+                &format!("{vs}B"),
+                "update",
+                "mops",
+                r.mops(),
+                threads,
+                &r,
+            );
             vals.push(r.mops());
             traffic.push(r.delta.media_write_bytes as f64 / (1 << 20) as f64);
         }
@@ -126,6 +136,16 @@ pub fn run_b(scale: &Scale) {
             let dev = bench_device(scale.keys, vs as u64);
             let idx = build_spash_variant(&dev, ablation_config(var));
             let r = load(&dev, &idx, &wcfg, threads);
+            crate::report::emit_phase(
+                "fig12b",
+                var,
+                &format!("{vs}B"),
+                "load",
+                "mops",
+                r.mops(),
+                threads,
+                &r,
+            );
             vals.push(r.mops());
             traffic.push(r.delta.media_write_bytes as f64 / (1 << 20) as f64);
         }
@@ -171,6 +191,7 @@ pub fn run_c(scale: &Scale) {
             let idx = build_spash_variant(&dev, ablation_config(var));
             load(&dev, &idx, &wcfg, threads);
             let r = run_mix(&dev, &idx, &wcfg, threads, scale.ops);
+            crate::report::emit_phase("fig12c", var, label, "run", "mops", r.mops(), threads, &r);
             vals.push(r.mops());
         }
         rows.push((label.to_string(), vals));
@@ -211,9 +232,28 @@ pub fn run_d(scale: &Scale) {
             load(&dev, &idx, &wcfg, threads);
             dev.invalidate_cache();
             let r = run_mix(&dev, &idx, &wcfg, threads, scale.ops);
+            crate::report::emit_phase(
+                "fig12d",
+                &format!("PD{pd}"),
+                &format!("{threads}thr"),
+                "search",
+                "mops",
+                r.mops(),
+                threads,
+                &r,
+            );
             tput.push(r.mops());
             // Mean per-op latency in µs: thread-time × threads / ops.
-            lat.push(r.elapsed_ns as f64 * threads as f64 / r.ops as f64 / 1e3);
+            let us = r.elapsed_ns as f64 * threads as f64 / r.ops as f64 / 1e3;
+            crate::report::emit_value(
+                "fig12d",
+                &format!("PD{pd}"),
+                &format!("{threads}thr"),
+                "latency",
+                "us_per_op",
+                us,
+            );
+            lat.push(us);
         }
         tput_rows.push((format!("{threads} thr"), tput));
         lat_rows.push((format!("{threads} thr"), lat));

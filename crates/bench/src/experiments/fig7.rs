@@ -72,6 +72,7 @@ pub fn run_one(scale: &Scale, kind: IndexKind, threads: usize) -> [PhaseResult; 
 /// columns = thread counts.
 pub fn run(scale: &Scale) {
     let ops = ["(b) insert", "(a) search", "(c) update", "(d) delete"];
+    let phases = ["insert", "search", "update", "delete"];
     let columns: Vec<String> = scale.threads.iter().map(|t| format!("{t} thr")).collect();
     let mut tables: [Vec<(String, Vec<f64>)>; 4] = Default::default();
     for kind in IndexKind::MICRO {
@@ -80,6 +81,16 @@ pub fn run(scale: &Scale) {
             let rs = run_one(scale, kind, t);
             for (i, r) in rs.iter().enumerate() {
                 series[i].push(r.mops());
+                crate::report::emit_phase(
+                    "fig7",
+                    kind.label(),
+                    &format!("{t}thr"),
+                    phases[i],
+                    "mops",
+                    r.mops(),
+                    t,
+                    r,
+                );
             }
         }
         for i in 0..4 {

@@ -101,6 +101,17 @@ pub fn run(scale: &Scale) {
                 2 => &c.update,
                 _ => &c.delete,
             };
+            let threads = scale.max_threads();
+            crate::report::emit_phase(
+                "fig8",
+                kind.label(),
+                &format!("{threads}thr"),
+                name,
+                "mops",
+                r.mops(),
+                threads,
+                r,
+            );
             rows.push((
                 kind.label().to_string(),
                 vec![

@@ -51,6 +51,16 @@ pub fn run(scale: &Scale) {
     let mut rows = Vec::new();
     for s in 0..samples {
         let frac = (s + 1) as f64 / samples as f64;
+        for (kind, v) in kinds.iter().zip(&series) {
+            crate::report::emit_value(
+                "fig9",
+                kind.label(),
+                &format!("{:.0}pct", frac * 100.0),
+                "load",
+                "load_factor",
+                v.get(s).copied().unwrap_or(0.0),
+            );
+        }
         rows.push((
             format!("{:>3.0}% inserted", frac * 100.0),
             series.iter().map(|v| v.get(s).copied().unwrap_or(0.0)).collect(),

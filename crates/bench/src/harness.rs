@@ -14,8 +14,9 @@
 //! constants; the reproduced claims are ratios and shapes.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use spash_pmem::{MemCtx, PmDevice, StatsDelta};
+use spash_pmem::{MemCtx, PmDevice, SpanSnapshot, StatsDelta};
 
 /// Scale knobs, overridable from the environment so `cargo bench` stays
 /// fast by default:
@@ -67,6 +68,12 @@ pub struct PhaseResult {
     pub ops: u64,
     pub elapsed_ns: u64,
     pub delta: StatsDelta,
+    /// Host wall time of the phase. Real time, so noisy — report-only,
+    /// never part of the deterministic compare (DESIGN.md).
+    pub host_ns: u64,
+    /// Per-span attribution deltas, in canonical span order
+    /// ([`spash_pmem::span::SPAN_NAMES`]).
+    pub spans: Vec<(&'static str, SpanSnapshot)>,
 }
 
 impl PhaseResult {
@@ -105,6 +112,8 @@ where
 {
     dev.quiesce();
     let before = dev.snapshot();
+    let spans_before = dev.span_totals();
+    let host_start = Instant::now();
     let cost = dev.config().cost.clone();
     // All phase threads start at the device's virtual-time floor; the
     // floor advances to the phase's end so virtual timestamps persisted in
@@ -126,7 +135,14 @@ where
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     dev.quiesce();
+    let host_ns = host_start.elapsed().as_nanos() as u64;
     let delta = dev.snapshot().since(&before);
+    let spans = dev
+        .span_totals()
+        .iter()
+        .zip(spans_before.iter())
+        .map(|((name, after), (_, before))| (*name, after.since(before)))
+        .collect();
     if delta.san_redundant_flushes + delta.san_noop_fences > 0 {
         println!(
             "# san: {} redundant flushes, {} no-op fences this phase",
@@ -147,6 +163,8 @@ where
         ops,
         elapsed_ns,
         delta,
+        host_ns,
+        spans,
     }
 }
 
@@ -189,6 +207,10 @@ mod tests {
         assert_eq!(r.ops, 400);
         assert!(r.elapsed_ns > 0);
         assert!(r.mops() > 0.0);
+        assert!(r.host_ns > 0);
+        // Every canonical span is reported (all zero: nothing probed).
+        assert_eq!(r.spans.len(), spash_pmem::SPAN_NAMES.len());
+        assert!(r.spans.iter().all(|(_, s)| s.is_zero()));
     }
 
     #[test]

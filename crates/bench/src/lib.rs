@@ -11,6 +11,11 @@
 pub mod experiments;
 pub mod harness;
 pub mod indexes;
+pub mod json;
+pub mod perf;
+pub mod report;
+pub mod statskit;
 
 pub use harness::{print_table, run_phase, PhaseResult, Scale};
 pub use indexes::{bench_device, build_index, IndexKind};
+pub use report::{compare_reports, BenchReport, CompareOpts, ExperimentRow};

@@ -4,6 +4,12 @@
 //! `fig12a`..`fig12d`, `fig12`, or `all`. Scale via `SPASH_BENCH_KEYS`,
 //! `SPASH_BENCH_OPS`, `SPASH_BENCH_THREADS` (comma-separated).
 //!
+//! `--report <path>` (or `SPASH_BENCH_REPORT`) additionally writes the
+//! experiments' machine-readable rows as a `BenchReport` JSON. `perf`
+//! runs the fixed-seed deterministic regression suite and `compare`
+//! gates two of its reports against each other (DESIGN.md, "Perf
+//! reports and the regression gate"; recipes in EXPERIMENTS.md).
+//!
 //! `crashpoints` runs the offline crash-point fault-injection sweep
 //! (DESIGN.md, "Crash-point fault injection"; recipe in EXPERIMENTS.md).
 //! Knobs: `SPASH_CRASH_OPS` (10000), `SPASH_CRASH_KEYS` (2000),
@@ -621,13 +627,109 @@ fn san_run() {
     }
 }
 
+/// `spash-bench perf [--out <path>]`: run the fixed-seed regression suite
+/// and write `BENCH_<rev>.json`. Scale via `SPASH_PERF_KEYS` /
+/// `SPASH_PERF_OPS` / `SPASH_PERF_REPEATS` / `SPASH_PERF_SEED`.
+fn perf_cmd(args: &[String]) {
+    use spash_bench::perf;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned(),
+            other => {
+                eprintln!("perf: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = perf::PerfConfig::from_env();
+    println!(
+        "# perf: keys={} ops={} repeats={} seed={:#x}",
+        cfg.keys, cfg.ops, cfg.repeats, cfg.seed
+    );
+    let report = match perf::run_suite(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = out.unwrap_or_else(|| format!("BENCH_{}.json", report.rev));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("perf: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# perf: {} rows -> {path}", report.rows.len());
+}
+
+/// `spash-bench compare <old.json> <new.json> [--virtual-only|--wall-tol F]`:
+/// diff two reports; exit non-zero on any regression.
+fn compare_cmd(args: &[String]) {
+    use spash_bench::{compare_reports, BenchReport, CompareOpts};
+    let mut opts = CompareOpts::default();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--virtual-only" => opts.wall_tol = None,
+            "--wall-tol" => {
+                opts.wall_tol = it.next().and_then(|v| v.parse().ok());
+                if opts.wall_tol.is_none() {
+                    eprintln!("--wall-tol needs a fraction (e.g. 0.5)");
+                    std::process::exit(2);
+                }
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        eprintln!("usage: spash-bench compare <old.json> <new.json> [--virtual-only|--wall-tol F]");
+        std::process::exit(2);
+    };
+    let load = |p: &String| -> BenchReport {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("compare: reading {p}: {e}");
+            std::process::exit(1);
+        });
+        BenchReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("compare: parsing {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (old, new) = (load(old_path), load(new_path));
+    let out = compare_reports(&old, &new, &opts);
+    for n in &out.notes {
+        println!("note: {n}");
+    }
+    for r in &out.regressions {
+        println!("REGRESSION: {r}");
+    }
+    println!(
+        "# compare: {} rows, {} regressions ({} -> {})",
+        out.rows_compared,
+        out.regressions.len(),
+        old.rev,
+        new.rev
+    );
+    if !out.ok() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let scale = Scale::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("perf") => return perf_cmd(&args[1..]),
+        Some("compare") => return compare_cmd(&args[1..]),
+        _ => {}
+    }
+    let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|crashpoints|san|sched [--seeds N]> ...\n\
-             scale: SPASH_BENCH_KEYS={} SPASH_BENCH_OPS={} SPASH_BENCH_THREADS={:?}",
+            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|ext|crashpoints|san|sched [--seeds N]|perf [--out P]|compare OLD NEW> ...\n\
+             scale: SPASH_BENCH_KEYS={} SPASH_BENCH_OPS={} SPASH_BENCH_THREADS={:?}\n\
+             report: SPASH_BENCH_REPORT=<path> or --report <path> writes machine-readable rows",
             scale.keys, scale.ops, scale.threads
         );
         std::process::exit(2);
@@ -636,9 +738,18 @@ fn main() {
         "# scale: keys={} ops={} threads={:?}",
         scale.keys, scale.ops, scale.threads
     );
+    let mut report_path = std::env::var("SPASH_BENCH_REPORT").ok();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--report" => {
+                report_path = it.next().cloned();
+                if report_path.is_none() {
+                    eprintln!("--report needs a path");
+                    std::process::exit(2);
+                }
+                continue;
+            }
             "sched" => {
                 let mut seeds = 64u64;
                 if it.peek().map(|s| s.as_str()) == Some("--seeds") {
@@ -686,5 +797,26 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    let rows = spash_bench::report::drain_rows();
+    if let Some(path) = report_path {
+        let mut rep = spash_bench::BenchReport::new(&spash_bench::perf::short_rev());
+        rep.set_config("keys", scale.keys);
+        rep.set_config("ops", scale.ops);
+        rep.set_config(
+            "threads",
+            scale
+                .threads
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        rep.rows = rows;
+        if let Err(e) = std::fs::write(&path, rep.to_json()) {
+            eprintln!("report: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("# report: {} rows -> {path}", rep.rows.len());
     }
 }

@@ -1,0 +1,740 @@
+//! Machine-readable benchmark reports (`BENCH_<rev>.json`).
+//!
+//! Every experiment emits [`ExperimentRow`]s into a process-global sink as
+//! it prints its human tables; the CLI drains the sink into a
+//! [`BenchReport`] and writes it when `SPASH_BENCH_REPORT=<path>` (or
+//! `--report <path>`) is set. The `spash-bench perf` suite builds a report
+//! directly. Schema and comparison rules are documented in DESIGN.md
+//! ("Perf reports and the regression gate").
+//!
+//! Rows carry three kinds of measurement, with different comparison
+//! disciplines in `spash-bench compare`:
+//!
+//! * virtual-clock metrics (`ops`, `elapsed_ns`, every [`StatsSnapshot`]
+//!   counter, the per-span breakdowns) — bit-deterministic for
+//!   single-threaded fixed-seed runs, compared with **exact equality**;
+//! * derived values (`value`, e.g. Mops/s) — quotients of the above,
+//!   compared with a tiny relative epsilon to absorb float formatting;
+//! * `host_ns` — real wall time, noisy by nature, compared with a
+//!   median-of-N tolerance band (or not at all across machines).
+
+use spash_pmem::{SpanSnapshot, StatsSnapshot};
+
+use crate::json::Json;
+
+/// Bump when the report layout changes incompatibly; `compare` refuses to
+/// diff reports with different schema versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One attribution span's share of a row ([`spash_pmem::span`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpanRow {
+    pub name: String,
+    pub entries: u64,
+    pub vtime_ns: u64,
+    pub counters: StatsSnapshot,
+}
+
+impl SpanRow {
+    pub fn from_snapshot(name: &str, s: &SpanSnapshot) -> Self {
+        Self {
+            name: name.to_string(),
+            entries: s.entries,
+            vtime_ns: s.vtime_ns,
+            counters: s.stats,
+        }
+    }
+}
+
+/// One measured point: an experiment × series × point × phase cell,
+/// with its headline value, virtual-clock totals, counter delta, and
+/// per-span attribution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExperimentRow {
+    /// Experiment id (`fig7`, `perf`, ...).
+    pub experiment: String,
+    /// Series within the experiment (index label, ablation variant, ...).
+    pub series: String,
+    /// Point on the x-axis (thread count, value size, domain, ...).
+    pub point: String,
+    /// Phase within the point (insert/search/update/delete/...).
+    pub phase: String,
+    /// Unit of `value` (`mops`, `GBps`, `p99_us`, ...).
+    pub unit: String,
+    /// Headline derived value (throughput, latency, load factor, ...).
+    pub value: f64,
+    /// Simulated threads that executed the phase.
+    pub threads: u64,
+    /// Operations completed.
+    pub ops: u64,
+    /// Virtual-clock elapsed time (max thread clock vs. bandwidth floor).
+    pub elapsed_ns: u64,
+    /// Host wall time of the phase (noisy; tolerance-banded only).
+    pub host_ns: u64,
+    /// PM counter delta for the phase.
+    pub counters: StatsSnapshot,
+    /// Per-span attribution deltas, in canonical span order. Spans the
+    /// phase never touched are omitted.
+    pub spans: Vec<SpanRow>,
+}
+
+impl ExperimentRow {
+    /// The identity `compare` matches rows by.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            self.experiment, self.series, self.point, self.phase
+        )
+    }
+
+    /// Build a row from a measured [`crate::PhaseResult`].
+    pub fn from_phase(
+        experiment: &str,
+        series: &str,
+        point: &str,
+        phase: &str,
+        unit: &str,
+        value: f64,
+        threads: usize,
+        r: &crate::PhaseResult,
+    ) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            series: series.to_string(),
+            point: point.to_string(),
+            phase: phase.to_string(),
+            unit: unit.to_string(),
+            value,
+            threads: threads as u64,
+            ops: r.ops,
+            elapsed_ns: r.elapsed_ns,
+            host_ns: r.host_ns,
+            counters: r.delta,
+            spans: r
+                .spans
+                .iter()
+                .filter(|(_, s)| !s.is_zero())
+                .map(|(n, s)| SpanRow::from_snapshot(n, s))
+                .collect(),
+        }
+    }
+}
+
+/// A full report: header + rows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    pub schema: u64,
+    /// Source revision the binary was built from (short git rev).
+    pub rev: String,
+    /// Report creation time (unix seconds; informational only).
+    pub created_unix: u64,
+    /// Suite configuration echo (seed, scale, ...), sorted by key.
+    /// `compare` requires old and new to agree on every key.
+    pub config: Vec<(String, String)>,
+    pub rows: Vec<ExperimentRow>,
+}
+
+impl BenchReport {
+    pub fn new(rev: &str) -> Self {
+        Self {
+            schema: SCHEMA_VERSION,
+            rev: rev.to_string(),
+            created_unix: unix_now(),
+            config: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn set_config(&mut self, key: &str, value: impl ToString) {
+        self.config.retain(|(k, _)| k != key);
+        self.config.push((key.to_string(), value.to_string()));
+        self.config.sort();
+    }
+
+    pub fn config_value(&self, key: &str) -> Option<&str> {
+        self.config
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::Int(self.schema)),
+            ("rev".into(), Json::Str(self.rev.clone())),
+            ("created_unix".into(), Json::Int(self.created_unix)),
+            (
+                "config".into(),
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "rows".into(),
+                Json::Arr(self.rows.iter().map(row_to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        let schema = field_u64(&doc, "schema")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "report schema {schema} != supported {SCHEMA_VERSION}"
+            ));
+        }
+        let mut config: Vec<(String, String)> = match doc.get("config") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    Ok((
+                        k.clone(),
+                        v.as_str()
+                            .ok_or_else(|| format!("config.{k}: not a string"))?
+                            .to_string(),
+                    ))
+                })
+                .collect::<Result<_, String>>()?,
+            _ => return Err("missing config object".into()),
+        };
+        config.sort();
+        let rows = doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or("missing rows array")?
+            .iter()
+            .enumerate()
+            .map(|(i, r)| row_from_json(r).map_err(|e| format!("rows[{i}]: {e}")))
+            .collect::<Result<_, String>>()?;
+        Ok(Self {
+            schema,
+            rev: field_str(&doc, "rev")?,
+            created_unix: field_u64(&doc, "created_unix")?,
+            config,
+            rows,
+        })
+    }
+}
+
+fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing u64 field {key:?}"))
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field {key:?}"))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+/// The one place that knows the counter field list. Serializer and parser
+/// both go through it, so they cannot drift apart (and the golden-file
+/// test pins the result).
+const COUNTER_FIELDS: [(&str, fn(&StatsSnapshot) -> u64, fn(&mut StatsSnapshot, u64)); 14] = [
+    ("cl_reads", |s| s.cl_reads, |s, v| s.cl_reads = v),
+    ("cl_writes", |s| s.cl_writes, |s, v| s.cl_writes = v),
+    ("xp_reads", |s| s.xp_reads, |s, v| s.xp_reads = v),
+    ("xp_writes", |s| s.xp_writes, |s, v| s.xp_writes = v),
+    ("read_hits", |s| s.read_hits, |s, v| s.read_hits = v),
+    ("write_hits", |s| s.write_hits, |s, v| s.write_hits = v),
+    (
+        "dirty_evictions",
+        |s| s.dirty_evictions,
+        |s, v| s.dirty_evictions = v,
+    ),
+    ("flushes", |s| s.flushes, |s, v| s.flushes = v),
+    ("ntstores", |s| s.ntstores, |s, v| s.ntstores = v),
+    (
+        "dram_accesses",
+        |s| s.dram_accesses,
+        |s, v| s.dram_accesses = v,
+    ),
+    (
+        "media_read_bytes",
+        |s| s.media_read_bytes,
+        |s, v| s.media_read_bytes = v,
+    ),
+    (
+        "media_write_bytes",
+        |s| s.media_write_bytes,
+        |s, v| s.media_write_bytes = v,
+    ),
+    (
+        "san_redundant_flushes",
+        |s| s.san_redundant_flushes,
+        |s, v| s.san_redundant_flushes = v,
+    ),
+    (
+        "san_noop_fences",
+        |s| s.san_noop_fences,
+        |s, v| s.san_noop_fences = v,
+    ),
+];
+
+fn counters_to_json(s: &StatsSnapshot) -> Json {
+    Json::Obj(
+        COUNTER_FIELDS
+            .iter()
+            .map(|(name, get, _)| (name.to_string(), Json::Int(get(s))))
+            .collect(),
+    )
+}
+
+fn counters_from_json(v: &Json) -> Result<StatsSnapshot, String> {
+    let mut s = StatsSnapshot::default();
+    for (name, _, set) in COUNTER_FIELDS.iter() {
+        set(&mut s, field_u64(v, name)?);
+    }
+    Ok(s)
+}
+
+fn row_to_json(r: &ExperimentRow) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str(r.experiment.clone())),
+        ("series".into(), Json::Str(r.series.clone())),
+        ("point".into(), Json::Str(r.point.clone())),
+        ("phase".into(), Json::Str(r.phase.clone())),
+        ("unit".into(), Json::Str(r.unit.clone())),
+        ("value".into(), Json::Num(r.value)),
+        ("threads".into(), Json::Int(r.threads)),
+        ("ops".into(), Json::Int(r.ops)),
+        ("elapsed_ns".into(), Json::Int(r.elapsed_ns)),
+        ("host_ns".into(), Json::Int(r.host_ns)),
+        ("counters".into(), counters_to_json(&r.counters)),
+        (
+            "spans".into(),
+            Json::Arr(
+                r.spans
+                    .iter()
+                    .map(|sp| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(sp.name.clone())),
+                            ("entries".into(), Json::Int(sp.entries)),
+                            ("vtime_ns".into(), Json::Int(sp.vtime_ns)),
+                            ("counters".into(), counters_to_json(&sp.counters)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn row_from_json(v: &Json) -> Result<ExperimentRow, String> {
+    let spans = v
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("missing spans array")?
+        .iter()
+        .map(|sp| {
+            Ok(SpanRow {
+                name: field_str(sp, "name")?,
+                entries: field_u64(sp, "entries")?,
+                vtime_ns: field_u64(sp, "vtime_ns")?,
+                counters: counters_from_json(
+                    sp.get("counters").ok_or("span missing counters")?,
+                )?,
+            })
+        })
+        .collect::<Result<_, String>>()?;
+    Ok(ExperimentRow {
+        experiment: field_str(v, "experiment")?,
+        series: field_str(v, "series")?,
+        point: field_str(v, "point")?,
+        phase: field_str(v, "phase")?,
+        unit: field_str(v, "unit")?,
+        value: field_f64(v, "value")?,
+        threads: field_u64(v, "threads")?,
+        ops: field_u64(v, "ops")?,
+        elapsed_ns: field_u64(v, "elapsed_ns")?,
+        host_ns: field_u64(v, "host_ns")?,
+        counters: counters_from_json(v.get("counters").ok_or("row missing counters")?)?,
+        spans,
+    })
+}
+
+// --- the compare gate ---------------------------------------------------
+
+/// Comparison policy for `spash-bench compare`.
+#[derive(Clone, Debug)]
+pub struct CompareOpts {
+    /// Relative tolerance band for `host_ns` (e.g. `0.75` = new may be up
+    /// to 75% slower than old before it regresses). `None` disables wall
+    /// comparison entirely — the right setting when old and new come from
+    /// different machines.
+    pub wall_tol: Option<f64>,
+    /// Phases whose old `host_ns` is below this are never wall-gated:
+    /// sub-millisecond phases are all scheduler noise.
+    pub min_wall_ns: u64,
+}
+
+impl Default for CompareOpts {
+    fn default() -> Self {
+        Self {
+            wall_tol: Some(0.75),
+            min_wall_ns: 20_000_000,
+        }
+    }
+}
+
+/// The verdict of one report-vs-report comparison.
+#[derive(Clone, Debug, Default)]
+pub struct CompareOutcome {
+    /// Hard failures: any entry here means the gate fails (exit non-zero).
+    pub regressions: Vec<String>,
+    /// Informational notes (new coverage, wall-time improvements).
+    pub notes: Vec<String>,
+    pub rows_compared: usize,
+}
+
+impl CompareOutcome {
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1e-300)
+}
+
+fn diff_counters(key: &str, what: &str, old: &StatsSnapshot, new: &StatsSnapshot, out: &mut Vec<String>) {
+    for (name, get, _) in COUNTER_FIELDS.iter() {
+        let (o, n) = (get(old), get(new));
+        if o != n {
+            out.push(format!("{key}: {what}{name} {o} -> {n}"));
+        }
+    }
+}
+
+/// Diff two reports under the exact/epsilon/banded discipline documented
+/// in DESIGN.md. Virtual-clock metrics (`ops`, `elapsed_ns`, counters,
+/// spans) must match **exactly**; derived `value`s get a tiny relative
+/// epsilon; `host_ns` is tolerance-banded (or skipped). Config echoes must
+/// agree key-for-key — comparing runs of different scale or seed is a
+/// category error, not a perf delta.
+pub fn compare_reports(old: &BenchReport, new: &BenchReport, opts: &CompareOpts) -> CompareOutcome {
+    let mut out = CompareOutcome::default();
+    let bad = &mut out.regressions;
+
+    let keys: Vec<&String> = {
+        let mut k: Vec<&String> = old
+            .config
+            .iter()
+            .chain(new.config.iter())
+            .map(|(k, _)| k)
+            .collect();
+        k.sort();
+        k.dedup();
+        k
+    };
+    for k in keys {
+        match (old.config_value(k), new.config_value(k)) {
+            (Some(a), Some(b)) if a == b => {}
+            (a, b) => bad.push(format!("config {k:?} differs: {a:?} vs {b:?}")),
+        }
+    }
+
+    let mut new_rows: Vec<(String, &ExperimentRow)> =
+        new.rows.iter().map(|r| (r.key(), r)).collect();
+    for w in [&old.rows, &new.rows] {
+        let mut seen: Vec<String> = w.iter().map(ExperimentRow::key).collect();
+        seen.sort();
+        for d in seen.windows(2).filter(|d| d[0] == d[1]) {
+            bad.push(format!("duplicate row key {:?}", d[0]));
+        }
+    }
+
+    for o in &old.rows {
+        let key = o.key();
+        let Some(pos) = new_rows.iter().position(|(k, _)| *k == key) else {
+            bad.push(format!("{key}: present in old report, missing in new"));
+            continue;
+        };
+        let (_, n) = new_rows.remove(pos);
+        out.rows_compared += 1;
+
+        if o.unit != n.unit {
+            bad.push(format!("{key}: unit {:?} -> {:?}", o.unit, n.unit));
+        }
+        if o.threads != n.threads {
+            bad.push(format!("{key}: threads {} -> {}", o.threads, n.threads));
+        }
+        if o.ops != n.ops {
+            bad.push(format!("{key}: ops {} -> {}", o.ops, n.ops));
+        }
+        if o.elapsed_ns != n.elapsed_ns {
+            bad.push(format!("{key}: elapsed_ns {} -> {}", o.elapsed_ns, n.elapsed_ns));
+        }
+        diff_counters(&key, "", &o.counters, &n.counters, bad);
+        if !rel_close(o.value, n.value) {
+            bad.push(format!(
+                "{key}: derived value drifted {} -> {} {}",
+                o.value, n.value, o.unit
+            ));
+        }
+
+        for osp in &o.spans {
+            let Some(nsp) = n.spans.iter().find(|s| s.name == osp.name) else {
+                bad.push(format!("{key}: span {:?} disappeared", osp.name));
+                continue;
+            };
+            if osp.entries != nsp.entries {
+                bad.push(format!(
+                    "{key}: span {:?} entries {} -> {}",
+                    osp.name, osp.entries, nsp.entries
+                ));
+            }
+            if osp.vtime_ns != nsp.vtime_ns {
+                bad.push(format!(
+                    "{key}: span {:?} vtime_ns {} -> {}",
+                    osp.name, osp.vtime_ns, nsp.vtime_ns
+                ));
+            }
+            diff_counters(
+                &key,
+                &format!("span {:?} ", osp.name),
+                &osp.counters,
+                &nsp.counters,
+                bad,
+            );
+        }
+        for nsp in &n.spans {
+            if !o.spans.iter().any(|s| s.name == nsp.name) {
+                bad.push(format!("{key}: span {:?} appeared", nsp.name));
+            }
+        }
+
+        if let Some(tol) = opts.wall_tol {
+            if o.host_ns >= opts.min_wall_ns {
+                let limit = o.host_ns as f64 * (1.0 + tol);
+                if n.host_ns as f64 > limit {
+                    bad.push(format!(
+                        "{key}: host wall time {:.1}ms -> {:.1}ms (> +{:.0}% band)",
+                        o.host_ns as f64 / 1e6,
+                        n.host_ns as f64 / 1e6,
+                        tol * 100.0
+                    ));
+                } else if (n.host_ns as f64) * (1.0 + tol) < o.host_ns as f64 {
+                    out.notes.push(format!(
+                        "{key}: host wall time improved {:.1}ms -> {:.1}ms",
+                        o.host_ns as f64 / 1e6,
+                        n.host_ns as f64 / 1e6
+                    ));
+                }
+            }
+        }
+    }
+    for (key, _) in new_rows {
+        out.notes.push(format!("{key}: new coverage (absent in old report)"));
+    }
+    out
+}
+
+// --- process-global row sink -------------------------------------------
+//
+// Experiments keep their existing `run(&Scale)` signatures (the
+// `[[bench]]` targets call them directly); they publish rows here and the
+// CLI drains the sink after the run.
+
+// lint:allow(std-sync): harness-side collection, written between measured
+// phases by the driving thread; never locked inside a simulated region.
+static SINK: std::sync::Mutex<Vec<ExperimentRow>> = std::sync::Mutex::new(Vec::new());
+
+/// Publish a row to the process-global report sink.
+pub fn emit(row: ExperimentRow) {
+    SINK.lock().unwrap().push(row);
+}
+
+/// Convenience: build a row from a [`crate::PhaseResult`] and emit it.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_phase(
+    experiment: &str,
+    series: &str,
+    point: &str,
+    phase: &str,
+    unit: &str,
+    value: f64,
+    threads: usize,
+    r: &crate::PhaseResult,
+) {
+    emit(ExperimentRow::from_phase(
+        experiment, series, point, phase, unit, value, threads, r,
+    ));
+}
+
+/// Emit a row that has no backing [`crate::PhaseResult`] (load-factor
+/// samples, latency percentiles).
+pub fn emit_value(experiment: &str, series: &str, point: &str, phase: &str, unit: &str, value: f64) {
+    emit(ExperimentRow {
+        experiment: experiment.to_string(),
+        series: series.to_string(),
+        point: point.to_string(),
+        phase: phase.to_string(),
+        unit: unit.to_string(),
+        value,
+        ..Default::default()
+    });
+}
+
+/// Drain every row emitted so far (in emission order).
+pub fn drain_rows() -> Vec<ExperimentRow> {
+    std::mem::take(&mut *SINK.lock().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut rep = BenchReport {
+            schema: SCHEMA_VERSION,
+            rev: "deadbeef".into(),
+            created_unix: 1_700_000_000,
+            config: Vec::new(),
+            rows: Vec::new(),
+        };
+        rep.set_config("seed", "0x5eed");
+        rep.set_config("keys", 1000u64);
+        rep.rows.push(ExperimentRow {
+            experiment: "perf".into(),
+            series: "Spash".into(),
+            point: "eadr".into(),
+            phase: "load".into(),
+            unit: "mops".into(),
+            value: 1.25,
+            threads: 1,
+            ops: 1000,
+            elapsed_ns: 800_000,
+            host_ns: 1_234_567,
+            counters: StatsSnapshot {
+                cl_reads: 5000,
+                media_write_bytes: 1 << 54, // above f64 precision on purpose
+                ..Default::default()
+            },
+            spans: vec![SpanRow {
+                name: "split".into(),
+                entries: 3,
+                vtime_ns: 90_000,
+                counters: StatsSnapshot {
+                    xp_writes: 77,
+                    ..Default::default()
+                },
+            }],
+        });
+        rep
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let rep = sample_report();
+        let text = rep.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.rows[0].counters.media_write_bytes, 1 << 54);
+        assert_eq!(back.config_value("seed"), Some("0x5eed"));
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut rep = sample_report();
+        rep.schema = SCHEMA_VERSION + 1;
+        let text = rep.to_json();
+        assert!(BenchReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn missing_counter_field_is_rejected() {
+        let text = sample_report().to_json().replace("\"flushes\"", "\"flushez\"");
+        assert!(BenchReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn row_key_identity() {
+        let r = &sample_report().rows[0];
+        assert_eq!(r.key(), "perf/Spash/eadr/load");
+    }
+
+    #[test]
+    fn compare_accepts_identical_reports() {
+        let rep = sample_report();
+        let out = compare_reports(&rep, &rep, &CompareOpts::default());
+        assert!(out.ok(), "{:?}", out.regressions);
+        assert_eq!(out.rows_compared, 1);
+    }
+
+    #[test]
+    fn compare_catches_inflated_media_writes() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.rows[0].counters.media_write_bytes += 256;
+        let out = compare_reports(&old, &new, &CompareOpts::default());
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("media_write_bytes"));
+    }
+
+    #[test]
+    fn compare_catches_span_and_coverage_changes() {
+        let old = sample_report();
+
+        let mut new = old.clone();
+        new.rows[0].spans[0].counters.xp_writes += 1;
+        let out = compare_reports(&old, &new, &CompareOpts::default());
+        assert!(out.regressions.iter().any(|r| r.contains("span \"split\"")));
+
+        let mut new = old.clone();
+        new.rows.clear();
+        let out = compare_reports(&old, &new, &CompareOpts::default());
+        assert!(out.regressions.iter().any(|r| r.contains("missing in new")));
+    }
+
+    #[test]
+    fn compare_requires_matching_config() {
+        let old = sample_report();
+        let mut new = old.clone();
+        new.set_config("seed", "0xbad");
+        let out = compare_reports(&old, &new, &CompareOpts::default());
+        assert!(out.regressions.iter().any(|r| r.contains("config")));
+    }
+
+    #[test]
+    fn wall_band_gates_only_when_enabled_and_large() {
+        let old = sample_report(); // host_ns ≈ 1.2ms < min_wall_ns: ignored
+        let mut new = old.clone();
+        new.rows[0].host_ns *= 100;
+        assert!(compare_reports(&old, &new, &CompareOpts::default()).ok());
+
+        // Scale both above the noise floor: now the band bites.
+        let mut old2 = old.clone();
+        old2.rows[0].host_ns = 50_000_000;
+        let mut new2 = old2.clone();
+        new2.rows[0].host_ns = 100_000_000;
+        let out = compare_reports(&old2, &new2, &CompareOpts::default());
+        assert!(out.regressions.iter().any(|r| r.contains("wall time")));
+        // ...unless wall comparison is off (cross-machine mode).
+        let virtual_only = CompareOpts {
+            wall_tol: None,
+            ..CompareOpts::default()
+        };
+        assert!(compare_reports(&old2, &new2, &virtual_only).ok());
+    }
+}

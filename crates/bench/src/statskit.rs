@@ -1,0 +1,79 @@
+//! Small statistics helpers shared by the latency experiments and the
+//! perf-regression suite.
+
+/// Nearest-rank percentile of an ascending-sorted slice, `p` in `[0, 1]`.
+/// Returns 0.0 for an empty slice. Debug builds assert the input really is
+/// sorted — a silently unsorted slice would produce a plausible-looking
+/// but wrong tail.
+pub fn percentile(sorted: &[u64], p: f64) -> f64 {
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile() input must be sorted ascending"
+    );
+    debug_assert!((0.0..=1.0).contains(&p), "percentile p={p} outside [0, 1]");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[i] as f64
+}
+
+/// Median of an *unsorted* slice of host-time samples (sorts a copy).
+/// Even sample counts take the lower middle element so the result is
+/// always one of the observed values.
+pub fn median(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    v[(v.len() - 1) / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slice_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(median(&[]), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = [42u64];
+        assert_eq!(percentile(&s, 0.0), 42.0);
+        assert_eq!(percentile(&s, 0.5), 42.0);
+        assert_eq!(percentile(&s, 1.0), 42.0);
+    }
+
+    #[test]
+    fn endpoints_clamp_to_first_and_last() {
+        let s = [10u64, 20, 30, 40];
+        assert_eq!(percentile(&s, 0.0), 10.0);
+        // p = 1.0 indexes past the end without clamping; it must clamp.
+        assert_eq!(percentile(&s, 1.0), 40.0);
+    }
+
+    #[test]
+    fn nearest_rank_interior() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.5), 51.0);
+        assert_eq!(percentile(&s, 0.99), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    #[cfg(debug_assertions)]
+    fn unsorted_input_asserts_in_debug() {
+        percentile(&[3, 1, 2], 0.5);
+    }
+
+    #[test]
+    fn median_takes_lower_middle() {
+        assert_eq!(median(&[5]), 5);
+        assert_eq!(median(&[9, 1, 5]), 5);
+        assert_eq!(median(&[4, 1, 3, 2]), 2);
+    }
+}

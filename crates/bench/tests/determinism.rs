@@ -1,0 +1,62 @@
+//! Regression tests for the property the perf gate stands on: two
+//! same-seed single-threaded runs produce byte-identical virtual-clock
+//! metrics (DESIGN.md "Perf reports and the regression gate").
+//!
+//! Kept at threads = 1 deliberately — multi-threaded phases interleave
+//! cache/XPBuffer state on the host scheduler and are *not* expected to
+//! be bit-deterministic.
+
+use spash_bench::experiments::{fig7, fig8};
+use spash_bench::indexes::IndexKind;
+use spash_bench::{PhaseResult, Scale};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        keys: 2_000,
+        ops: 1_000,
+        threads: vec![1],
+    }
+}
+
+fn virtual_metrics(r: &PhaseResult) -> (u64, u64, spash_pmem::StatsDelta, Vec<(&'static str, u64, u64)>) {
+    (
+        r.ops,
+        r.elapsed_ns,
+        r.delta,
+        r.spans
+            .iter()
+            .map(|(n, s)| (*n, s.entries, s.vtime_ns))
+            .collect(),
+    )
+}
+
+#[test]
+fn fig7_single_thread_runs_are_bit_deterministic() {
+    let scale = tiny_scale();
+    for kind in [IndexKind::Spash, IndexKind::Cceh, IndexKind::Halo] {
+        let a = fig7::run_one(&scale, kind, 1);
+        let b = fig7::run_one(&scale, kind, 1);
+        for (pa, pb) in a.iter().zip(b.iter()) {
+            assert_eq!(
+                virtual_metrics(pa),
+                virtual_metrics(pb),
+                "{kind:?}: virtual metrics drifted between identical runs"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig8_access_counts_are_bit_deterministic() {
+    let scale = tiny_scale();
+    let a = fig8::run_one(&scale, IndexKind::Spash);
+    let b = fig8::run_one(&scale, IndexKind::Spash);
+    for (pa, pb) in [
+        (&a.insert, &b.insert),
+        (&a.search, &b.search),
+        (&a.update, &b.update),
+        (&a.delete, &b.delete),
+    ] {
+        assert_eq!(virtual_metrics(pa), virtual_metrics(pb));
+    }
+}

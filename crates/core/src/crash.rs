@@ -51,11 +51,16 @@ impl Spash {
         // blob a slot points at.
         let mut reachable: HashSet<u64> = HashSet::new();
         let (dir, _) = self.dir.write_target();
-        let segs: HashSet<_> = dir
+        // Deduplicate in directory order (not via a HashSet): the walk
+        // below reads PM per segment, and a hash-ordered walk would make
+        // the modelled cache's hit/miss pattern nondeterministic.
+        let mut segs: Vec<_> = dir
             .entries
             .iter()
             .map(|e| crate::dir::unpack_entry(e.load(Ordering::Acquire)).0)
             .collect();
+        segs.sort_unstable();
+        segs.dedup();
         for &seg in &segs {
             reachable.insert(seg.0);
             for idx in 0..SLOTS_PER_SEG {

@@ -188,7 +188,13 @@ impl Spash {
             }
             prev_seg = seg;
         }
-        for (&seg, &(first, ld, len)) in &runs {
+        // Later passes read PM per segment; iterate in directory order so
+        // the access sequence (and thus the modelled cache's hit/miss
+        // pattern) is deterministic, not HashMap-order.
+        let mut run_list: Vec<(PmAddr, (usize, u8, usize))> =
+            runs.iter().map(|(&s, &r)| (s, r)).collect();
+        run_list.sort_unstable_by_key(|&(_, (first, _, _))| first);
+        for &(seg, (first, ld, len)) in &run_list {
             let expected = 1usize << (gd - u32::from(ld));
             if len != expected || first % expected != 0 {
                 return Err(IntegrityError::BadDirRun { seg, first, len, expected_len: expected });
@@ -216,7 +222,7 @@ impl Spash {
         let mut blob_entries = 0u64;
         let mut hints_in_use = 0u64;
         let mut stale_hints = 0u64;
-        for (&seg, &(first, ld, _)) in &runs {
+        for &(seg, (first, ld, _)) in &run_list {
             let run_len = 1usize << (gd - u32::from(ld));
             for idx in 0..SLOTS_PER_SEG {
                 let kw = ctx.read_u64(key_addr(seg, idx));

@@ -83,11 +83,11 @@ impl PersistentIndex for Spash {
     }
 
     fn get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
-        match self.cfg.concurrency {
+        ctx.stats_span(spash_pmem::SPAN_PROBE, |ctx| match self.cfg.concurrency {
             ConcurrencyMode::Htm => self.get_htm(ctx, key, out),
             ConcurrencyMode::WriteLock => self.get_seqlock(ctx, key, out),
             ConcurrencyMode::WriteReadLock => self.get_readlock(ctx, key, out),
-        }
+        })
     }
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {

@@ -32,6 +32,10 @@ impl Spash {
     /// Rebuild the index from a crashed (or cleanly stopped) device.
     /// Returns `None` if the arena holds no formatted index.
     pub fn recover(ctx: &mut MemCtx, cfg: SpashConfig) -> Option<Self> {
+        ctx.stats_span(spash_pmem::SPAN_LOG_REPLAY, |ctx| Self::recover_impl(ctx, cfg))
+    }
+
+    fn recover_impl(ctx: &mut MemCtx, cfg: SpashConfig) -> Option<Self> {
         let dev = Arc::clone(ctx.device());
         let rec = PmAllocator::recover(ctx)?;
         let alloc = Arc::new(rec.alloc);

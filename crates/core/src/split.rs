@@ -202,6 +202,10 @@ impl Spash {
     /// the parent in place (HTM guards do not exclude plain lock-mode
     /// writers).
     pub(crate) fn split(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
+        ctx.stats_span(spash_pmem::SPAN_SPLIT, |ctx| self.split_locked_or_htm(ctx, h))
+    }
+
+    fn split_locked_or_htm(&self, ctx: &mut MemCtx, h: u64) -> Result<(), IndexError> {
         if self.cfg.concurrency == crate::ConcurrencyMode::Htm {
             return self.split_htm(ctx, h);
         }
@@ -487,6 +491,10 @@ impl Spash {
         if !self.cfg.enable_merge {
             return;
         }
+        ctx.stats_span(spash_pmem::SPAN_COMPACTION, |ctx| self.try_merge_impl(ctx, h))
+    }
+
+    fn try_merge_impl(&self, ctx: &mut MemCtx, h: u64) {
         let routed = self.dir.lookup(ctx, h);
         let seg = routed.seg();
         let d = routed.local_depth();

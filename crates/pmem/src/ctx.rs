@@ -124,10 +124,7 @@ impl MemCtx {
             san.on_evict(victim);
         }
         if let Some(victim) = r.evicted_dirty {
-            self.dev
-                .stats
-                .dirty_evictions
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dev.stats.bump(|s| &s.dirty_evictions, 1);
             self.media_writeback(victim);
         }
         if let Some(t) = self.take_prefetch(line) {
@@ -135,18 +132,12 @@ impl MemCtx {
             self.clock.sync_to(t);
             self.clock.advance(self.cost().cache_hit_ns);
             if r.hit {
-                self.dev
-                    .stats
-                    .read_hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.dev.stats.bump(|s| &s.read_hits, 1);
             }
             return;
         }
         if r.hit {
-            self.dev
-                .stats
-                .read_hits
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dev.stats.bump(|s| &s.read_hits, 1);
             self.clock.advance(self.cost().cache_hit_ns);
         } else {
             let new_xp = self.dev.media.read_line(line, &mut self.recent, &self.dev.stats);
@@ -201,17 +192,11 @@ impl MemCtx {
             san.on_write(self.tid, line, r.evicted_dirty);
         }
         if let Some(victim) = r.evicted_dirty {
-            self.dev
-                .stats
-                .dirty_evictions
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dev.stats.bump(|s| &s.dirty_evictions, 1);
             self.media_writeback(victim);
         }
         if r.hit {
-            self.dev
-                .stats
-                .write_hits
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dev.stats.bump(|s| &s.write_hits, 1);
             self.clock.advance(self.cost().cache_hit_ns);
         } else {
             // Read-for-ownership.
@@ -354,10 +339,7 @@ impl MemCtx {
                 }
                 self.media_writeback(line);
             }
-            self.dev
-                .stats
-                .ntstores
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dev.stats.bump(|s| &s.ntstores, 1);
             // Store this line's slice before its writeback retires: the
             // fault plan may end the run at that writeback, and the slice
             // is then already part of the durable image (a partially
@@ -390,10 +372,7 @@ impl MemCtx {
             san.on_flush(self.tid, line, dirty, &self.dev.stats);
         }
         if dirty {
-            self.dev
-                .stats
-                .flushes
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dev.stats.bump(|s| &s.flushes, 1);
             self.media_writeback(line);
             let done = self.clock.now() + self.cost().flush_drain_ns;
             self.outstanding_t = self.outstanding_t.max(done);
@@ -443,10 +422,7 @@ impl MemCtx {
             if let Some(san) = &self.dev.san {
                 san.on_evict(victim);
             }
-            self.dev
-                .stats
-                .dirty_evictions
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.dev.stats.bump(|s| &s.dirty_evictions, 1);
             self.media_writeback(victim);
         }
         // Issuing the prefetch instruction itself is nearly free.
@@ -455,10 +431,7 @@ impl MemCtx {
 
     /// Charge `n` DRAM accesses (volatile directory, hot-key list, ...).
     pub fn charge_dram(&mut self, n: u64) {
-        self.dev
-            .stats
-            .dram_accesses
-            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+        self.dev.stats.bump(|s| &s.dram_accesses, n);
         self.clock.advance(n * self.cost().dram_ns);
     }
 
@@ -470,6 +443,39 @@ impl MemCtx {
     /// Charge raw compute time.
     pub fn charge_compute(&mut self, ns: u64) {
         self.clock.advance(ns);
+    }
+
+    /// Run `f` inside the named attribution span ([`crate::span`]): every
+    /// counter increment this thread charges while `f` runs is mirrored
+    /// into the span's own [`crate::stats::PmStats`], and the span's
+    /// inclusive virtual time advances by what `f` cost. Names outside the
+    /// canonical [`crate::span::SPAN_NAMES`] set are a pass-through no-op
+    /// (asserted in debug builds so typos fail tier-1 tests).
+    ///
+    /// Nesting attributes counters to the innermost span. The thread-local
+    /// active-span slot is restored on unwind (crash-point fault injection
+    /// exits operations by panicking).
+    pub fn stats_span<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let Some(cell) = self.dev.spans().cell(name).cloned() else {
+            debug_assert!(false, "stats_span: {name:?} is not a canonical span name");
+            return f(self);
+        };
+        struct Guard(Option<Option<Arc<crate::span::SpanCell>>>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                if let Some(prev) = self.0.take() {
+                    crate::span::restore(prev);
+                }
+            }
+        }
+        let t0 = self.clock.now();
+        let mut guard = Guard(Some(crate::span::enter(&cell)));
+        let r = f(self);
+        if let Some(prev) = guard.0.take() {
+            crate::span::restore(prev);
+        }
+        cell.note_vtime(self.clock.now().saturating_sub(t0));
+        r
     }
 
     // --- persistence-ordering sanitizer annotations (no-ops when the

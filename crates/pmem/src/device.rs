@@ -10,6 +10,7 @@ use crate::ctx::MemCtx;
 use crate::fault::FaultPlan;
 use crate::media::Media;
 use crate::san::San;
+use crate::span::{SpanLedger, SpanSnapshot};
 use crate::stats::{PmStats, StatsSnapshot};
 
 /// What a simulated power failure did to the cache, for per-crash-point
@@ -59,6 +60,9 @@ pub struct PmDevice {
     /// Persistence-ordering sanitizer ([`crate::san`]); present only when
     /// [`PmConfig::san`] is set.
     pub(crate) san: Option<Arc<San>>,
+    /// Per-phase attribution spans ([`crate::span`]); the set is fixed at
+    /// construction so lookup is lock-free.
+    spans: SpanLedger,
 }
 
 impl PmDevice {
@@ -80,6 +84,7 @@ impl PmDevice {
             rmw_release: (0..(1 << 20)).map(|_| AtomicU64::new(0)).collect(),
             faults: FaultPlan::default(),
             san: cfg.san.map(|mode| Arc::new(San::new(mode, cfg.domain))),
+            spans: SpanLedger::new(),
             cfg,
         })
     }
@@ -146,6 +151,17 @@ impl PmDevice {
     /// Snapshot the global access counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The per-phase attribution spans.
+    pub fn spans(&self) -> &SpanLedger {
+        &self.spans
+    }
+
+    /// Snapshot every attribution span, in deterministic
+    /// [`crate::span::SPAN_NAMES`] order.
+    pub fn span_totals(&self) -> Vec<(&'static str, SpanSnapshot)> {
+        self.spans.totals()
     }
 
     /// Retire everything buffered in the XPBuffer so media counters reflect

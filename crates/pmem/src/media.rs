@@ -86,7 +86,7 @@ impl Media {
     /// A cacheline writeback arrives at the DIMM. Returns `true` if it was
     /// coalesced into an already-buffered XPLine.
     pub fn write_line(&self, line: u64, stats: &PmStats) -> bool {
-        stats.cl_writes.fetch_add(1, Ordering::Relaxed);
+        stats.bump(|s| &s.cl_writes, 1);
         let xp = line / (XPLINE / CACHELINE);
         let bit = 1u8 << (line % (XPLINE / CACHELINE));
         let mut buf = self.buf.lock();
@@ -97,8 +97,8 @@ impl Media {
         }
         if buf.slots.len() == buf.capacity {
             buf.slots.pop_front();
-            stats.xp_writes.fetch_add(1, Ordering::Relaxed);
-            stats.media_write_bytes.fetch_add(XPLINE, Ordering::Relaxed);
+            stats.bump(|s| &s.xp_writes, 1);
+            stats.bump(|s| &s.media_write_bytes, XPLINE);
         }
         buf.slots.push_back(Slot { xpline: xp, mask: bit });
         false
@@ -110,12 +110,12 @@ impl Media {
     /// was actually read from media (the caller reserves read bandwidth
     /// only then).
     pub fn read_line(&self, line: u64, recent: &mut RecentReads, stats: &PmStats) -> bool {
-        stats.cl_reads.fetch_add(1, Ordering::Relaxed);
+        stats.bump(|s| &s.cl_reads, 1);
         let xp = line / (XPLINE / CACHELINE);
         if !recent.contains(xp) {
             recent.push(xp);
-            stats.xp_reads.fetch_add(1, Ordering::Relaxed);
-            stats.media_read_bytes.fetch_add(XPLINE, Ordering::Relaxed);
+            stats.bump(|s| &s.xp_reads, 1);
+            stats.bump(|s| &s.media_read_bytes, XPLINE);
             return true;
         }
         false

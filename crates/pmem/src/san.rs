@@ -332,10 +332,10 @@ impl San {
                     ts.pending.insert(line);
                 }
                 Some(LState::Persisted) if ts.wrote.remove(&line) => {
-                    stats.san_redundant_flushes.fetch_add(1, Ordering::Relaxed);
+                    stats.bump(|s| &s.san_redundant_flushes, 1);
                 }
                 _ => {
-                    stats.san_redundant_flushes.fetch_add(1, Ordering::Relaxed);
+                    stats.bump(|s| &s.san_redundant_flushes, 1);
                 }
             }
         }
@@ -347,7 +347,7 @@ impl San {
         let mut inner = self.lock();
         let ts = inner.tids.entry(tid).or_default();
         if ts.pending.is_empty() && !ts.nt_unfenced {
-            stats.san_noop_fences.fetch_add(1, Ordering::Relaxed);
+            stats.bump(|s| &s.san_noop_fences, 1);
             return;
         }
         ts.nt_unfenced = false;

@@ -68,6 +68,17 @@ pub struct StatsSnapshot {
 pub type StatsDelta = StatsSnapshot;
 
 impl PmStats {
+    /// Increment the counter selected by `pick`, mirroring the increment
+    /// into the thread's innermost active stats span ([`crate::span`]).
+    /// Every *data-path* increment must go through here so per-phase
+    /// attribution and the global totals can never disagree; harness-level
+    /// accounting with no span active may still bump counters directly.
+    #[inline]
+    pub fn bump(&self, pick: fn(&PmStats) -> &AtomicU64, n: u64) {
+        pick(self).fetch_add(n, Ordering::Relaxed);
+        crate::span::mirror(pick, n);
+    }
+
     /// Capture a snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
