@@ -203,6 +203,19 @@ impl CLevel {
     /// placed, so an old-first scan can never miss a key mid-migration.
     /// (Keys are unique across levels, so scan order does not affect
     /// freshness.)
+    /// Busy-wait on migration progress — but yield to the migrating peer
+    /// only if the table structure hasn't advanced past `gen`. If a
+    /// grow/retire already landed, the condition we would spin on may
+    /// already be gone, so retry immediately instead: a blocking yield
+    /// emitted after the migrator exited reads as a deadlock under the
+    /// cooperative scheduler (`SyncEvent::SpinWait` promises another task
+    /// must run for this one to progress).
+    fn backoff_on_migration(&self, gen: u64) {
+        if self.structure_gen.load(Ordering::Acquire) == gen {
+            spash_pmem::schedhook::spin_wait();
+        }
+    }
+
     fn find(&self, ctx: &mut MemCtx, key: u64) -> Option<(PmAddr, u64)> {
         let (h1, h2) = Self::hashes(key);
         loop {
@@ -242,6 +255,7 @@ impl CLevel {
         let (h1, h2) = Self::hashes(key);
         let mut word = word & !FROZEN;
         loop {
+            let gen = self.structure_gen.load(Ordering::Acquire);
             let levels = self.snapshot();
             let newest = &levels[0];
             let mut placed: Option<(PmAddr, u64)> = None;
@@ -283,7 +297,7 @@ impl CLevel {
                     Ok(_) => {
                         ctx.flush(sa);
                         ctx.fence();
-                        spash_pmem::schedhook::spin_wait();
+                        self.backoff_on_migration(gen);
                         break; // retry outer placement with `word`
                     }
                     Err(actual) => {
@@ -582,6 +596,7 @@ impl PersistentIndex for CLevel {
         let new_item = self.append_item(ctx, key, value)?;
         let new_word = new_item.0 | tag_of_key(key) << TAG_SHIFT;
         loop {
+            let gen = self.structure_gen.load(Ordering::Acquire);
             match self.find(ctx, key) {
                 None => {
                     // Abandoned log space (reclaimed by CLevel's GC, which
@@ -591,7 +606,7 @@ impl PersistentIndex for CLevel {
                 Some((_, w)) if w & FROZEN != 0 => {
                     // Mid-migration: the copy in the newest level is about
                     // to appear; wait for it.
-                    spash_pmem::schedhook::spin_wait();
+                    self.backoff_on_migration(gen);
                     ctx.charge_compute(20);
                 }
                 Some((slot, w)) => {
@@ -619,10 +634,11 @@ impl PersistentIndex for CLevel {
 
     fn remove(&self, ctx: &mut MemCtx, key: u64) -> bool {
         loop {
+            let gen = self.structure_gen.load(Ordering::Acquire);
             match self.find(ctx, key) {
                 None => return false,
                 Some((_, w)) if w & FROZEN != 0 => {
-                    spash_pmem::schedhook::spin_wait();
+                    self.backoff_on_migration(gen);
                     ctx.charge_compute(20);
                 }
                 Some((slot, w)) => {

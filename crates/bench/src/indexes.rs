@@ -5,8 +5,26 @@ use std::sync::Arc;
 
 use spash::{ConcurrencyMode, InsertPolicy, Spash, SpashConfig, UpdatePolicy};
 use spash_baselines::{CLevel, Cceh, Dash, Halo, Level, Plush};
+use spash_index_api::crashpoint::CrashTarget;
 use spash_index_api::PersistentIndex;
 use spash_pmem::{PmConfig, PmDevice};
+
+/// All seven indexes by their [`CrashTarget`] format/recover pairs — the
+/// shared roster of the `perf` and `scale` suites (and the crash sweeps
+/// those pairs were built for). Fresh targets per call:
+/// `CrashTarget::format` must not share volatile state across devices.
+pub fn crash_targets() -> Vec<CrashTarget> {
+    vec![
+        Spash::crash_target(SpashConfig::default()),
+        Cceh::crash_target(1),
+        Dash::crash_target(1),
+        Level::crash_target(4),
+        CLevel::crash_target(4),
+        Plush::crash_target(4),
+        // Generous log: the suites replay several write phases into it.
+        Halo::crash_target(64 << 20, u64::MAX),
+    ]
+}
 
 /// Which index to build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -14,6 +14,7 @@ pub mod indexes;
 pub mod json;
 pub mod perf;
 pub mod report;
+pub mod scale;
 pub mod statskit;
 
 pub use harness::{print_table, run_phase, PhaseResult, Scale};

@@ -9,6 +9,10 @@
 //! runs the fixed-seed deterministic regression suite and `compare`
 //! gates two of its reports against each other (DESIGN.md, "Perf
 //! reports and the regression gate"; recipes in EXPERIMENTS.md).
+//! `scale` runs the multi-thread scalability sweep under the
+//! cooperative scheduler — bit-deterministic scaling curves plus the
+//! derived crossover/peak claims (DESIGN.md, "Deterministic scalability
+//! sweep").
 //!
 //! `crashpoints` runs the offline crash-point fault-injection sweep
 //! (DESIGN.md, "Crash-point fault injection"; recipe in EXPERIMENTS.md).
@@ -663,6 +667,79 @@ fn perf_cmd(args: &[String]) {
     println!("# perf: {} rows -> {path}", report.rows.len());
 }
 
+/// `spash-bench scale [--out <path>] [--assert] [--lin-check]`: the
+/// deterministic multi-thread scalability sweep under the cooperative
+/// scheduler (DESIGN.md, "Deterministic scalability sweep"). Knobs:
+/// `SPASH_SCALE_KEYS` / `SPASH_SCALE_OPS` / `SPASH_SCALE_THREADS`
+/// (comma-separated ladder) / `SPASH_SCALE_SEED` /
+/// `SPASH_SCALE_PREEMPTIONS`.
+fn scale_cmd(args: &[String]) {
+    use spash_bench::scale;
+    let mut out: Option<String> = None;
+    let mut do_assert = false;
+    let mut lin_check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned(),
+            "--assert" => do_assert = true,
+            "--lin-check" => lin_check = true,
+            other => {
+                eprintln!("scale: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if lin_check {
+        let cfg = scale::LinCheckConfig::default();
+        println!(
+            "# scale lin-check: {} threads x {} ops, {} keys, {} schedules/index",
+            cfg.threads, cfg.ops_per_thread, cfg.keys, cfg.schedules
+        );
+        let failures = scale::lin_check_all(&cfg);
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        if !failures.is_empty() {
+            std::process::exit(1);
+        }
+        println!("# scale lin-check: every index linearizes under the batch driver");
+        return;
+    }
+    let cfg = scale::ScaleConfig::from_env();
+    println!(
+        "# scale: keys={} ops={} threads={:?} seed={:#x} preemptions={}",
+        cfg.keys, cfg.ops, cfg.threads, cfg.seed, cfg.preemptions
+    );
+    let report = match scale::run_suite(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scale: {e}");
+            std::process::exit(1);
+        }
+    };
+    if do_assert {
+        let bad = scale::check_claims(&report, &cfg);
+        for b in &bad {
+            eprintln!("CLAIM FAILED: {b}");
+        }
+        if !bad.is_empty() {
+            std::process::exit(1);
+        }
+        println!("# scale: structural claims hold");
+    }
+    let path = out.unwrap_or_else(|| format!("BENCH_scale_{}.json", report.rev));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("scale: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "# scale: {} rows, {} assertions -> {path}",
+        report.rows.len(),
+        report.assertions.len()
+    );
+}
+
 /// `spash-bench compare <old.json> <new.json> [--virtual-only|--wall-tol F]`:
 /// diff two reports; exit non-zero on any regression.
 fn compare_cmd(args: &[String]) {
@@ -721,13 +798,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("perf") => return perf_cmd(&args[1..]),
+        Some("scale") => return scale_cmd(&args[1..]),
         Some("compare") => return compare_cmd(&args[1..]),
         _ => {}
     }
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|ext|crashpoints|san|sched [--seeds N]|perf [--out P]|compare OLD NEW> ...\n\
+            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|ext|crashpoints|san|sched [--seeds N]|perf [--out P]|scale [--out P] [--assert] [--lin-check]|compare OLD NEW> ...\n\
              scale: SPASH_BENCH_KEYS={} SPASH_BENCH_OPS={} SPASH_BENCH_THREADS={:?}\n\
              report: SPASH_BENCH_REPORT=<path> or --report <path> writes machine-readable rows",
             scale.keys, scale.ops, scale.threads

@@ -17,14 +17,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use spash::{Spash, SpashConfig};
-use spash_baselines::{CLevel, Cceh, Dash, Halo, Level, Plush};
 use spash_index_api::crashpoint::CrashTarget;
 use spash_index_api::PersistentIndex;
 use spash_pmem::{CrashFidelity, MemCtx, PersistenceDomain, PmConfig, PmDevice};
 use spash_workloads::{load_keys, Distribution, Mix, OpStream, ValueSize, WorkloadConfig};
 
 use crate::experiments::exec_stream;
+use crate::indexes::crash_targets;
 use crate::report::{BenchReport, ExperimentRow};
 use crate::statskit::median;
 use crate::PhaseResult;
@@ -87,26 +86,10 @@ impl PerfConfig {
     }
 }
 
-/// The seven indexes, by the same format/recover pairs the crash sweeps
-/// exercise. Fresh targets per call: `CrashTarget::format` must not share
-/// volatile state across devices.
-fn targets() -> Vec<CrashTarget> {
-    vec![
-        Spash::crash_target(SpashConfig::default()),
-        Cceh::crash_target(1),
-        Dash::crash_target(1),
-        Level::crash_target(4),
-        CLevel::crash_target(4),
-        Plush::crash_target(4),
-        // Generous log: the suite replays several write phases into it.
-        Halo::crash_target(64 << 20, u64::MAX),
-    ]
-}
-
-/// Device configuration for one suite run. PM-bound on purpose: a small
-/// simulated cache keeps media traffic (the costs the gate guards) on
-/// every phase's critical path.
-fn suite_pm(domain: PersistenceDomain) -> PmConfig {
+/// Device configuration for one suite run (shared with the `scale`
+/// suite). PM-bound on purpose: a small simulated cache keeps media
+/// traffic (the costs the gate guards) on every phase's critical path.
+pub(crate) fn suite_pm(domain: PersistenceDomain) -> PmConfig {
     PmConfig {
         arena_size: 256 << 20,
         cache_capacity: 512 << 10,
@@ -161,7 +144,7 @@ where
     }
 }
 
-fn domain_label(domain: PersistenceDomain) -> &'static str {
+pub(crate) fn domain_label(domain: PersistenceDomain) -> &'static str {
     match domain {
         PersistenceDomain::Adr => "adr",
         PersistenceDomain::Eadr => "eadr",
@@ -277,7 +260,7 @@ pub fn run_suite(cfg: &PerfConfig) -> Result<BenchReport, String> {
     report.set_config("value_bytes", cfg.value_bytes);
 
     let repeats = cfg.repeats.max(1);
-    for target in targets() {
+    for target in crash_targets() {
         for domain in [PersistenceDomain::Eadr, PersistenceDomain::Adr] {
             let runs: Vec<Vec<ExperimentRow>> = (0..repeats)
                 .map(|_| run_target(&target, domain, cfg))

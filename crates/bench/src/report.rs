@@ -131,6 +131,13 @@ pub struct BenchReport {
     /// Suite configuration echo (seed, scale, ...), sorted by key.
     /// `compare` requires old and new to agree on every key.
     pub config: Vec<(String, String)>,
+    /// First-class derived claims (crossover points, peak-threads, ...),
+    /// sorted by key. Compared key-for-key like `config`: a shifted
+    /// crossover is a regression even if no single row changed enough to
+    /// say why. Serialized only when non-empty, so reports from suites
+    /// that assert nothing (and their committed baselines) are unchanged
+    /// byte-for-byte — still schema 1.
+    pub assertions: Vec<(String, String)>,
     pub rows: Vec<ExperimentRow>,
 }
 
@@ -141,6 +148,7 @@ impl BenchReport {
             rev: rev.to_string(),
             created_unix: unix_now(),
             config: Vec::new(),
+            assertions: Vec::new(),
             rows: Vec::new(),
         }
     }
@@ -151,6 +159,19 @@ impl BenchReport {
         self.config.sort();
     }
 
+    pub fn set_assertion(&mut self, key: &str, value: impl ToString) {
+        self.assertions.retain(|(k, _)| k != key);
+        self.assertions.push((key.to_string(), value.to_string()));
+        self.assertions.sort();
+    }
+
+    pub fn assertion_value(&self, key: &str) -> Option<&str> {
+        self.assertions
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     pub fn config_value(&self, key: &str) -> Option<&str> {
         self.config
             .iter()
@@ -159,7 +180,7 @@ impl BenchReport {
     }
 
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::Int(self.schema)),
             ("rev".into(), Json::Str(self.rev.clone())),
             ("created_unix".into(), Json::Int(self.created_unix)),
@@ -172,12 +193,23 @@ impl BenchReport {
                         .collect(),
                 ),
             ),
-            (
-                "rows".into(),
-                Json::Arr(self.rows.iter().map(row_to_json).collect()),
-            ),
-        ])
-        .render()
+        ];
+        if !self.assertions.is_empty() {
+            fields.push((
+                "assertions".into(),
+                Json::Obj(
+                    self.assertions
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        fields.push((
+            "rows".into(),
+            Json::Arr(self.rows.iter().map(row_to_json).collect()),
+        ));
+        Json::Obj(fields).render()
     }
 
     pub fn from_json(text: &str) -> Result<Self, String> {
@@ -203,6 +235,23 @@ impl BenchReport {
             _ => return Err("missing config object".into()),
         };
         config.sort();
+        // Optional: absent (older reports, assertion-free suites) = empty.
+        let mut assertions: Vec<(String, String)> = match doc.get("assertions") {
+            Some(Json::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    Ok((
+                        k.clone(),
+                        v.as_str()
+                            .ok_or_else(|| format!("assertions.{k}: not a string"))?
+                            .to_string(),
+                    ))
+                })
+                .collect::<Result<_, String>>()?,
+            Some(_) => return Err("assertions: not an object".into()),
+            None => Vec::new(),
+        };
+        assertions.sort();
         let rows = doc
             .get("rows")
             .and_then(Json::as_arr)
@@ -216,6 +265,7 @@ impl BenchReport {
             rev: field_str(&doc, "rev")?,
             created_unix: field_u64(&doc, "created_unix")?,
             config,
+            assertions,
             rows,
         })
     }
@@ -454,6 +504,27 @@ pub fn compare_reports(old: &BenchReport, new: &BenchReport, opts: &CompareOpts)
         }
     }
 
+    // Derived claims are gated exactly, like the counters they summarize:
+    // a crossover that moved (or vanished) is a regression in its own
+    // right, with a first-class message naming the claim.
+    let akeys: Vec<&String> = {
+        let mut k: Vec<&String> = old
+            .assertions
+            .iter()
+            .chain(new.assertions.iter())
+            .map(|(k, _)| k)
+            .collect();
+        k.sort();
+        k.dedup();
+        k
+    };
+    for k in akeys {
+        match (old.assertion_value(k), new.assertion_value(k)) {
+            (Some(a), Some(b)) if a == b => {}
+            (a, b) => bad.push(format!("assertion {k:?} changed: {a:?} -> {b:?}")),
+        }
+    }
+
     let mut new_rows: Vec<(String, &ExperimentRow)> =
         new.rows.iter().map(|r| (r.key(), r)).collect();
     for w in [&old.rows, &new.rows] {
@@ -611,6 +682,7 @@ mod tests {
             rev: "deadbeef".into(),
             created_unix: 1_700_000_000,
             config: Vec::new(),
+            assertions: Vec::new(),
             rows: Vec::new(),
         };
         rep.set_config("seed", "0x5eed");
@@ -705,6 +777,41 @@ mod tests {
         new.rows.clear();
         let out = compare_reports(&old, &new, &CompareOpts::default());
         assert!(out.regressions.iter().any(|r| r.contains("missing in new")));
+    }
+
+    #[test]
+    fn assertions_round_trip_and_stay_optional() {
+        // Absent field: older reports parse to empty assertions, and an
+        // assertion-free report serializes without the key at all (byte
+        // compatibility with committed schema-1 baselines).
+        let plain = sample_report();
+        assert!(!plain.to_json().contains("assertions"));
+        let back = BenchReport::from_json(&plain.to_json()).unwrap();
+        assert!(back.assertions.is_empty());
+
+        let mut rep = sample_report();
+        rep.set_assertion("crossover/eadr/uniform/CCEH", "2");
+        rep.set_assertion("peak/eadr/zipf/Level", "4");
+        let back = BenchReport::from_json(&rep.to_json()).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.assertion_value("peak/eadr/zipf/Level"), Some("4"));
+    }
+
+    #[test]
+    fn compare_gates_assertion_drift() {
+        let mut old = sample_report();
+        old.set_assertion("crossover/eadr/uniform/CCEH", "2");
+        let mut new = old.clone();
+        new.set_assertion("crossover/eadr/uniform/CCEH", "8");
+        let out = compare_reports(&old, &new, &CompareOpts::default());
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("crossover/eadr/uniform/CCEH"));
+
+        // Vanishing and appearing assertions both gate.
+        let none = sample_report();
+        assert!(!compare_reports(&old, &none, &CompareOpts::default()).ok());
+        assert!(!compare_reports(&none, &old, &CompareOpts::default()).ok());
+        assert!(compare_reports(&old, &old, &CompareOpts::default()).ok());
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn golden_report() -> BenchReport {
         rev: "cafef00d".into(),
         created_unix: 1_750_000_000,
         config: Vec::new(),
+        assertions: Vec::new(),
         rows: Vec::new(),
     };
     rep.set_config("keys", 20_000u64);

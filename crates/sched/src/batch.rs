@@ -1,0 +1,152 @@
+//! Batch-run driver: N worker tasks run to completion under one
+//! scheduler seed, each returning a result (op count, end-of-task virtual
+//! clock, ...) that the caller aggregates.
+//!
+//! This is the scalability sweep's execution engine (`spash-bench scale`,
+//! DESIGN.md "Deterministic scalability sweep"): [`crate::run_tasks`]
+//! provides the cooperative interleaving machinery (record / replay /
+//! crash injection); `run_batch` adds per-task result collection so a
+//! measured phase can assert `total ops == sum of per-task ops` and
+//! compute virtual-time throughput from the max per-task clock. The
+//! decision trace in the returned [`SchedOutcome`] is a complete
+//! reproducer: replaying it re-runs the whole multi-thread bench phase
+//! byte-identically.
+
+// lint:allow(std-sync): host-side result slots; each slot is written
+// exactly once, by its own task, after its last sync point — the lock is
+// never held across a sync point, so it cannot deadlock the scheduler.
+use std::sync::Mutex as StdMutex;
+
+use crate::{run_tasks, SchedConfig, SchedOutcome};
+
+/// What one scheduled batch produced: the scheduler outcome (decision
+/// trace, panics, valves) plus one result slot per task.
+#[derive(Debug)]
+pub struct BatchOutcome<T> {
+    pub sched: SchedOutcome,
+    /// `results[i]` is `Some` iff task `i` ran to completion. A task that
+    /// unwound (injected crash, peer panic, valve stop) leaves `None` —
+    /// callers decide whether a partial batch is an error.
+    pub results: Vec<Option<T>>,
+}
+
+impl<T> BatchOutcome<T> {
+    /// Did every task complete and the scheduler finish cleanly?
+    pub fn complete(&self) -> bool {
+        self.sched.panics.is_empty()
+            && self.sched.stopped.is_none()
+            && self.sched.injected_crash.is_none()
+            && self.results.iter().all(Option::is_some)
+    }
+}
+
+/// Run `bodies` to completion as cooperatively scheduled tasks and
+/// collect their return values.
+///
+/// Semantics are exactly [`run_tasks`]'s (same decision trace for the
+/// same `cfg`, same crash injection contract via `crash_fn`); the only
+/// addition is the per-slot result. Task `i`'s body publishes its result
+/// after its final sync point, so a completed slot is always consistent
+/// with the recorded trace.
+pub fn run_batch<'a, T: Send + 'a>(
+    cfg: &SchedConfig,
+    crash_fn: Option<Box<dyn Fn() + Send + Sync>>,
+    bodies: Vec<Box<dyn FnOnce() -> T + Send + 'a>>,
+) -> BatchOutcome<T> {
+    let slots: Vec<StdMutex<Option<T>>> = bodies.iter().map(|_| StdMutex::new(None)).collect();
+    let wrapped: Vec<Box<dyn FnOnce() + Send + '_>> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let slot = &slots[i];
+            let b: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let r = body();
+                *slot.lock().unwrap() = Some(r);
+            });
+            b
+        })
+        .collect();
+    let sched = run_tasks(cfg, crash_fn, wrapped);
+    let results = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap())
+        .collect();
+    BatchOutcome { sched, results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spash_pmem::sync::Mutex;
+
+    /// Tasks contend on a shared cooperative lock and return (ops, a
+    /// checksum of the orders they observed).
+    fn contended_batch(
+        cfg: &SchedConfig,
+        n_tasks: usize,
+        per_task: u64,
+    ) -> (BatchOutcome<(u64, u64)>, Vec<u32>) {
+        let log = Mutex::new(Vec::new());
+        let bodies: Vec<Box<dyn FnOnce() -> (u64, u64) + Send + '_>> = (0..n_tasks)
+            .map(|t| {
+                let log = &log;
+                let b: Box<dyn FnOnce() -> (u64, u64) + Send + '_> = Box::new(move || {
+                    let mut seen = 0u64;
+                    for i in 0..per_task {
+                        let mut g = log.lock();
+                        g.push(t as u32);
+                        seen = seen.wrapping_mul(31).wrapping_add(g.len() as u64 ^ i);
+                    }
+                    (per_task, seen)
+                });
+                b
+            })
+            .collect();
+        let out = run_batch(cfg, None, bodies);
+        let order = log.lock().clone();
+        (out, order)
+    }
+
+    #[test]
+    fn collects_every_result_and_sums_ops() {
+        let (out, order) = contended_batch(&SchedConfig::random(11, 16), 4, 6);
+        assert!(out.complete());
+        let total: u64 = out.results.iter().map(|r| r.unwrap().0).sum();
+        assert_eq!(total, 24);
+        assert_eq!(order.len(), 24);
+    }
+
+    #[test]
+    fn same_seed_same_results_and_trace() {
+        let (a, oa) = contended_batch(&SchedConfig::random(5, 16), 3, 8);
+        let (b, ob) = contended_batch(&SchedConfig::random(5, 16), 3, 8);
+        assert_eq!(a.sched.trace, b.sched.trace);
+        assert_eq!(a.results, b.results);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn replaying_the_trace_reproduces_results() {
+        let (a, oa) = contended_batch(&SchedConfig::random(9, 16), 3, 8);
+        assert!(a.complete());
+        let (b, ob) = contended_batch(&SchedConfig::replay(a.sched.trace.clone()), 3, 8);
+        assert_eq!(a.sched.trace, b.sched.trace);
+        assert_eq!(a.results, b.results);
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn stopped_runs_leave_incomplete_slots() {
+        // One task spins forever: the deadlock valve stops the world and
+        // its slot stays None.
+        let bodies: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![Box::new(|| {
+            loop {
+                spash_pmem::schedhook::spin_wait();
+            }
+        })];
+        let out = run_batch(&SchedConfig::random(1, 4), None, bodies);
+        assert!(out.sched.stopped.is_some());
+        assert!(!out.complete());
+        assert_eq!(out.results, vec![None]);
+    }
+}

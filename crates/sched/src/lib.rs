@@ -36,6 +36,7 @@
 //! while several operations are mid-flight at scheduler-controlled
 //! points. See [`crashsched`].
 
+pub mod batch;
 pub mod crashsched;
 pub mod explore;
 pub mod lin;

@@ -160,37 +160,78 @@ impl WorkloadConfig {
     }
 }
 
+/// Rank-space partition for thread `tid` of `threads`: the same
+/// `div_ceil`-sized chunking as the benchmark harness's `my_chunk`, so a
+/// load phase that inserts chunk `tid` of `load_keys` and a run phase
+/// drawing from `partition_bounds` touch exactly the same keys.
+pub fn partition_bounds(n: u64, threads: u64, tid: u64) -> (u64, u64) {
+    debug_assert!(threads >= 1 && tid < threads);
+    let per = n.div_ceil(threads);
+    let lo = (tid * per).min(n);
+    let hi = ((tid + 1) * per).min(n);
+    (lo, hi)
+}
+
 /// Per-thread operation stream.
 pub struct OpStream {
     cfg: WorkloadConfig,
     zipf: Option<Zipfian>,
     rng: Rng64,
+    /// Run-phase keys are drawn from popularity ranks `[rank_lo, rank_hi)`
+    /// — the full key space for shared streams, this thread's slice for
+    /// partitioned ones.
+    rank_lo: u64,
+    rank_hi: u64,
     /// Next key for run-phase inserts.
     insert_cursor: u64,
 }
 
 impl OpStream {
     pub fn new(cfg: &WorkloadConfig, thread: u64) -> Self {
+        Self::over_ranks(cfg, thread, 0, cfg.n_keys)
+    }
+
+    /// A stream restricted to thread `tid`'s rank partition (of
+    /// `threads`): threads touch disjoint key sets, so the run phase is
+    /// contention-free by construction — the low-contention end of the
+    /// scalability sweep. A zipfian partitioned stream is skewed *within*
+    /// its slice (every thread has its own private hot set).
+    pub fn partitioned(cfg: &WorkloadConfig, tid: u64, threads: u64) -> Self {
+        let (lo, hi) = partition_bounds(cfg.n_keys, threads, tid);
+        // A degenerate empty slice (more threads than keys) falls back to
+        // the shared space rather than generating nothing.
+        if lo >= hi {
+            Self::over_ranks(cfg, tid, 0, cfg.n_keys)
+        } else {
+            Self::over_ranks(cfg, tid, lo, hi)
+        }
+    }
+
+    fn over_ranks(cfg: &WorkloadConfig, thread: u64, rank_lo: u64, rank_hi: u64) -> Self {
         let zipf = match cfg.dist {
             Distribution::Uniform => None,
-            Distribution::Zipfian => Some(Zipfian::new(cfg.n_keys, 0.99)),
+            Distribution::Zipfian => Some(Zipfian::new(rank_hi - rank_lo, 0.99)),
         };
         Self {
             rng: Rng64::new(cfg.seed ^ (thread + 1).wrapping_mul(0xdead_beef_1234_5677)),
             zipf,
+            rank_lo,
+            rank_hi,
             insert_cursor: cfg.n_keys + 1 + thread * (1 << 32),
             cfg: cfg.clone(),
         }
     }
 
     fn pick_key(&mut self) -> u64 {
-        let r = match &self.zipf {
-            None => self.rng.below(self.cfg.n_keys),
-            Some(z) => {
-                let u = self.rng.next_f64();
-                z.rank(u)
-            }
-        };
+        let width = self.rank_hi - self.rank_lo;
+        let r = self.rank_lo
+            + match &self.zipf {
+                None => self.rng.below(width),
+                Some(z) => {
+                    let u = self.rng.next_f64();
+                    z.rank(u)
+                }
+            };
         self.cfg.rank_to_key(r)
     }
 
@@ -336,6 +377,77 @@ mod tests {
         let ops_b: Vec<WorkOp> = (0..100).map(|_| b.next_op()).collect();
         assert_eq!(ops_a1, ops_a2);
         assert_ne!(ops_a1, ops_b);
+    }
+
+    #[test]
+    fn partition_bounds_cover_and_are_disjoint() {
+        for (n, threads) in [(103u64, 4u64), (8, 8), (10_000, 7), (5, 8)] {
+            let mut covered = 0;
+            let mut prev_hi = 0;
+            for t in 0..threads {
+                let (lo, hi) = partition_bounds(n, threads, t);
+                assert!(lo <= hi && hi <= n);
+                assert!(lo >= prev_hi, "partitions overlap");
+                prev_hi = hi;
+                covered += hi - lo;
+            }
+            assert_eq!(covered, n, "partitions must cover the rank space");
+        }
+    }
+
+    #[test]
+    fn partitioned_streams_stay_in_their_slice() {
+        for dist in [Distribution::Uniform, Distribution::Zipfian] {
+            let c = cfg(dist, Mix::BALANCED);
+            let threads = 4u64;
+            // Keys owned by each slice, via the same bounds the stream uses.
+            let owned: Vec<std::collections::HashSet<u64>> = (0..threads)
+                .map(|t| {
+                    let (lo, hi) = partition_bounds(c.n_keys, threads, t);
+                    (lo..hi).map(|r| c.rank_to_key(r)).collect()
+                })
+                .collect();
+            for t in 0..threads {
+                let mut s = OpStream::partitioned(&c, t, threads);
+                for _ in 0..2_000 {
+                    match s.next_op() {
+                        WorkOp::Search(k) | WorkOp::Update(k, _) | WorkOp::Delete(k) => {
+                            assert!(owned[t as usize].contains(&k), "thread {t} drew foreign key {k}");
+                        }
+                        WorkOp::Insert(_, _) => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_streams_are_deterministic_and_distinct() {
+        let c = cfg(Distribution::Zipfian, Mix::BALANCED);
+        let mut a1 = OpStream::partitioned(&c, 1, 4);
+        let mut a2 = OpStream::partitioned(&c, 1, 4);
+        let mut b = OpStream::partitioned(&c, 2, 4);
+        let ops_a1: Vec<WorkOp> = (0..200).map(|_| a1.next_op()).collect();
+        let ops_a2: Vec<WorkOp> = (0..200).map(|_| a2.next_op()).collect();
+        let ops_b: Vec<WorkOp> = (0..200).map(|_| b.next_op()).collect();
+        assert_eq!(ops_a1, ops_a2);
+        assert_ne!(ops_a1, ops_b);
+    }
+
+    #[test]
+    fn empty_partition_falls_back_to_shared_space() {
+        // 5 keys, 8 threads: the last slices are empty and must degrade to
+        // the full space instead of panicking or looping.
+        let c = WorkloadConfig::new(5, Distribution::Uniform, Mix::BALANCED, ValueSize::Inline);
+        let mut s = OpStream::partitioned(&c, 7, 8);
+        for _ in 0..50 {
+            match s.next_op() {
+                WorkOp::Search(k) | WorkOp::Update(k, _) | WorkOp::Delete(k) => {
+                    assert!((1..=5).contains(&k));
+                }
+                WorkOp::Insert(_, _) => {}
+            }
+        }
     }
 
     #[test]

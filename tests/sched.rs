@@ -213,3 +213,62 @@ fn mutated_halo_violation_is_caught_and_replays() {
         std::panic::resume_unwind(p);
     }
 }
+
+/// The scale sweep's batch driver (`spash_sched::batch::run_batch`, the
+/// engine under `spash-bench scale`) must record a decision trace that
+/// replays byte-identically with identical per-task results — the
+/// property that makes every sweep row reproducible from its seed alone.
+#[test]
+fn batch_driver_trace_replays_byte_identically() {
+    use spash_repro::index_api::PersistentIndex;
+    use spash_repro::sched::batch::run_batch;
+
+    let run = |cfg: &SchedConfig| {
+        let dev = PmDevice::new(pm());
+        let mut fmt = dev.ctx();
+        let idx =
+            std::sync::Arc::new(Spash::format(&mut fmt, SpashConfig::default()).unwrap());
+        drop(fmt);
+        // Contexts created before spawning, in task order, so simulated
+        // thread ids match between record and replay (the scale driver's
+        // discipline).
+        let bodies: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..3u64)
+            .map(|t| {
+                let idx = idx.clone();
+                let mut ctx = dev.ctx();
+                let b: Box<dyn FnOnce() -> u64 + Send> = Box::new(move || {
+                    // Digest every observed outcome: any divergence in
+                    // interleaving that is visible to a task changes it.
+                    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+                    let mut mix = |x: u64| {
+                        digest = (digest ^ x).wrapping_mul(0x100_0000_01b3);
+                    };
+                    for i in 0..12u64 {
+                        let k = i % 6 + 1; // tiny key space: tasks collide
+                        match i % 3 {
+                            0 => mix(idx.insert_u64(&mut ctx, k, t * 100 + i).is_ok() as u64),
+                            1 => mix(idx.get_u64(&mut ctx, k).unwrap_or(u64::MAX)),
+                            _ => mix(idx.remove(&mut ctx, k) as u64),
+                        }
+                    }
+                    digest
+                });
+                b
+            })
+            .collect();
+        let out = run_batch(cfg, None, bodies);
+        assert!(
+            out.complete(),
+            "batch run did not complete: panics={:?} stopped={:?}",
+            out.sched.panics,
+            out.sched.stopped
+        );
+        (out.sched.trace, out.results)
+    };
+
+    let (trace, results) = run(&SchedConfig::random(0xBA7C4, 40));
+    assert!(!trace.is_empty(), "recorded an empty decision trace");
+    let (replayed, replayed_results) = run(&SchedConfig::replay(trace.clone()));
+    assert_eq!(trace, replayed, "replay diverged from the recorded decisions");
+    assert_eq!(results, replayed_results, "replay changed a task's observations");
+}
