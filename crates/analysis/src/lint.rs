@@ -17,6 +17,7 @@
 //! | `spin-hygiene`   | no raw `yield_now` / `spin_loop`: busy-waits must route through `spin_wait()` so the scheduler can deschedule them |
 //! | `safety-comment` | every `unsafe` carries a `// SAFETY:` comment                       |
 //! | `arena-direct`   | no `arena.store_*` / `arena.write_*` outside `crates/pmem` (raw stores bypass the cache model and the sanitizer) |
+//! | `fp-probe`       | no raw key-word scan (`read_u64(key_addr(..))`) in `crates/core` from a function that never consults the fingerprint sidecar — probe paths must pre-filter via the fp word (`fptable` / `fp_word`); maintenance walkers carry a waiver |
 //!
 //! ## Waivers
 //!
@@ -45,14 +46,16 @@ pub const RULE_HOST_TIME: &str = "host-time";
 pub const RULE_SPIN_HYGIENE: &str = "spin-hygiene";
 pub const RULE_SAFETY_COMMENT: &str = "safety-comment";
 pub const RULE_ARENA_DIRECT: &str = "arena-direct";
+pub const RULE_FP_PROBE: &str = "fp-probe";
 
 /// All rule names, for `--help` style listings.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     RULE_STD_SYNC,
     RULE_HOST_TIME,
     RULE_SPIN_HYGIENE,
     RULE_SAFETY_COMMENT,
     RULE_ARENA_DIRECT,
+    RULE_FP_PROBE,
 ];
 
 /// One rule violation.
@@ -182,6 +185,27 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                     break;
                 }
             }
+        }
+
+        // fp-probe: a raw key-word read in the core crate from a function
+        // that never looks at the fingerprint sidecar is a probe path
+        // bypassing the fp pre-filter (or an unwaived maintenance scan).
+        if path.starts_with("crates/core/")
+            && !lenient(i)
+            && line.contains("read_u64")
+            && line.contains("key_addr(")
+            && !enclosing_fn_is_fp_aware(&stripped_lines, i)
+        {
+            push(
+                &mut out,
+                i,
+                RULE_FP_PROBE,
+                "raw key-word scan (`read_u64(key_addr(..))`) in a function that \
+                 never consults the fp sidecar; probe paths must pre-filter via \
+                 `fptable.read` / `fp_word::*_candidates`, and deliberate \
+                 fp-blind walkers (recovery, audit, oracle) need a waiver"
+                    .to_string(),
+            );
         }
 
         // safety-comment applies everywhere, tests included.
@@ -544,6 +568,55 @@ fn cfg_test_lines(stripped: &str) -> Vec<bool> {
     marks
 }
 
+/// Does the function enclosing line `idx` consult the fingerprint sidecar
+/// anywhere in its body? Heuristic for `fp-probe`: walk back to the
+/// nearest `fn` item, brace-track to its closing line, and look for the
+/// sidecar's API tokens. Closures inside an fp-aware function inherit its
+/// verdict, which is the right granularity — the check guards *paths*,
+/// not individual expressions.
+fn enclosing_fn_is_fp_aware(stripped_lines: &[&str], idx: usize) -> bool {
+    const FP_TOKENS: [&str; 6] = [
+        "fptable",
+        "fp_word",
+        "fp8",
+        "slot_candidates",
+        "hint_candidates",
+        "rebuild_words",
+    ];
+    // Nearest preceding line that declares a function.
+    let mut start = None;
+    for j in (0..=idx).rev() {
+        if contains_token(stripped_lines[j], "fn") {
+            start = Some(j);
+            break;
+        }
+    }
+    let Some(start) = start else { return false };
+    // Brace-track from the declaration to the body's closing line.
+    let mut depth = 0i64;
+    let mut opened = false;
+    let mut end = stripped_lines.len() - 1;
+    for (j, l) in stripped_lines.iter().enumerate().skip(start) {
+        for c in l.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            end = j;
+            break;
+        }
+    }
+    stripped_lines[start..=end]
+        .iter()
+        .any(|l| FP_TOKENS.iter().any(|t| contains_token(l, t)))
+}
+
 // ---------------------------------------------------------------------------
 // Waivers and SAFETY comments.
 // ---------------------------------------------------------------------------
@@ -700,6 +773,35 @@ mod tests {
         // Loads are allowed (recovery scans read the durable image).
         let src = "let v = ctx.device().arena().load_u64(a);\n";
         assert!(lint_source("crates/htm/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fp_probe_fires_on_blind_scans_in_core() {
+        // A function scanning key words without ever touching the fp
+        // sidecar is a bypass.
+        let src = "fn scan(ctx: &mut MemCtx, seg: PmAddr) -> u64 {\n    ctx.read_u64(key_addr(seg, 0))\n}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/ops.rs", src)),
+            [RULE_FP_PROBE]
+        );
+        // Consulting the sidecar anywhere in the same function clears it.
+        let src = "fn probe(ctx: &mut MemCtx, seg: PmAddr) -> u64 {\n    let fpw = self.fptable.read(ctx, seg, 0);\n    ctx.read_u64(key_addr(seg, 0))\n}\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+        let src = "fn probe(ctx: &mut MemCtx, seg: PmAddr) -> u64 {\n    let m = fp_word::slot_candidates(w, t);\n    ctx.read_u64(key_addr(seg, 0))\n}\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+        // Waived maintenance walkers are fine.
+        let src = "// lint:allow(fp-probe): recovery rebuild walks every slot by design\nfn walk(ctx: &mut MemCtx, seg: PmAddr) -> u64 {\n    ctx.read_u64(key_addr(seg, 0))\n}\n";
+        // The waiver sits above the fn, not the read line — move it inline.
+        let f = lint_source("crates/core/src/ops.rs", src);
+        assert_eq!(rules_of(&f), [RULE_FP_PROBE], "waiver must cover the read line");
+        let src = "fn walk(ctx: &mut MemCtx, seg: PmAddr) -> u64 {\n    // lint:allow(fp-probe): recovery rebuild walks every slot by design\n    ctx.read_u64(key_addr(seg, 0))\n}\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
+        // Outside crates/core the rule does not apply.
+        let src = "fn scan(ctx: &mut MemCtx, seg: PmAddr) -> u64 {\n    ctx.read_u64(key_addr(seg, 0))\n}\n";
+        assert!(lint_source("crates/baselines/src/dash.rs", src).is_empty());
+        // Writes and prefetches are not scans.
+        let src = "fn put(ctx: &mut MemCtx, seg: PmAddr) {\n    ctx.write_u64(key_addr(seg, 0), 7);\n    ctx.prefetch(key_addr(seg, 0));\n}\n";
+        assert!(lint_source("crates/core/src/ops.rs", src).is_empty());
     }
 
     #[test]

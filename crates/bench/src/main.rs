@@ -283,8 +283,14 @@ fn probes(scale: &Scale) {
 /// `SPASH_SCHED_KEYS` (12), `SPASH_SCHED_PREFILL` (keys/2),
 /// `SPASH_SCHED_SEED0` (1), `SPASH_SCHED_PREEMPTIONS` (24),
 /// `SPASH_SCHED_ARENA_MB` (48), `SPASH_SCHED_TARGETS=spash|baselines|all`,
-/// `SPASH_SCHED_MUTATE=1` (checker canary: enable the Halo racy-insert
-/// mutation and *require* a caught, replayable violation).
+/// `SPASH_SCHED_MUTATE=<mode>` (checker canary: inject a known bug and
+/// *require* a caught, replayable violation; `1`/`halo` enables the Halo
+/// racy-insert mutation, `fp` corrupts Spash's fingerprint sidecar tags
+/// at write time so fp-filtered probes miss live keys). The overlay
+/// staleness canary is not wired here: surfacing it needs a
+/// split→update→read pattern the tiny explore workloads don't reach
+/// reliably; its checker catch is pinned deterministically by
+/// `tests/fingerprint_oracle.rs` instead.
 fn sched_explore(want_distinct: u64) {
     use spash::{Spash, SpashConfig};
     use spash_baselines::{testhooks, CLevel, Cceh, Dash, Halo, Level, Plush};
@@ -301,8 +307,24 @@ fn sched_explore(want_distinct: u64) {
             .unwrap_or(default)
     }
 
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mutation {
+        None,
+        HaloRacyInsert,
+        SpashWrongTag,
+    }
+
     spash_sched::silence_sched_panics();
-    let mutate = knob("SPASH_SCHED_MUTATE", 0) != 0;
+    let mutation = match std::env::var("SPASH_SCHED_MUTATE").as_deref() {
+        Err(_) | Ok("") | Ok("0") => Mutation::None,
+        Ok("1") | Ok("halo") => Mutation::HaloRacyInsert,
+        Ok("fp") => Mutation::SpashWrongTag,
+        Ok(other) => {
+            eprintln!("SPASH_SCHED_MUTATE={other:?}: unknown mutation (want 1|halo|fp)");
+            std::process::exit(2);
+        }
+    };
+    let mutate = mutation != Mutation::None;
     let threads = knob("SPASH_SCHED_THREADS", 3) as usize;
     let ops = knob("SPASH_SCHED_OPS", 8);
     let keys = knob("SPASH_SCHED_KEYS", if mutate { 4 } else { 12 });
@@ -324,7 +346,13 @@ fn sched_explore(want_distinct: u64) {
     let which = std::env::var("SPASH_SCHED_TARGETS").unwrap_or_else(|_| "all".into());
     let mut targets: Vec<CrashTarget> = Vec::new();
     if mutate {
-        targets.push(Halo::crash_target(8 << 20, u64::MAX));
+        match mutation {
+            Mutation::HaloRacyInsert => targets.push(Halo::crash_target(8 << 20, u64::MAX)),
+            Mutation::SpashWrongTag => {
+                targets.push(Spash::crash_target(SpashConfig::test_default()))
+            }
+            Mutation::None => unreachable!(),
+        }
     } else {
         if which != "baselines" {
             targets.push(Spash::crash_target(SpashConfig::test_default()));
@@ -356,8 +384,14 @@ fn sched_explore(want_distinct: u64) {
     );
     println!("# target schedules distinct violations panics stopped");
 
-    if mutate {
-        testhooks::set_halo_racy_insert(true);
+    match mutation {
+        Mutation::None => {}
+        Mutation::HaloRacyInsert => {
+            testhooks::set_halo_racy_insert(true);
+        }
+        Mutation::SpashWrongTag => {
+            spash::testhooks::set_fp_wrong_tag(true);
+        }
     }
     let mut failed = false;
     for target in &targets {
@@ -444,8 +478,14 @@ fn sched_explore(want_distinct: u64) {
             failed = true;
         }
     }
-    if mutate {
-        testhooks::set_halo_racy_insert(false);
+    match mutation {
+        Mutation::None => {}
+        Mutation::HaloRacyInsert => {
+            testhooks::set_halo_racy_insert(false);
+        }
+        Mutation::SpashWrongTag => {
+            spash::testhooks::set_fp_wrong_tag(false);
+        }
     }
     if failed {
         std::process::exit(1);

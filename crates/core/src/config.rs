@@ -82,6 +82,11 @@ pub struct SpashConfig {
     /// splits block behind the doubling thread instead of completing
     /// pending stages themselves — the tail-latency ablation.
     pub collaborative_doubling: bool,
+    /// Entries in the DRAM read-through overlay cache in front of hot
+    /// buckets (power of two ≥ 8; 0 disables it). The overlay is only
+    /// consulted under [`ConcurrencyMode::Htm`] — the lock modes keep
+    /// their seqlock/read-lock protocols untouched.
+    pub overlay_entries: usize,
     /// Software-HTM geometry.
     pub htm: HtmConfig,
 }
@@ -99,6 +104,7 @@ impl Default for SpashConfig {
             max_tx_retries: 8,
             enable_merge: true,
             collaborative_doubling: true,
+            overlay_entries: 16384,
             htm: HtmConfig::default(),
         }
     }

@@ -65,6 +65,7 @@ impl Spash {
             reachable.insert(seg.0);
             for idx in 0..SLOTS_PER_SEG {
                 if let SlotKey::Ptr { addr, .. } =
+                    // lint:allow(fp-probe): reachability audit walks the raw durable image; it must see every slot, fp-filtered or not
                     SlotKey::unpack(ctx.read_u64(key_addr(seg, idx)))
                 {
                     reachable.insert(addr.0);

@@ -1,0 +1,341 @@
+//! The persistent per-bucket fingerprint sidecar table.
+//!
+//! Segments are headerless 256-byte XPLines with no spare bits, so the
+//! 8-bit probe tags live in a sidecar in the allocator's reserved region,
+//! right after the [`crate::seginfo`] records: four packed
+//! [`crate::slot::fp_word`] words (32 bytes) per segment-capable chunk,
+//! one word per bucket. A probe reads exactly one sidecar word — half a
+//! cacheline shared with the buddy chunk — and only touches the bucket
+//! line when a tag byte matches.
+//!
+//! Tags are *hints*: the slot key words stay authoritative, every tag
+//! match is re-verified against the slot, and recovery rebuilds the whole
+//! table from the slots ([`rebuild_words`]), healing any tag torn by a
+//! crash. That is also why the live paths may keep the table *exactly*
+//! equal to the rebuild rule (checked by the integrity walker): a torn
+//! tag can only exist transiently between a crash and recovery.
+//!
+//! Under the [`crate::testhooks::fp_wrong_tag`] mutation every tag
+//! *stored* through this table is corrupted while probes keep computing
+//! the true tag — the canary the oracle battery must catch.
+
+use crate::slot::{
+    self, bucket_of, bucket_slots, fp8, fp_word, hint_matches, value_word, SlotKey,
+    BUCKETS_PER_SEG, SEG_SIZE,
+};
+use spash_htm::{Abort, Tx};
+use spash_pmem::{MemCtx, PmAddr};
+
+/// Sidecar bytes per segment-capable chunk: one u64 per bucket.
+pub const FP_BYTES_PER_SEG: u64 = BUCKETS_PER_SEG as u64 * 8;
+
+/// Corrupt a tag on its way into the table when the wrong-tag mutation is
+/// armed. XOR 0x55 remapped away from 0 so an occupied slot still looks
+/// occupied — the breakage is a *wrong* tag (false negatives), not a
+/// spuriously empty one. Also applied by the split planner's image
+/// builder so the canary covers tag writes on every path.
+#[inline]
+pub(crate) fn stored_tag(tag: u8) -> u8 {
+    if tag != 0 && crate::testhooks::fp_wrong_tag() {
+        let t = tag ^ 0x55;
+        if t == 0 {
+            0xff
+        } else {
+            t
+        }
+    } else {
+        tag
+    }
+}
+
+/// The table. Lives in the allocator's reserved region, after the
+/// seginfo records.
+pub struct FpTable {
+    base: PmAddr,
+    heap_start: u64,
+    n_chunks: u64,
+}
+
+impl FpTable {
+    /// `base` is the first byte after the seginfo records; `len` the
+    /// remaining reserved bytes.
+    pub fn new(base: PmAddr, len: u64, heap_start: u64, n_chunks: u64) -> Self {
+        assert!(
+            len >= n_chunks * FP_BYTES_PER_SEG,
+            "reserved region too small for fp sidecar: need {} bytes for {} chunks, have {len}",
+            n_chunks * FP_BYTES_PER_SEG,
+            n_chunks
+        );
+        Self {
+            base,
+            heap_start,
+            n_chunks,
+        }
+    }
+
+    /// Address of bucket `b`'s fp word for segment `seg`.
+    #[inline]
+    pub fn word_addr(&self, seg: PmAddr, b: u8) -> PmAddr {
+        debug_assert!(seg.0 >= self.heap_start && b < BUCKETS_PER_SEG);
+        let chunk = (seg.0 - self.heap_start) / SEG_SIZE;
+        debug_assert!(chunk < self.n_chunks);
+        PmAddr(self.base.0 + chunk * FP_BYTES_PER_SEG + b as u64 * 8)
+    }
+
+    /// Plain read of bucket `b`'s fp word.
+    #[inline]
+    pub fn read(&self, ctx: &mut MemCtx, seg: PmAddr, b: u8) -> u64 {
+        ctx.read_u64(self.word_addr(seg, b))
+    }
+
+    /// Transactional read of bucket `b`'s fp word. Joining the read set
+    /// here is load-bearing: every insert/remove touching the bucket
+    /// writes this word, so a fingerprint-filtered lookup that never
+    /// reads a bucket line still conflicts with concurrent mutators.
+    #[inline]
+    pub fn tx_read(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        b: u8,
+    ) -> Result<u64, Abort> {
+        tx.read_u64(ctx, self.word_addr(seg, b))
+    }
+
+    /// Transactionally set the slot tag of slot `idx` (clearing: `tag`
+    /// 0). The bucket is implied by the slot index.
+    pub fn tx_set_slot_tag(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        idx: u8,
+        tag: u8,
+    ) -> Result<(), Abort> {
+        let (b, j) = (idx / 4, idx % 4);
+        let w = tx.read_u64(ctx, self.word_addr(seg, b))?;
+        tx.write_u64(
+            ctx,
+            self.word_addr(seg, b),
+            fp_word::with_slot_tag(w, j, stored_tag(tag)),
+        )
+    }
+
+    /// Transactionally set the hint tag riding value word `idx` of bucket
+    /// `idx/4` (clearing: `tag` 0).
+    pub fn tx_set_hint_tag(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        idx: u8,
+        tag: u8,
+    ) -> Result<(), Abort> {
+        let (b, j) = (idx / 4, idx % 4);
+        let w = tx.read_u64(ctx, self.word_addr(seg, b))?;
+        tx.write_u64(
+            ctx,
+            self.word_addr(seg, b),
+            fp_word::with_hint_tag(w, j, stored_tag(tag)),
+        )
+    }
+
+    /// Plain (non-transactional) slot-tag write, for the lock-mode and
+    /// HTM-fallback paths that mutate under a partition/segment lock.
+    ///
+    /// A tag torn by an ADR crash here is provably benign, so the write
+    /// is declared a recovery don't-care for the ordering sanitizer:
+    /// tags are probe *hints* — the slot key word stays authoritative
+    /// for every membership decision — and recovery rebuilds the whole
+    /// fp sidecar from the slots before the index serves a request.
+    pub fn set_slot_tag(&self, ctx: &mut MemCtx, seg: PmAddr, idx: u8, tag: u8) {
+        let (b, j) = (idx / 4, idx % 4);
+        let a = self.word_addr(seg, b);
+        let w = ctx.read_u64(a);
+        ctx.write_u64(a, fp_word::with_slot_tag(w, j, stored_tag(tag)));
+        ctx.san_forgive(a, 8);
+    }
+
+    /// Plain hint-tag write (see [`Self::set_slot_tag`], including the
+    /// torn-tag benignity argument behind the `san_forgive`).
+    pub fn set_hint_tag(&self, ctx: &mut MemCtx, seg: PmAddr, idx: u8, tag: u8) {
+        let (b, j) = (idx / 4, idx % 4);
+        let a = self.word_addr(seg, b);
+        let w = ctx.read_u64(a);
+        ctx.write_u64(a, fp_word::with_hint_tag(w, j, stored_tag(tag)));
+        ctx.san_forgive(a, 8);
+    }
+
+    /// Plain whole-word write (format, split image installation,
+    /// recovery rebuild). Same torn-tag benignity argument as
+    /// [`Self::set_slot_tag`].
+    pub fn write_word(&self, ctx: &mut MemCtx, seg: PmAddr, b: u8, word: u64) {
+        ctx.write_u64(self.word_addr(seg, b), word);
+        ctx.san_forgive(self.word_addr(seg, b), 8);
+    }
+
+    /// Transactional whole-word write (HTM split installing a child
+    /// image's fp words).
+    pub fn tx_write_word(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        b: u8,
+        word: u64,
+    ) -> Result<(), Abort> {
+        tx.write_u64(ctx, self.word_addr(seg, b), word)
+    }
+}
+
+/// The rebuild rule: the four fp words a segment's slots imply. This pure
+/// function is the single source of truth shared by recovery (which
+/// applies it) and the integrity walker (which checks the live table
+/// against it exactly).
+///
+/// `hash_of_kw` resolves a key word to its key hash — inline keys hash
+/// directly; `Ptr` keys need the blob's key read from PM, which the
+/// caller owns (it also lets the walker reuse hashes it already read).
+/// The rule ignores the wrong-tag mutation by construction (tags are
+/// *computed*, not copied), which is exactly why recovery heals the
+/// canary's corruption and the walker catches it.
+pub fn rebuild_words(
+    words: &[(u64, u64); 16],
+    mut hash_of_kw: impl FnMut(u64) -> Option<u64>,
+) -> [u64; 4] {
+    let mut fp = [0u64; 4];
+    for b in 0..BUCKETS_PER_SEG {
+        for (j, idx) in bucket_slots(b).enumerate() {
+            let (kw, vw) = words[idx as usize];
+            // Slot tag: fp8 of the resident key.
+            if !SlotKey::unpack(kw).is_empty() {
+                if let Some(h) = hash_of_kw(kw) {
+                    fp[b as usize] = fp_word::with_slot_tag(fp[b as usize], j as u8, fp8(h));
+                }
+            }
+            // Hint tag: fp8 of the overflow key this bucket's hint points
+            // at, provided the hint is live — target occupied, fp12
+            // match, main bucket is `b`, and the target actually overflows
+            // (sits outside `b`). Anything else is a stale hint slot.
+            let hint = value_word::hint(vw);
+            if hint == 0 {
+                continue;
+            }
+            let t = (hint & 0xf) as u8;
+            let (tkw, _) = words[t as usize];
+            if SlotKey::unpack(tkw).is_empty() || t / 4 == b {
+                continue;
+            }
+            if let Some(th) = hash_of_kw(tkw) {
+                if hint_matches(hint, th) == Some(t) && bucket_of(th) == b {
+                    fp[b as usize] = fp_word::with_hint_tag(fp[b as usize], j as u8, fp8(th));
+                }
+            }
+        }
+    }
+    fp
+}
+
+/// Convenience: rebuild and install one segment's fp words from its
+/// current slot contents, reading blob keys through `ctx`. Used by
+/// recovery and by the locked split path.
+pub fn rebuild_segment(table: &FpTable, ctx: &mut MemCtx, seg: PmAddr) {
+    let mut words = [(0u64, 0u64); 16];
+    for idx in 0..slot::SLOTS_PER_SEG {
+        words[idx as usize] = (
+            ctx.read_u64(slot::key_addr(seg, idx)),
+            ctx.read_u64(slot::value_addr(seg, idx)),
+        );
+    }
+    let fp = rebuild_words(&words, |kw| match SlotKey::unpack(kw) {
+        SlotKey::Empty => None,
+        SlotKey::Inline { key, .. } => Some(spash_index_api::hash_key(key)),
+        SlotKey::Ptr { addr, .. } => Some(spash_index_api::hash_key(ctx.read_u64(addr))),
+    });
+    for b in 0..BUCKETS_PER_SEG {
+        table.write_word(ctx, seg, b, fp[b as usize]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spash_index_api::hash_key;
+
+    fn seg_words_with(entries: &[(u8, u64)]) -> [(u64, u64); 16] {
+        // entries: (slot idx, inline key)
+        let mut words = [(0u64, 0u64); 16];
+        for &(idx, key) in entries {
+            let h = hash_key(key);
+            words[idx as usize].0 = SlotKey::Inline { key, fp: slot::fp14(h) }.pack();
+        }
+        words
+    }
+
+    fn inline_hash(kw: u64) -> Option<u64> {
+        match SlotKey::unpack(kw) {
+            SlotKey::Empty => None,
+            SlotKey::Inline { key, .. } => Some(hash_key(key)),
+            SlotKey::Ptr { .. } => unreachable!("test uses inline keys only"),
+        }
+    }
+
+    /// An inline key whose hash lands in bucket `b`.
+    fn key_in_bucket(b: u8, salt: u64) -> u64 {
+        (0..).map(|i| salt * 1000 + i).find(|&k| bucket_of(hash_key(k)) == b).unwrap()
+    }
+
+    #[test]
+    fn rebuild_sets_slot_tags_for_occupied_slots() {
+        let k0 = key_in_bucket(0, 1);
+        let k2 = key_in_bucket(2, 2);
+        let words = seg_words_with(&[(0, k0), (9, k2)]);
+        let fp = rebuild_words(&words, inline_hash);
+        assert_eq!(fp_word::slot_tag(fp[0], 0), fp8(hash_key(k0)));
+        assert_eq!(fp_word::slot_tag(fp[2], 1), fp8(hash_key(k2)));
+        assert_eq!(fp[1], 0);
+        assert_eq!(fp[3], 0);
+    }
+
+    #[test]
+    fn rebuild_sets_hint_tags_for_live_overflow_hints() {
+        // Overflow key with main bucket 0, stored in slot 6 (bucket 1);
+        // the hint rides value word 2 of bucket 0.
+        let ko = key_in_bucket(0, 3);
+        let ho = hash_key(ko);
+        let mut words = seg_words_with(&[(6, ko)]);
+        words[2].1 = value_word::with_hint(0, slot::make_hint(ho, 6));
+        let fp = rebuild_words(&words, inline_hash);
+        assert_eq!(fp_word::hint_tag(fp[0], 2), fp8(ho), "live hint tagged");
+        assert_eq!(fp_word::slot_tag(fp[1], 2), fp8(ho), "overflow slot tagged too");
+    }
+
+    #[test]
+    fn rebuild_ignores_stale_hints() {
+        let ko = key_in_bucket(0, 4);
+        let ho = hash_key(ko);
+        // Hint to an *empty* slot.
+        let mut words = [(0u64, 0u64); 16];
+        words[1].1 = value_word::with_hint(0, slot::make_hint(ho, 6));
+        assert_eq!(rebuild_words(&words, inline_hash)[0], 0);
+        // Hint whose target sits in the main bucket itself (not overflow).
+        let mut words = seg_words_with(&[(2, ko)]);
+        words[1].1 = value_word::with_hint(0, slot::make_hint(ho, 2));
+        assert_eq!(fp_word::hint_tag(rebuild_words(&words, inline_hash)[0], 1), 0);
+    }
+
+    #[test]
+    fn membership_filter_is_complete_for_rebuilt_words() {
+        // Every key reachable in the segment (main slot or hint) must
+        // match its main bucket's fp word.
+        let k_main = key_in_bucket(1, 5);
+        let k_over = key_in_bucket(1, 6);
+        let mut words = seg_words_with(&[(5, k_main), (10, k_over)]);
+        let ho = hash_key(k_over);
+        words[4].1 = value_word::with_hint(words[4].1, slot::make_hint(ho, 10));
+        let fp = rebuild_words(&words, inline_hash);
+        assert!(fp_word::any_match(fp[1], fp8(hash_key(k_main))));
+        assert!(fp_word::any_match(fp[1], fp8(ho)));
+    }
+}

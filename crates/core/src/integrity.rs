@@ -23,6 +23,12 @@
 //!    (what makes a search miss authoritative, §III-A).
 //! 6. **Uniqueness and accounting** — no key is stored twice; the entry
 //!    and segment counters match a full count.
+//! 7. **Fingerprint sidecar exactness** — every bucket's fp word equals
+//!    what [`crate::fptable::rebuild_words`] derives from the slots.
+//!    Tags are only *hints* on the probe path, but recovery rebuilds
+//!    them and every mutation maintains them, so a quiescent index can
+//!    (and must) be held to exact equality — this is what makes the
+//!    wrong-tag mutation canary detectable.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
@@ -91,6 +97,8 @@ pub enum IntegrityError {
     UnreachableOverflow { seg: PmAddr, slot: u8, key: u64 },
     /// The same key is stored in two slots.
     DuplicateKey { key: u64 },
+    /// A bucket's fingerprint sidecar word differs from the rebuild rule.
+    FpWordMismatch { seg: PmAddr, bucket: u8, expected: u64, found: u64 },
     /// The `len()` counter disagrees with a full count.
     EntryCountDrift { counted: u64, recorded: u64 },
     /// The segment counter disagrees with the directory walk.
@@ -132,6 +140,10 @@ impl std::fmt::Display for IntegrityError {
                 "segment {seg:?} slot {slot}: overflow key {key} has no hint in its main bucket"
             ),
             Self::DuplicateKey { key } => write!(f, "key {key} stored twice"),
+            Self::FpWordMismatch { seg, bucket, expected, found } => write!(
+                f,
+                "segment {seg:?} bucket {bucket}: fp word {found:#018x}, rebuild rule says {expected:#018x}"
+            ),
             Self::EntryCountDrift { counted, recorded } => {
                 write!(f, "counted {counted} entries but len() reports {recorded}")
             }
@@ -271,6 +283,34 @@ impl Spash {
                     }
                 }
             }
+            // Pass 3b: fingerprint sidecar exactness. Recompute the four
+            // fp words from the slots and require the stored words to
+            // match bit for bit.
+            let mut words = [(0u64, 0u64); 16];
+            for idx in 0..SLOTS_PER_SEG {
+                words[idx as usize] = (
+                    ctx.read_u64(key_addr(seg, idx)),
+                    ctx.read_u64(value_addr(seg, idx)),
+                );
+            }
+            let expected_fp = crate::fptable::rebuild_words(&words, |kw| match SlotKey::unpack(kw)
+            {
+                SlotKey::Empty => None,
+                SlotKey::Inline { key, .. } => Some(hash_key(key)),
+                SlotKey::Ptr { addr, .. } => Some(hash_key(ctx.read_u64(addr))),
+            });
+            for b in 0..slot::BUCKETS_PER_SEG {
+                let found = self.fptable.read(ctx, seg, b);
+                if found != expected_fp[b as usize] {
+                    return Err(IntegrityError::FpWordMismatch {
+                        seg,
+                        bucket: b,
+                        expected: expected_fp[b as usize],
+                        found,
+                    });
+                }
+            }
+
             // Hint hygiene (informational): a hint is stale when its
             // target slot no longer holds an entry with a matching
             // fingerprint.
@@ -449,6 +489,33 @@ mod tests {
     }
 
     #[test]
+    fn detects_a_corrupted_fp_word() {
+        let dev = device();
+        let mut ctx = dev.ctx();
+        let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
+        for i in 0..500u64 {
+            idx.insert(&mut ctx, i + 1, &i.to_le_bytes()).unwrap();
+        }
+        // Corrupt one occupied slot's sidecar tag behind the index's back.
+        let (dir, _) = idx.dir.write_target();
+        'outer: for e in dir.entries.iter() {
+            let (seg, _) = crate::dir::unpack_entry(e.load(Ordering::Acquire));
+            for s in 0..SLOTS_PER_SEG {
+                if !SlotKey::unpack(ctx.read_u64(key_addr(seg, s))).is_empty() {
+                    let old = idx.fptable.read(&mut ctx, seg, s / SLOTS_PER_BUCKET);
+                    idx.fptable.set_slot_tag(&mut ctx, seg, s, 0xEE);
+                    assert_ne!(idx.fptable.read(&mut ctx, seg, s / SLOTS_PER_BUCKET), old);
+                    break 'outer;
+                }
+            }
+        }
+        match idx.verify_integrity(&mut ctx) {
+            Err(IntegrityError::FpWordMismatch { .. }) => {}
+            other => panic!("expected FpWordMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn detects_a_lost_entry_as_count_drift() {
         let dev = device();
         let mut ctx = dev.ctx();
@@ -463,10 +530,13 @@ mod tests {
                 let kw = ctx.read_u64(key_addr(seg, s));
                 if !SlotKey::unpack(kw).is_empty() {
                     // Clear the entry but preserve any hint the value word
-                    // carries for a neighbour: a cleanly lost entry.
+                    // carries for a neighbour, and keep the fp sidecar
+                    // consistent: a cleanly lost entry, so only the count
+                    // drift can fire.
                     let vw = ctx.read_u64(value_addr(seg, s));
                     ctx.write_u64(key_addr(seg, s), 0);
                     ctx.write_u64(value_addr(seg, s), value_word::with_payload(vw, 0));
+                    idx.fptable.set_slot_tag(&mut ctx, seg, s, 0);
                     break 'outer;
                 }
             }
@@ -519,6 +589,39 @@ mod tests {
                 IntegrityError::DuplicateKey { .. } | IntegrityError::EntryCountDrift { .. },
             ) => {}
             other => panic!("expected DuplicateKey/EntryCountDrift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_heals_a_torn_fp_word() {
+        let dev = PmDevice::new(PmConfig {
+            arena_size: 64 << 20,
+            ..PmConfig::eadr_test()
+        });
+        let mut ctx = dev.ctx();
+        let idx = Spash::format(&mut ctx, SpashConfig::test_default()).unwrap();
+        for i in 0..1_000u64 {
+            idx.insert(&mut ctx, i + 1, &i.to_le_bytes()).unwrap();
+        }
+        // Simulate a crash that tore fp words mid-publication: garbage in
+        // several segments' sidecars.
+        let (dir, _) = idx.dir.write_target();
+        for (n, e) in dir.entries.iter().enumerate().take(4) {
+            let (seg, _) = crate::dir::unpack_entry(e.load(Ordering::Acquire));
+            idx.fptable.write_word(&mut ctx, seg, (n % 4) as u8, 0xDEAD_BEEF_DEAD_BEEF);
+        }
+        drop(idx);
+        dev.simulate_power_failure();
+        // Recovery rebuilds every fp word from the slots; the walker's
+        // exact-equality pass proves the heal.
+        let mut ctx2 = dev.ctx();
+        let rec = Spash::recover(&mut ctx2, SpashConfig::test_default()).unwrap();
+        rec.verify_integrity(&mut ctx2)
+            .unwrap_or_else(|e| panic!("torn fp word survived recovery: {e}"));
+        let mut out = Vec::new();
+        for i in 0..1_000u64 {
+            out.clear();
+            assert!(rec.get(&mut ctx2, i + 1, &mut out), "key {} lost", i + 1);
         }
     }
 

@@ -41,15 +41,18 @@
 pub mod config;
 pub mod crash;
 pub mod dir;
+pub mod fptable;
 pub mod hotspot;
 pub mod integrity;
 mod lockmode;
 pub mod ops;
+pub mod overlay;
 pub mod pipeline;
 pub mod recovery;
 pub mod seginfo;
 pub mod slot;
 pub mod split;
+pub mod testhooks;
 
 pub use config::{ConcurrencyMode, InsertPolicy, SpashConfig, UpdatePolicy};
 pub use hotspot::{ConstDetector, HotnessOracle, OracleDetector, PartitionedDetector};

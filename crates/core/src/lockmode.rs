@@ -22,7 +22,7 @@ use spash_pmem::{MemCtx, PmAddr};
 use crate::config::UpdatePolicy;
 use crate::ops::{Found, Payload, Placement, Spash};
 use crate::slot::{
-    bucket_of, bucket_slots, fp14, key_addr, make_hint, value_addr, value_word, SlotKey,
+    bucket_of, bucket_slots, fp14, fp8, key_addr, make_hint, value_addr, value_word, SlotKey,
     INLINE_VALUE_LEN, SLOTS_PER_BUCKET,
 };
 
@@ -51,6 +51,8 @@ impl Spash {
                 let vw = ctx.read_u64(value_addr(seg, idx));
                 ctx.write_u64(value_addr(seg, idx), value_word::with_payload(vw, vw_payload));
                 ctx.write_u64(key_addr(seg, idx), kw_new);
+                self.fptable.set_slot_tag(ctx, seg, idx, fp8(h));
+                self.overlay.nt_bump(ctx, seg);
                 Some(true)
             }
             Placement::Overflow { idx, hint_slot } => {
@@ -62,6 +64,9 @@ impl Spash {
                     value_addr(seg, hint_slot),
                     value_word::with_hint(hvw, make_hint(h, idx)),
                 );
+                self.fptable.set_slot_tag(ctx, seg, idx, fp8(h));
+                self.fptable.set_hint_tag(ctx, seg, hint_slot, fp8(h));
+                self.overlay.nt_bump(ctx, seg);
                 Some(true)
             }
         }
@@ -77,6 +82,7 @@ impl Spash {
     ) -> Option<(u64, u64)> {
         let f = self.find_in_segment(ctx, seg, key, h)?;
         ctx.write_u64(key_addr(seg, f.idx), 0);
+        self.fptable.set_slot_tag(ctx, seg, f.idx, 0);
         let b = bucket_of(h);
         if f.idx / SLOTS_PER_BUCKET != b {
             let target_hint = make_hint(h, f.idx);
@@ -84,10 +90,12 @@ impl Spash {
                 let vw = ctx.read_u64(value_addr(seg, s));
                 if value_word::hint(vw) == target_hint {
                     ctx.write_u64(value_addr(seg, s), value_word::with_hint(vw, 0));
+                    self.fptable.set_hint_tag(ctx, seg, s, 0);
                     break;
                 }
             }
         }
+        self.overlay.nt_bump(ctx, seg);
         Some((f.kw, f.vw))
     }
 
@@ -302,6 +310,7 @@ impl Spash {
                     value_addr(seg, f.idx),
                     value_word::with_payload(f.vw, inline_payload),
                 );
+                self.overlay.nt_bump(ctx, seg);
                 Ok((Some((value_addr(seg, f.idx), 8)), None))
             }
             SlotKey::Ptr { addr, .. } if inline_ok => {
@@ -311,6 +320,7 @@ impl Spash {
                     value_addr(seg, f.idx),
                     value_word::with_payload(f.vw, inline_payload),
                 );
+                self.overlay.nt_bump(ctx, seg);
                 Ok((Some((value_addr(seg, f.idx), 8)), Some((addr, old_size))))
             }
             SlotKey::Ptr { addr, .. } => {
@@ -325,6 +335,9 @@ impl Spash {
                             value_addr(seg, f.idx),
                             value_word::with_payload(f.vw, value.len() as u64),
                         );
+                        // Cached value word went stale (blob bytes are
+                        // never cached, so same-length rewrites skip this).
+                        self.overlay.nt_bump(ctx, seg);
                     }
                     Ok((Some((addr, 16 + value.len() as u64)), None))
                 } else {
@@ -347,6 +360,7 @@ impl Spash {
                         value_addr(seg, f.idx),
                         value_word::with_payload(f.vw, value.len() as u64),
                     );
+                    self.overlay.nt_bump(ctx, seg);
                     Ok((
                         Some((a.addr, 16 + value.len() as u64)),
                         Some((addr, old_size)),
@@ -373,6 +387,7 @@ impl Spash {
                     value_addr(seg, f.idx),
                     value_word::with_payload(f.vw, value.len() as u64),
                 );
+                self.overlay.nt_bump(ctx, seg);
                 Ok((Some((a.addr, 16 + value.len() as u64)), None))
             }
             SlotKey::Empty => unreachable!("found slot cannot be empty"),

@@ -27,12 +27,15 @@ use spash_htm::{Abort, Htm, LineId, Tx};
 use spash_index_api::{hash_key, IndexError};
 use spash_pmem::{MemCtx, PmAddr, PmDevice, VRwLock};
 
-use crate::config::{InsertPolicy, SpashConfig, UpdatePolicy};
+use crate::config::{ConcurrencyMode, InsertPolicy, SpashConfig, UpdatePolicy};
 use crate::dir::{Directory, Routed, VALIDATE_SLOT_CHANGED};
+use crate::fptable::FpTable;
+use crate::overlay::{CachedBucket, Overlay};
 use crate::seginfo::SegInfoTable;
 use crate::slot::{
-    self, bucket_of, bucket_slots, fp14, hint_matches, key_addr, make_hint, probe_order,
-    value_addr, value_word, SlotKey, INLINE_VALUE_LEN, MAX_INLINE_KEY, SLOTS_PER_BUCKET,
+    self, bucket_of, bucket_slots, fp14, fp8, fp_word, hint_matches, key_addr, make_hint,
+    probe_order, value_addr, value_word, SlotKey, INLINE_VALUE_LEN, MAX_INLINE_KEY,
+    SLOTS_PER_BUCKET,
 };
 
 /// Explicit-abort code: the key turned out to be present (insert) or
@@ -55,6 +58,8 @@ pub struct Spash {
     pub(crate) htm: Htm,
     pub(crate) dir: Directory,
     pub(crate) seginfo: SegInfoTable,
+    pub(crate) fptable: FpTable,
+    pub(crate) overlay: Overlay,
     pub(crate) cfg: SpashConfig,
     pub(crate) entries: AtomicU64,
     pub(crate) n_segments: AtomicU64,
@@ -103,12 +108,28 @@ impl Spash {
     /// `2^initial_depth` segments.
     pub fn format(ctx: &mut MemCtx, cfg: SpashConfig) -> Result<Self, IndexError> {
         let dev = Arc::clone(ctx.device());
-        // Reserve one 8-byte segment-info record per possible chunk.
-        let reserved = dev.arena().size() / 32;
+        // Reserve one 8-byte segment-info record plus a 32-byte
+        // fingerprint sidecar (4 packed per-bucket tag words) per
+        // possible chunk.
+        let reserved = dev.arena().size() / 32 + dev.arena().size() / 8;
         let alloc = Arc::new(PmAllocator::format(ctx, reserved));
         let l = *alloc.layout();
         let (res_base, res_len) = alloc.reserved();
         let seginfo = SegInfoTable::new(res_base, res_len, l.heap_start, l.n_chunks);
+        let fptable = FpTable::new(
+            PmAddr(res_base.0 + l.n_chunks * 8),
+            res_len - l.n_chunks * 8,
+            l.heap_start,
+            l.n_chunks,
+        );
+        let overlay = Overlay::new(
+            if cfg.concurrency == ConcurrencyMode::Htm {
+                cfg.overlay_entries
+            } else {
+                0
+            },
+            l.heap_start,
+        );
 
         let n = 1usize << cfg.initial_depth;
         let mut segs = Vec::with_capacity(n);
@@ -119,6 +140,9 @@ impl Spash {
             // Fresh arena is zeroed; recycled chunks are not: clear.
             for w in 0..32 {
                 ctx.write_u64(PmAddr(seg.0 + w * 8), 0);
+            }
+            for b in 0..slot::BUCKETS_PER_SEG {
+                fptable.write_word(ctx, seg, b, 0);
             }
             seginfo.set(ctx, seg, cfg.initial_depth as u8, prefix as u64);
             segs.push(seg);
@@ -132,6 +156,8 @@ impl Spash {
             htm,
             dir,
             seginfo,
+            fptable,
+            overlay,
             entries: AtomicU64::new(0),
             n_segments: AtomicU64::new(n as u64),
             seg_locks: (0..SEG_LOCK_TABLE)
@@ -215,6 +241,7 @@ impl Spash {
                 continue;
             }
             for idx in 0..SLOTS_PER_SEG {
+                // lint:allow(fp-probe): diagnostic dump deliberately scans every slot to find misrouted keys
                 let kw = ctx.read_u64(key_addr(seg, idx));
                 let hit = match SlotKey::unpack(kw) {
                     SlotKey::Inline { key: k, .. } => k == key,
@@ -231,6 +258,27 @@ impl Spash {
             }
         }
         eprintln!("  (scan complete over {} distinct segments)", seen.len());
+    }
+
+    /// Fingerprint- and overlay-blind reference lookup for the
+    /// differential oracle battery (`tests/fingerprint_oracle.rs`):
+    /// routes through the directory, then *linearly scans all 16 slots*
+    /// of the segment — no fp-word filter, no hint chasing, no DRAM
+    /// cache. Single-threaded use only (no transaction, no locks); the
+    /// battery compares every real probe against this on quiesced state.
+    pub fn oracle_scan_get(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
+        let h = hash_key(key);
+        let seg = self.dir.lookup(ctx, h).seg();
+        for idx in 0..slot::SLOTS_PER_SEG {
+            // lint:allow(fp-probe): the oracle is fp-blind by contract -- it is the reference the fp path is differenced against
+            let kw = ctx.read_u64(key_addr(seg, idx));
+            if self.key_word_matches(ctx, kw, key, h) {
+                let vw = ctx.read_u64(value_addr(seg, idx));
+                self.read_value_plain(ctx, Found { idx, kw, vw }).append_to(out);
+                return true;
+            }
+        }
+        false
     }
 
     pub(crate) fn seg_lock(&self, seg: PmAddr) -> &SegLock {
@@ -253,6 +301,7 @@ impl Spash {
         let mut out = [(0u64, 0u64); SLOTS_PER_BUCKET as usize];
         for (i, s) in bucket_slots(b).enumerate() {
             out[i] = (
+                // lint:allow(fp-probe): shared bucket reader; probe callers pre-filter via the fp word (find_in_segment), mutation prep reads the line unconditionally
                 ctx.read_u64(key_addr(seg, s)),
                 ctx.read_u64(value_addr(seg, s)),
             );
@@ -270,8 +319,12 @@ impl Spash {
         }
     }
 
-    /// Locate `key` in `seg` (preparation). Checks the main bucket first,
-    /// then follows overflow hints (§III-A); never probes blindly.
+    /// Locate `key` in `seg` (preparation), fingerprint-first: the
+    /// bucket's sidecar tag word is read before anything else, and only a
+    /// tag match earns a bucket-line read (§III-A plus the Dash-style
+    /// 8-bit pre-filter). A key present in the segment is always visible
+    /// in its main bucket's fp word — as a slot tag or, for overflow
+    /// entries, a hint tag — so no tag match is a definitive miss.
     pub(crate) fn find_in_segment(
         &self,
         ctx: &mut MemCtx,
@@ -280,9 +333,16 @@ impl Spash {
         h: u64,
     ) -> Option<Found> {
         let b = bucket_of(h);
+        let fpw = self.fptable.read(ctx, seg, b);
+        let tag = fp8(h);
+        let smask = fp_word::slot_candidates(fpw, tag);
+        let hmask = fp_word::hint_candidates(fpw, tag);
+        if smask == 0 && hmask == 0 {
+            return None;
+        }
         let words = self.read_bucket(ctx, seg, b);
         for (i, &(kw, vw)) in words.iter().enumerate() {
-            if self.key_word_matches(ctx, kw, key, h) {
+            if smask & (1 << i) != 0 && self.key_word_matches(ctx, kw, key, h) {
                 return Some(Found {
                     idx: b * SLOTS_PER_BUCKET + i as u8,
                     kw,
@@ -292,8 +352,12 @@ impl Spash {
         }
         // Overflow hints: the value words of the main bucket carry
         // [fp12|slot] hints for entries that circular probing pushed into
-        // other buckets of the segment (same XPLine: cheap to chase).
-        for &(_, vw) in &words {
+        // other buckets of the segment (same XPLine: cheap to chase). The
+        // hint-tag half of the fp word pre-filters which hints can match.
+        for (i, &(_, vw)) in words.iter().enumerate() {
+            if hmask & (1 << i) == 0 {
+                continue;
+            }
             if let Some(tidx) = hint_matches(value_word::hint(vw), h) {
                 if tidx / SLOTS_PER_BUCKET == b {
                     continue; // hints never point into the main bucket
@@ -329,6 +393,7 @@ impl Spash {
         };
         for &ob in &probe_order(b)[1..] {
             for s in bucket_slots(ob) {
+                // lint:allow(fp-probe): placement hunts *empty* slots on the mutation path; fp tags pre-filter occupied matches, not free space
                 let kw = ctx.read_u64(key_addr(seg, s));
                 if SlotKey::unpack(kw).is_empty() {
                     return Placement::Overflow { idx: s, hint_slot };
@@ -545,6 +610,8 @@ impl Spash {
                                     value_word::with_payload(vw, vw_payload),
                                 )?;
                                 tx.write_u64(ctx, key_addr(seg, idx), kw_new)?;
+                                s.fptable.tx_set_slot_tag(tx, ctx, seg, idx, fp8(h))?;
+                                s.overlay.tx_bump(tx, ctx, seg)?;
                                 Ok(Some(true))
                             }
                             Placement::Overflow { idx, hint_slot } => {
@@ -568,6 +635,12 @@ impl Spash {
                                     value_addr(seg, hint_slot),
                                     value_word::with_hint(hvw, make_hint(h, idx)),
                                 )?;
+                                // Overflow entries are visible in two fp
+                                // words: their own bucket's slot tag and
+                                // the main bucket's hint tag.
+                                s.fptable.tx_set_slot_tag(tx, ctx, seg, idx, fp8(h))?;
+                                s.fptable.tx_set_hint_tag(tx, ctx, seg, hint_slot, fp8(h))?;
+                                s.overlay.tx_bump(tx, ctx, seg)?;
                                 Ok(Some(true))
                             }
                         }
@@ -620,8 +693,8 @@ impl Spash {
         }
     }
 
-    /// Transactional find: main bucket plus hint chasing, with read guards
-    /// on every line consulted.
+    /// Transactional find: fingerprint-first probe with read guards on
+    /// every line consulted. See [`Self::tx_probe`].
     pub(crate) fn tx_find(
         &self,
         tx: &mut Tx<'_>,
@@ -630,7 +703,42 @@ impl Spash {
         key: u64,
         h: u64,
     ) -> Result<Option<Found>, Abort> {
+        Ok(self.tx_probe(tx, ctx, seg, key, h)?.0)
+    }
+
+    /// Fingerprint-first transactional probe. Reads the bucket's sidecar
+    /// fp word first; only a tag match earns the bucket-line reads. The
+    /// fp word joins the transaction's read set, and every mutation of
+    /// the bucket writes it, so a probe that never touches a bucket line
+    /// still conflicts with concurrent mutators — this is what keeps the
+    /// duplicate-check coupling of inserts sound.
+    ///
+    /// Also returns the raw main-bucket state `(fp word, slot words)`
+    /// when the bucket line was read (`None` = the fp word answered the
+    /// probe alone) — the overlay installs from exactly this data.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn tx_probe(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        seg: PmAddr,
+        key: u64,
+        h: u64,
+    ) -> Result<
+        (
+            Option<Found>,
+            Option<(u64, [(u64, u64); SLOTS_PER_BUCKET as usize])>,
+        ),
+        Abort,
+    > {
         let b = bucket_of(h);
+        let fpw = self.fptable.tx_read(tx, ctx, seg, b)?;
+        let tag = fp8(h);
+        let smask = fp_word::slot_candidates(fpw, tag);
+        let hmask = fp_word::hint_candidates(fpw, tag);
+        if smask == 0 && hmask == 0 {
+            return Ok((None, None));
+        }
         let mut words = [(0u64, 0u64); SLOTS_PER_BUCKET as usize];
         for (i, s) in bucket_slots(b).enumerate() {
             words[i] = (
@@ -639,15 +747,21 @@ impl Spash {
             );
         }
         for (i, &(kw, vw)) in words.iter().enumerate() {
-            if self.tx_key_matches(tx, ctx, kw, key, h)? {
-                return Ok(Some(Found {
-                    idx: b * SLOTS_PER_BUCKET + i as u8,
-                    kw,
-                    vw,
-                }));
+            if smask & (1 << i) != 0 && self.tx_key_matches(tx, ctx, kw, key, h)? {
+                return Ok((
+                    Some(Found {
+                        idx: b * SLOTS_PER_BUCKET + i as u8,
+                        kw,
+                        vw,
+                    }),
+                    Some((fpw, words)),
+                ));
             }
         }
-        for &(_, vw) in &words {
+        for (i, &(_, vw)) in words.iter().enumerate() {
+            if hmask & (1 << i) == 0 {
+                continue;
+            }
             if let Some(tidx) = hint_matches(value_word::hint(vw), h) {
                 if tidx / SLOTS_PER_BUCKET == b {
                     continue;
@@ -655,11 +769,11 @@ impl Spash {
                 let kw = tx.read_u64(ctx, key_addr(seg, tidx))?;
                 if self.tx_key_matches(tx, ctx, kw, key, h)? {
                     let vw = tx.read_u64(ctx, value_addr(seg, tidx))?;
-                    return Ok(Some(Found { idx: tidx, kw, vw }));
+                    return Ok((Some(Found { idx: tidx, kw, vw }), Some((fpw, words))));
                 }
             }
         }
-        Ok(None)
+        Ok((None, Some((fpw, words))))
     }
 
     fn tx_key_matches(
@@ -679,24 +793,84 @@ impl Spash {
 
     pub(crate) fn get_htm(&self, ctx: &mut MemCtx, key: u64, out: &mut Vec<u8>) -> bool {
         let h = hash_key(key);
-        let r: Option<GetResult> = self.run_two_phase(
+        // DRAM overlay fast path: a route-matched entry, validated
+        // against the segment generations inside a short transaction,
+        // answers the probe without touching a PM bucket line (blob
+        // payloads still read PM, read-guarded as usual). Any stale or
+        // inconclusive outcome falls through to the PM probe below.
+        if let Some(hit) = self.overlay.lookup(ctx, h) {
+            match self
+                .htm
+                .try_transaction(ctx, |tx, ctx| self.get_from_overlay(tx, ctx, &hit, key, h))
+            {
+                Ok(OverlayProbe::Found(v)) => {
+                    v.append_to(out);
+                    return true;
+                }
+                Ok(OverlayProbe::Miss) => return false,
+                // Stale entry, overflow-hint chase, or any abort: take
+                // the PM path (no retry loop here — the slow path is the
+                // retry). Prefetch the lines that probe will need from
+                // the cached route so the fp-word and bucket fetches
+                // overlap instead of serializing; a stale `seg` only
+                // wastes the fetch.
+                Ok(OverlayProbe::Fall) | Err(_) => {
+                    let b = bucket_of(h);
+                    ctx.prefetch(self.fptable.word_addr(hit.seg, b));
+                    ctx.prefetch(key_addr(hit.seg, b * SLOTS_PER_BUCKET));
+                }
+            }
+        }
+        struct Install {
+            depth: u32,
+            seg: PmAddr,
+            snap: (u64, u64),
+            fpw: u64,
+            words: [(u64, u64); SLOTS_PER_BUCKET as usize],
+        }
+        let (r, install): (Option<GetResult>, Option<Install>) = self.run_two_phase(
             ctx,
             |s, ctx| s.dir.lookup(ctx, h),
             |s, tx, ctx, routed| {
                 let seg = routed.seg();
                 s.dir.tx_validate(tx, ctx, h, seg)?;
-                match s.tx_find(tx, ctx, seg, key, h)? {
-                    None => Ok(None),
-                    Some(f) => Ok(Some(s.tx_read_value(tx, ctx, f)?)),
-                }
+                let (found, raw) = s.tx_probe(tx, ctx, seg, key, h)?;
+                let res = match found {
+                    None => None,
+                    Some(f) => Some(s.tx_read_value(tx, ctx, f)?),
+                };
+                // Install only when the bucket line was read anyway: a
+                // pure fp-word negative stays a one-line probe, and
+                // negatives are not worth caching.
+                let install = match raw {
+                    Some((fpw, words)) if s.overlay.enabled() => {
+                        let snap = s.overlay.tx_snapshot(tx, ctx, seg)?;
+                        Some(Install {
+                            depth: routed.local_depth() as u32,
+                            seg,
+                            snap,
+                            fpw,
+                            words,
+                        })
+                    }
+                    _ => None,
+                };
+                Ok((res, install))
             },
             |s, ctx, routed| {
                 let seg = routed.seg();
-                s.find_in_segment(ctx, seg, key, h)
-                    .map(|f| s.read_value_plain(ctx, f))
+                (
+                    s.find_in_segment(ctx, seg, key, h)
+                        .map(|f| s.read_value_plain(ctx, f)),
+                    None,
+                )
             },
             |routed| routed.fallback_lock_ids(),
         );
+        if let Some(i) = install {
+            self.overlay
+                .install(ctx, h, i.depth, i.seg, i.snap, i.fpw, i.words);
+        }
         match r {
             None => false,
             Some(v) => {
@@ -704,6 +878,42 @@ impl Spash {
                 true
             }
         }
+    }
+
+    /// Serve a lookup from a validated overlay entry. All slot filtering
+    /// goes through the *cached* fp tags (never a raw slot scan), so the
+    /// wrong-tag canary stays observable on this path too.
+    fn get_from_overlay(
+        &self,
+        tx: &mut Tx<'_>,
+        ctx: &mut MemCtx,
+        hit: &CachedBucket,
+        key: u64,
+        h: u64,
+    ) -> Result<OverlayProbe, Abort> {
+        if !self.overlay.tx_validate(tx, ctx, hit)? {
+            return Ok(OverlayProbe::Fall);
+        }
+        let tag = fp8(h);
+        let smask = fp_word::slot_candidates(hit.fpw, tag);
+        let hmask = fp_word::hint_candidates(hit.fpw, tag);
+        let b = bucket_of(h);
+        for (j, &(kw, vw)) in hit.words.iter().enumerate() {
+            if smask & (1 << j) != 0 && self.tx_key_matches(tx, ctx, kw, key, h)? {
+                let f = Found {
+                    idx: b * SLOTS_PER_BUCKET + j as u8,
+                    kw,
+                    vw,
+                };
+                return Ok(OverlayProbe::Found(self.tx_read_value(tx, ctx, f)?));
+            }
+        }
+        if hmask != 0 {
+            // A hint tag matches but overflow slots are not cached; the
+            // PM probe chases it.
+            return Ok(OverlayProbe::Fall);
+        }
+        Ok(OverlayProbe::Miss)
     }
 
     fn tx_read_value(
@@ -765,8 +975,9 @@ impl Spash {
                 // bucket-owned hint bits of this slot's value word must be
                 // preserved.
                 tx.write_u64(ctx, key_addr(seg, f.idx), 0)?;
+                s.fptable.tx_set_slot_tag(tx, ctx, seg, f.idx, 0)?;
                 // If the entry lived in an overflow bucket, drop its hint
-                // from the main bucket.
+                // (and hint tag) from the main bucket.
                 let b = bucket_of(h);
                 if f.idx / SLOTS_PER_BUCKET != b {
                     let target_hint = make_hint(h, f.idx);
@@ -778,10 +989,12 @@ impl Spash {
                                 value_addr(seg, s_i),
                                 value_word::with_hint(vw, 0),
                             )?;
+                            s.fptable.tx_set_hint_tag(tx, ctx, seg, s_i, 0)?;
                             break;
                         }
                     }
                 }
+                s.overlay.tx_bump(tx, ctx, seg)?;
                 Ok(Some((f.kw, f.vw)))
             },
             |s, ctx, routed| s.locked_remove(ctx, routed.seg(), key, h),
@@ -877,6 +1090,9 @@ impl Spash {
                 if f.idx != plan.idx || f.kw != plan.kw {
                     return tx.abort(AB_STATE_CHANGED);
                 }
+                // Updates never touch fp tags (fp8, like fp14, depends
+                // only on the key hash), but any slot-word write must
+                // invalidate overlay entries caching this segment.
                 match plan.kind {
                     UpdateKind::Inline => {
                         tx.write_u64(
@@ -884,6 +1100,7 @@ impl Spash {
                             value_addr(seg, f.idx),
                             value_word::with_payload(f.vw, inline_payload),
                         )?;
+                        self.overlay.tx_bump(tx, ctx, seg)?;
                         Ok(Done::Inline(value_addr(seg, f.idx)))
                     }
                     UpdateKind::MakeInline => {
@@ -905,6 +1122,7 @@ impl Spash {
                             value_addr(seg, f.idx),
                             value_word::with_payload(f.vw, inline_payload),
                         )?;
+                        self.overlay.tx_bump(tx, ctx, seg)?;
                         Ok(Done::MadeInline {
                             slot: value_addr(seg, f.idx),
                             old,
@@ -931,6 +1149,12 @@ impl Spash {
                                 value_addr(seg, f.idx),
                                 value_word::with_payload(f.vw, value.len() as u64),
                             )?;
+                            // The cached value word went stale (possible
+                            // only under Scattered size classes). Pure
+                            // in-place byte rewrites need no bump: blob
+                            // bytes are never cached, and overlay readers
+                            // guard the blob lines themselves.
+                            self.overlay.tx_bump(tx, ctx, seg)?;
                         }
                         Ok(Done::InPlaceBlob(addr, value.len() as u64))
                     }
@@ -955,6 +1179,7 @@ impl Spash {
                             }
                             _ => (PmAddr::NULL, 0),
                         };
+                        self.overlay.tx_bump(tx, ctx, seg)?;
                         Ok(Done::Replaced {
                             new: (new_addr, new_size),
                             old,
@@ -1099,6 +1324,16 @@ impl Spash {
 pub(crate) enum GetResult {
     Inline(u64),
     Bytes(Vec<u8>),
+}
+
+/// Outcome of probing a validated overlay entry.
+enum OverlayProbe {
+    Found(GetResult),
+    /// Definitive miss: no cached slot or hint tag matched.
+    Miss,
+    /// Inconclusive (stale entry or overflow-hint chase): use the PM
+    /// probe.
+    Fall,
 }
 
 impl GetResult {

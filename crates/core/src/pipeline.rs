@@ -2,22 +2,46 @@
 //!
 //! Each simulated core executes up to `pipeline_depth` requests
 //! concurrently: the directory lookups (step 1) of a whole sub-batch run
-//! first, issuing asynchronous prefetches for every request's main bucket;
-//! when the requests then execute, their bucket loads (step 2) find the
-//! data in flight and wait only for the *residual* latency. Requests with
-//! out-of-place blobs get a second prefetch round for the blob lines
-//! (step 4). Transaction phases (step 5) run serially within the batch —
-//! HTM does not support overlapping transactions on one core (§IV-A).
+//! first, issuing asynchronous prefetches; when the requests then execute,
+//! their loads (step 2) find the data in flight and wait only for the
+//! *residual* latency. Transaction phases (step 5) run serially within
+//! the batch — HTM does not support overlapping transactions on one core
+//! (§IV-A).
 //!
-//! With PD=4 the four bucket misses overlap into roughly one PM read
-//! latency, which is where the paper's ~2× read-throughput gain comes
-//! from (Fig 7a, Fig 12d).
+//! The prefetch plan is fingerprint-aware, mirroring the probe path:
+//!
+//! * a `Get` that hits the DRAM overlay needs no PM bucket lines at all —
+//!   only blob lines, whose addresses come from the *cached* key words;
+//! * other `Get`s prefetch the fp sidecar word *and* the bucket line
+//!   together, so the two fetches share one miss window; the stage-2 peek
+//!   of the fp word then decides which candidate key words to read. A
+//!   tag-clean negative still *reads* only the fp word — the speculative
+//!   bucket fetch is discarded, trading a line of read bandwidth for not
+//!   serializing two dependent PM round-trips per probe;
+//! * mutations always read the bucket, so they prefetch both the fp word
+//!   and the bucket line up front.
+//!
+//! With PD=4 the four misses overlap into roughly one PM read latency,
+//! which is where the paper's ~2× read-throughput gain comes from
+//! (Fig 7a, Fig 12d).
 
 use spash_index_api::{hash_key, run_one, BatchOp, BatchResult};
-use spash_pmem::MemCtx;
+use spash_pmem::{MemCtx, PmAddr};
 
 use crate::ops::Spash;
-use crate::slot::{bucket_of, key_addr, SlotKey, SLOTS_PER_BUCKET};
+use crate::slot::{bucket_of, fp8, fp_word, key_addr, SlotKey, SLOTS_PER_BUCKET};
+
+/// Per-request prefetch plan produced by stage 1.
+enum Plan {
+    /// `Get` served from the overlay: nothing left to prefetch (blob
+    /// lines were already issued from the cached key words).
+    OverlayHit,
+    /// `Get` that must probe PM: peek the fp word in stage 2 and fetch
+    /// only matching candidates.
+    Probe { seg: PmAddr, h: u64, b: u8 },
+    /// Mutation: the bucket line is read unconditionally.
+    Mutate { seg: PmAddr, b: u8 },
+}
 
 impl Spash {
     /// Execute `ops` with pipeline overlap, appending one result per op.
@@ -29,29 +53,95 @@ impl Spash {
     ) {
         let depth = self.cfg.pipeline_depth.max(1);
         for chunk in ops.chunks(depth) {
-            // Stage 1: route every request and prefetch its main bucket.
-            let mut segs = Vec::with_capacity(chunk.len());
+            // Stage 1: route every request and issue first-round
+            // prefetches (fp word, and the bucket line for mutations).
+            let mut plans = Vec::with_capacity(chunk.len());
             for op in chunk {
-                let key = match *op {
-                    BatchOp::Insert(k, _)
-                    | BatchOp::Update(k, _)
-                    | BatchOp::Get(k)
-                    | BatchOp::Remove(k) => k,
+                let (key, is_get) = match *op {
+                    BatchOp::Get(k) => (k, true),
+                    BatchOp::Insert(k, _) | BatchOp::Update(k, _) | BatchOp::Remove(k) => {
+                        (k, false)
+                    }
                 };
                 let h = hash_key(key);
+                if is_get {
+                    if let Some(hit) = self.overlay.lookup(ctx, h) {
+                        // Blob lines are the only PM the hit path reads;
+                        // their addresses come from the cached key words.
+                        let tag = fp8(h);
+                        let mask = fp_word::slot_candidates(hit.fpw, tag);
+                        for j in 0..SLOTS_PER_BUCKET {
+                            if mask & (1 << j) == 0 {
+                                continue;
+                            }
+                            if let SlotKey::Ptr { addr, .. } =
+                                SlotKey::unpack(hit.words[j as usize].0)
+                            {
+                                ctx.prefetch(addr);
+                            }
+                        }
+                        // A hint-tag match means the hit path will fall
+                        // through to the PM probe (overflow slots are not
+                        // cached): warm its lines now so that fall isn't
+                        // a serialized pair of cold misses.
+                        if fp_word::hint_candidates(hit.fpw, tag) != 0 {
+                            let b = bucket_of(h);
+                            ctx.prefetch(self.fptable.word_addr(hit.seg, b));
+                            ctx.prefetch(key_addr(hit.seg, b * SLOTS_PER_BUCKET));
+                        }
+                        plans.push(Plan::OverlayHit);
+                        continue;
+                    }
+                }
                 let routed = self.dir.lookup(ctx, h);
                 let seg = routed.seg();
                 let b = bucket_of(h);
+                ctx.prefetch(self.fptable.word_addr(seg, b));
                 ctx.prefetch(key_addr(seg, b * SLOTS_PER_BUCKET));
-                segs.push((seg, h, b));
+                if is_get {
+                    plans.push(Plan::Probe { seg, h, b });
+                } else {
+                    plans.push(Plan::Mutate { seg, b });
+                }
             }
-            // Stage 2: peek each main bucket and prefetch blob lines for
-            // pointer entries (step 4 overlap).
-            for &(seg, _h, b) in &segs {
-                for s in crate::slot::bucket_slots(b) {
-                    let kw = ctx.read_u64(key_addr(seg, s));
-                    if let SlotKey::Ptr { addr, .. } = SlotKey::unpack(kw) {
-                        ctx.prefetch(addr);
+            // Stage 2a: peek each probe's fp word (its line and the
+            // speculatively-fetched bucket line are both already in
+            // flight from stage 1). Tag-clean negatives stop here — they
+            // will resolve from the fp word alone.
+            let mut masks = vec![0u8; plans.len()];
+            for (i, plan) in plans.iter().enumerate() {
+                if let Plan::Probe { seg, h, b } = *plan {
+                    let fpw = self.fptable.read(ctx, seg, b);
+                    let tag = fp8(h);
+                    if fp_word::any_match(fpw, tag) {
+                        masks[i] = fp_word::slot_candidates(fpw, tag);
+                    }
+                }
+            }
+            // Stage 2b: read candidate key words and prefetch blob lines
+            // for pointer entries (step 4 overlap).
+            for (i, plan) in plans.iter().enumerate() {
+                match *plan {
+                    Plan::OverlayHit => {}
+                    Plan::Probe { seg, b, .. } => {
+                        let mask = masks[i];
+                        for j in 0..SLOTS_PER_BUCKET {
+                            if mask & (1 << j) == 0 {
+                                continue;
+                            }
+                            let kw = ctx.read_u64(key_addr(seg, b * SLOTS_PER_BUCKET + j));
+                            if let SlotKey::Ptr { addr, .. } = SlotKey::unpack(kw) {
+                                ctx.prefetch(addr);
+                            }
+                        }
+                    }
+                    Plan::Mutate { seg, b } => {
+                        for s in crate::slot::bucket_slots(b) {
+                            let kw = ctx.read_u64(key_addr(seg, s));
+                            if let SlotKey::Ptr { addr, .. } = SlotKey::unpack(kw) {
+                                ctx.prefetch(addr);
+                            }
+                        }
                     }
                 }
             }

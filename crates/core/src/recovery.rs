@@ -14,6 +14,13 @@
 //! header exists but whose info record is empty was allocated by a split
 //! that never committed — it is unreachable, and recovery returns it to
 //! the allocator (the only kind of leak a crash can produce here).
+//!
+//! Recovery also rebuilds every live segment's fingerprint sidecar words
+//! from the authoritative slot contents ([`crate::fptable::rebuild_words`]).
+//! Tags are hints, so a tag torn by an ADR crash between tag and slot
+//! publication is *healed* here rather than repaired in place — which in
+//! turn lets the integrity walker hold the live table to exact equality
+//! with the rebuild rule.
 
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
@@ -22,9 +29,11 @@ use spash_alloc::PmAllocator;
 use spash_htm::Htm;
 use spash_pmem::MemCtx;
 
-use crate::config::SpashConfig;
+use crate::config::{ConcurrencyMode, SpashConfig};
 use crate::dir::Directory;
+use crate::fptable::FpTable;
 use crate::ops::{SegLock, Spash};
+use crate::overlay::Overlay;
 use crate::seginfo::SegInfoTable;
 use crate::slot::{key_addr, SlotKey, SLOTS_PER_SEG};
 
@@ -42,6 +51,12 @@ impl Spash {
         let l = *alloc.layout();
         let (res_base, res_len) = alloc.reserved();
         let seginfo = SegInfoTable::new(res_base, res_len, l.heap_start, l.n_chunks);
+        let fptable = FpTable::new(
+            spash_pmem::PmAddr(res_base.0 + l.n_chunks * 8),
+            res_len - l.n_chunks * 8,
+            l.heap_start,
+            l.n_chunks,
+        );
 
         let mut triples = Vec::with_capacity(rec.segments.len());
         let mut entries = 0u64;
@@ -54,6 +69,9 @@ impl Spash {
                             entries += 1;
                         }
                     }
+                    // Rebuild the fp sidecar from the slots (heals any
+                    // tag torn between publication and the crash).
+                    crate::fptable::rebuild_segment(&fptable, ctx, seg);
                 }
                 None => {
                     // Allocated by an uncommitted split: reclaim.
@@ -78,12 +96,22 @@ impl Spash {
         let htm = Htm::new(cfg.htm.clone());
         let lock_ns = dev.config().cost.lock_ns;
         let n_segments = triples.len() as u64;
+        let overlay = Overlay::new(
+            if cfg.concurrency == ConcurrencyMode::Htm {
+                cfg.overlay_entries
+            } else {
+                0
+            },
+            l.heap_start,
+        );
         Some(Self {
             dev,
             alloc,
             htm,
             dir,
             seginfo,
+            fptable,
+            overlay,
             entries: AtomicU64::new(entries),
             n_segments: AtomicU64::new(n_segments),
             seg_locks: (0..crate::ops::SEG_LOCK_TABLE)

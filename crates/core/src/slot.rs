@@ -140,6 +140,102 @@ pub mod value_word {
     }
 }
 
+/// 8-bit probe tag: hash bits 17–24, forced non-zero so a stored tag can
+/// never collide with the "empty slot" encoding (0). Disjoint from the
+/// bucket bits (0–1), `fp14` (3–16) and `fp12` (3–14), so tag collisions
+/// are independent of the in-slot fingerprints the tag pre-filters.
+///
+/// Under the [`crate::testhooks::fp_collide`] mutation every hash maps to
+/// the same tag: the filter degenerates to "every slot is a candidate",
+/// which must not change any result (candidate supersets only).
+#[inline]
+pub fn fp8(hash: u64) -> u8 {
+    if crate::testhooks::fp_collide() {
+        return 1;
+    }
+    let t = ((hash >> 17) & 0xff) as u8;
+    if t == 0 {
+        1
+    } else {
+        t
+    }
+}
+
+/// Packed per-bucket fingerprint word, stored in the persistent fp
+/// sidecar table ([`crate::fptable`]), one `u64` per bucket:
+///
+/// * **low 32 bits — slot tags**: byte `j` is the [`fp8`] tag of the key
+///   in slot `4b+j` of bucket `b`, 0 when the slot is empty;
+/// * **high 32 bits — hint tags**: byte `j` is the [`fp8`] tag of the
+///   *overflow* key whose hint lives in the value word of slot `4b+j`,
+///   0 when that value word carries no hint.
+///
+/// Together the two halves make one fp word a complete membership filter
+/// for its bucket: a key stored in the segment is either in its main
+/// bucket (slot tag) or reachable through a main-bucket hint (hint tag),
+/// so a probe whose tag matches no byte is a definitive miss without
+/// touching the bucket line.
+pub mod fp_word {
+    /// Slot-tag byte `j` (0..4).
+    #[inline]
+    pub fn slot_tag(word: u64, j: u8) -> u8 {
+        debug_assert!(j < 4);
+        (word >> (8 * j)) as u8
+    }
+
+    /// Replace slot-tag byte `j`.
+    #[inline]
+    pub fn with_slot_tag(word: u64, j: u8, tag: u8) -> u64 {
+        debug_assert!(j < 4);
+        (word & !(0xffu64 << (8 * j))) | (tag as u64) << (8 * j)
+    }
+
+    /// Hint-tag byte `j` (0..4).
+    #[inline]
+    pub fn hint_tag(word: u64, j: u8) -> u8 {
+        debug_assert!(j < 4);
+        (word >> (32 + 8 * j)) as u8
+    }
+
+    /// Replace hint-tag byte `j`.
+    #[inline]
+    pub fn with_hint_tag(word: u64, j: u8, tag: u8) -> u64 {
+        debug_assert!(j < 4);
+        (word & !(0xffu64 << (32 + 8 * j))) | (tag as u64) << (32 + 8 * j)
+    }
+
+    /// Bitmask (bit `j`) of slot-tag bytes equal to `tag`.
+    #[inline]
+    pub fn slot_candidates(word: u64, tag: u8) -> u8 {
+        let mut m = 0u8;
+        for j in 0..4 {
+            if slot_tag(word, j) == tag {
+                m |= 1 << j;
+            }
+        }
+        m
+    }
+
+    /// Bitmask (bit `j`) of hint-tag bytes equal to `tag`.
+    #[inline]
+    pub fn hint_candidates(word: u64, tag: u8) -> u8 {
+        let mut m = 0u8;
+        for j in 0..4 {
+            if hint_tag(word, j) == tag {
+                m |= 1 << j;
+            }
+        }
+        m
+    }
+
+    /// Does any byte (slot or hint tag) equal `tag`? False means the key
+    /// is definitively absent from the segment.
+    #[inline]
+    pub fn any_match(word: u64, tag: u8) -> bool {
+        slot_candidates(word, tag) != 0 || hint_candidates(word, tag) != 0
+    }
+}
+
 /// A packed overflow hint: `[fp12:12][slot:4]`, never zero.
 #[inline]
 pub fn make_hint(hash: u64, slot_idx: u8) -> u16 {
@@ -281,5 +377,50 @@ mod tests {
         assert_eq!(fp14(h), 0x3fff);
         assert_eq!(fp12(h), 0xfff);
         assert_eq!(bucket_of(h), 3);
+    }
+
+    // The collide/wrong-tag hooks are process-global, so they are never
+    // flipped inside this (parallel) unit-test binary — other tests
+    // write and verify tags concurrently. Hook behaviour is exercised by
+    // tests/fingerprint_oracle.rs, which owns its whole process.
+    #[test]
+    fn fp8_is_never_zero_and_uses_bits_17_to_24() {
+        assert_eq!(fp8(0), 1, "zero tag remapped to 1");
+        assert_eq!(fp8(0xab << 17), 0xab);
+        // Bits below 17 (bucket, fp14, fp12) don't affect the tag.
+        assert_eq!(fp8(0xab << 17 | 0x1_ffff), 0xab);
+    }
+
+    #[test]
+    fn fp_word_tags_are_independent() {
+        let mut w = 0u64;
+        for j in 0..4 {
+            w = fp_word::with_slot_tag(w, j, 0x10 + j);
+            w = fp_word::with_hint_tag(w, j, 0x20 + j);
+        }
+        for j in 0..4 {
+            assert_eq!(fp_word::slot_tag(w, j), 0x10 + j);
+            assert_eq!(fp_word::hint_tag(w, j), 0x20 + j);
+        }
+        // Clearing one byte leaves the other seven intact.
+        let w2 = fp_word::with_slot_tag(w, 2, 0);
+        assert_eq!(fp_word::slot_tag(w2, 2), 0);
+        assert_eq!(fp_word::slot_tag(w2, 1), 0x11);
+        assert_eq!(fp_word::hint_tag(w2, 2), 0x22);
+    }
+
+    #[test]
+    fn fp_word_candidate_masks() {
+        let mut w = 0u64;
+        w = fp_word::with_slot_tag(w, 0, 0x7f);
+        w = fp_word::with_slot_tag(w, 3, 0x7f);
+        w = fp_word::with_hint_tag(w, 1, 0x7f);
+        assert_eq!(fp_word::slot_candidates(w, 0x7f), 0b1001);
+        assert_eq!(fp_word::hint_candidates(w, 0x7f), 0b0010);
+        assert!(fp_word::any_match(w, 0x7f));
+        assert!(!fp_word::any_match(w, 0x42));
+        // Tag 0 marks empties; an all-empty word has no zero "candidates"
+        // in the probe sense because fp8 never returns 0.
+        assert_eq!(fp_word::slot_candidates(0, fp8(0)), 0);
     }
 }

@@ -27,22 +27,28 @@ use spash_pmem::{MemCtx, PmAddr};
 use crate::dir::{pack_entry, unpack_entry};
 use crate::ops::{Spash, AB_STATE_CHANGED};
 use crate::slot::{
-    bucket_of, bucket_slots, key_addr, make_hint, probe_order, value_word, SlotKey,
-    SLOTS_PER_SEG,
+    bucket_of, bucket_slots, fp8, fp_word, key_addr, make_hint, probe_order, value_word,
+    SlotKey, BUCKETS_PER_SEG, SLOTS_PER_SEG,
 };
 
 /// One live entry being rehashed: (key word, value payload, key hash).
 pub(crate) type SplitEntry = (u64, u64, u64);
 
-/// A 256-byte segment image built in DRAM.
+/// A 256-byte segment image built in DRAM, together with the fingerprint
+/// sidecar words its slots imply (installed alongside the image, so a
+/// freshly split child's fp table is exact from the first probe).
 #[derive(Clone)]
 pub(crate) struct SegImage {
     pub words: [u64; 32],
+    pub fp: [u64; BUCKETS_PER_SEG as usize],
 }
 
 impl SegImage {
     pub fn empty() -> Self {
-        Self { words: [0; 32] }
+        Self {
+            words: [0; 32],
+            fp: [0; BUCKETS_PER_SEG as usize],
+        }
     }
 
     fn kw(&self, idx: u8) -> u64 {
@@ -66,10 +72,12 @@ impl SegImage {
     /// when the entry cannot be placed (forces a deeper split).
     pub fn place(&mut self, kw: u64, vw_payload: u64, h: u64) -> bool {
         let b = bucket_of(h);
+        let tag = crate::fptable::stored_tag(fp8(h));
         for s in bucket_slots(b) {
             if SlotKey::unpack(self.kw(s)).is_empty() {
                 self.set_kw(s, kw);
                 self.set_vw(s, value_word::with_payload(self.vw(s), vw_payload));
+                self.fp[b as usize] = fp_word::with_slot_tag(self.fp[b as usize], s % 4, tag);
                 return true;
             }
         }
@@ -84,6 +92,10 @@ impl SegImage {
                     self.set_vw(s, value_word::with_payload(self.vw(s), vw_payload));
                     let hv = self.vw(hint_slot);
                     self.set_vw(hint_slot, value_word::with_hint(hv, make_hint(h, s)));
+                    self.fp[ob as usize] =
+                        fp_word::with_slot_tag(self.fp[ob as usize], s % 4, tag);
+                    self.fp[b as usize] =
+                        fp_word::with_hint_tag(self.fp[b as usize], hint_slot % 4, tag);
                     return true;
                 }
             }
@@ -311,14 +323,29 @@ impl Spash {
                         return tx.abort(AB_STATE_CHANGED);
                     }
                 }
-                // Write the child images (parent rewritten in place).
+                // Write the child images (parent rewritten in place),
+                // together with each child's fingerprint sidecar so the
+                // fp table is exact the instant the split commits.
                 for (ci, child) in plan.iter().enumerate() {
                     let base = addrs[ci];
                     for w in 0..32u64 {
                         tx.write_u64(ctx, PmAddr(base.0 + w * 8), child.image.words[w as usize])?;
                     }
+                    for b in 0..BUCKETS_PER_SEG {
+                        self.fptable
+                            .tx_write_word(tx, ctx, base, b, child.image.fp[b as usize])?;
+                    }
                     self.seginfo
                         .tx_set(tx, ctx, base, child.depth, child.prefix)?;
+                }
+                // Invalidate overlay entries for the parent and every
+                // child: their cached bucket images are stale the moment
+                // the repoint below commits. (The stale-cache mutation
+                // skips this — lookups would then serve pre-split data.)
+                if !crate::testhooks::overlay_stale() {
+                    for &a in &addrs {
+                        self.overlay.tx_bump(tx, ctx, a)?;
+                    }
                 }
                 // Repoint the directory entries of each child's range.
                 let mut first_idx = usize::MAX;
@@ -466,6 +493,9 @@ impl Spash {
                 for w in 0..32u64 {
                     ctx.write_u64(PmAddr(base.0 + w * 8), child.image.words[w as usize]);
                 }
+                for b in 0..BUCKETS_PER_SEG {
+                    self.fptable.write_word(ctx, base, b, child.image.fp[b as usize]);
+                }
                 self.seginfo.set(ctx, base, child.depth, child.prefix);
                 let span = 1usize << (dir_depth - child.depth as u32);
                 let base_idx = (child.prefix as usize) << (dir_depth - child.depth as u32);
@@ -474,6 +504,11 @@ impl Spash {
                         .store(pack_entry(addrs[ci], child.depth), Ordering::Release);
                 }
                 ctx.charge_dram(span.div_ceil(8) as u64);
+            }
+            if !crate::testhooks::overlay_stale() {
+                for &a in &addrs {
+                    self.overlay.nt_bump(ctx, a);
+                }
             }
             self.n_segments
                 .fetch_add(plan.len() as u64 - 1, Ordering::Relaxed);
@@ -524,6 +559,7 @@ impl Spash {
             }
             // The segment must still be empty.
             for idx in 0..SLOTS_PER_SEG {
+                // lint:allow(fp-probe): transactional emptiness re-check before merge; every slot must be observed, not a probe
                 if tx.read_u64(ctx, key_addr(seg, idx))? != 0 {
                     return tx.abort(AB_STATE_CHANGED);
                 }
@@ -553,6 +589,12 @@ impl Spash {
             self.seginfo.tx_clear(tx, ctx, seg)?;
             self.seginfo
                 .tx_set(tx, ctx, buddy_seg, d - 1, parent_prefix)?;
+            // The freed segment's cached (empty) bucket images must die
+            // with it: its address may be reallocated and refilled while
+            // a stale overlay entry still claims its buckets are empty.
+            if !crate::testhooks::overlay_stale() {
+                self.overlay.tx_bump(tx, ctx, seg)?;
+            }
             Ok(())
         })
         .map(|()| {

@@ -1,0 +1,68 @@
+//! Test-only mutation switches for validating the fingerprint/overlay
+//! verification stack.
+//!
+//! A differential battery that has never caught a planted bug proves
+//! nothing. These process-wide switches deliberately break a known
+//! invariant of the fingerprint probe layer or the DRAM overlay cache so
+//! the oracle battery, the integrity walker, and the linearizability
+//! checker can each demonstrate they *detect* the breakage. They are
+//! compiled unconditionally (no cfg gymnastics across crates) but default
+//! to off and are only flipped by `spash-bench sched` mutation runs and
+//! the harness's own tests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// When set, every fingerprint tag *written* to the persistent fp table
+/// is corrupted (XOR 0x55, remapped away from the empty encoding), while
+/// probes keep computing the true tag. Fingerprint-filtered lookups then
+/// skip slots that actually hold the key — false negatives the
+/// fingerprint-blind oracle, the exact integrity tag check, and the
+/// linearizability checker must all catch.
+static FP_WRONG_TAG: AtomicBool = AtomicBool::new(false);
+
+/// When set, [`crate::slot::fp8`] returns the constant tag 1 for every
+/// hash: every slot of a bucket becomes a probe candidate. Results must
+/// stay *identical* to the unfiltered path (the filter is only ever
+/// allowed to produce candidate supersets), so the oracle battery runs
+/// with this on to exercise maximal tag-collision pressure.
+static FP_COLLIDE: AtomicBool = AtomicBool::new(false);
+
+/// When set, segment split and merge paths skip bumping the per-segment
+/// generation counters that invalidate the DRAM overlay cache. A cached
+/// bucket then keeps serving its pre-split image: reads of keys that
+/// moved (or changed after moving) return stale values — a staleness bug
+/// the oracle battery and the linearizability checker must catch.
+static OVERLAY_STALE: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable the wrong-tag mutation (returns the previous value so
+/// tests can restore it).
+pub fn set_fp_wrong_tag(on: bool) -> bool {
+    FP_WRONG_TAG.swap(on, Ordering::SeqCst)
+}
+
+/// Is the wrong-tag mutation active?
+pub fn fp_wrong_tag() -> bool {
+    FP_WRONG_TAG.load(Ordering::SeqCst)
+}
+
+/// Enable/disable the forced-collision mutation (returns the previous
+/// value).
+pub fn set_fp_collide(on: bool) -> bool {
+    FP_COLLIDE.swap(on, Ordering::SeqCst)
+}
+
+/// Is the forced-collision mutation active?
+pub fn fp_collide() -> bool {
+    FP_COLLIDE.load(Ordering::SeqCst)
+}
+
+/// Enable/disable the stale-overlay mutation (returns the previous
+/// value).
+pub fn set_overlay_stale(on: bool) -> bool {
+    OVERLAY_STALE.swap(on, Ordering::SeqCst)
+}
+
+/// Is the stale-overlay mutation active?
+pub fn overlay_stale() -> bool {
+    OVERLAY_STALE.load(Ordering::SeqCst)
+}

@@ -440,6 +440,16 @@ impl MemCtx {
         self.clock.advance(self.cost().cache_hit_ns);
     }
 
+    /// Charge `n` accesses to a small, hot DRAM-resident table (the
+    /// overlay cache, generation cells): counted as DRAM traffic in the
+    /// stats — so benchmarks can see the volatile working set — but
+    /// priced at cache-hit latency, the same simplification
+    /// [`Self::charge_dram_cached`] applies to the directory.
+    pub fn charge_dram_hot(&mut self, n: u64) {
+        self.dev.stats.bump(|s| &s.dram_accesses, n);
+        self.clock.advance(n * self.cost().cache_hit_ns);
+    }
+
     /// Charge raw compute time.
     pub fn charge_compute(&mut self, ns: u64) {
         self.clock.advance(ns);
