@@ -1,39 +1,117 @@
 //! `spash-lint`: check the workspace's source-level invariants.
 //!
-//! Usage: `spash-lint [ROOT]` (default: current directory). Exits 0 when
-//! clean, 1 with one line per violation otherwise. See
-//! `spash_analysis::lint` for the rules and the waiver syntax.
+//! Usage: `spash-lint [MODE] [--json] [--out FILE] [ROOT]`
+//!
+//! Modes:
+//! * `classic` (default) — the token-pattern rules of
+//!   `spash_analysis::lint` (std-sync, host-time, …).
+//! * `flow` — the path-sensitive flush/fence dataflow rules of
+//!   `spash_analysis::flow_rules` (CFG + call-graph summaries), plus the
+//!   waiver/`san_forgive` cross-check.
+//! * `all` — both.
+//!
+//! `--json` prints a machine-readable report (schema 1) instead of text;
+//! `--out FILE` writes it to a file as well. Exits 0 when clean, 1 with
+//! one line per violation otherwise.
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use spash_analysis::lint::{lint_tree, RULES};
+use spash_analysis::flow_rules;
+use spash_analysis::lint::{lint_tree_counted, report_json, Finding, RULES};
+
+fn usage() {
+    println!("usage: spash-lint [classic|flow|all] [--json] [--out FILE] [ROOT]");
+    println!("classic rules: {}", RULES.join(", "));
+    println!(
+        "flow rules: {}, {}, {}, {}",
+        flow_rules::RULE_FLUSH_FENCE,
+        flow_rules::RULE_HTM_CLWB,
+        flow_rules::RULE_PUBLISH_INIT,
+        flow_rules::RULE_WAIVER_XREF,
+    );
+    println!("waive: // lint:allow(<rule>): <reason>   (line or block above)");
+    println!("       // lint:allow-file(<rule>): <reason>");
+    println!("flow waivers must cite their dynamic twin: san=<file>::<fn> or san=none(<why>)");
+}
 
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1);
-    if matches!(arg.as_deref(), Some("--help") | Some("-h")) {
-        println!("usage: spash-lint [ROOT]");
-        println!("rules: {}", RULES.join(", "));
-        println!("waive: // lint:allow(<rule>): <reason>   (line or block above)");
-        println!("       // lint:allow-file(<rule>): <reason>");
-        return ExitCode::SUCCESS;
-    }
-    let root = arg.unwrap_or_else(|| ".".to_string());
-    let findings = match lint_tree(Path::new(&root)) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("spash-lint: cannot walk {root}: {e}");
-            return ExitCode::FAILURE;
+    let mut mode = "classic".to_string();
+    let mut json = false;
+    let mut out_file: Option<String> = None;
+    let mut root = ".".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "classic" | "flow" | "all" => mode = a,
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(f) => out_file = Some(f),
+                None => {
+                    eprintln!("spash-lint: --out needs a file argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => root = a,
         }
-    };
-    for f in &findings {
-        println!("{f}");
+    }
+
+    let root_path = Path::new(&root);
+    let mut files_scanned = 0usize;
+    let mut findings: Vec<Finding> = Vec::new();
+    if mode == "classic" || mode == "all" {
+        match lint_tree_counted(root_path) {
+            Ok((n, f)) => {
+                files_scanned = n;
+                findings.extend(f);
+            }
+            Err(e) => {
+                eprintln!("spash-lint: cannot walk {root}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if mode == "flow" || mode == "all" {
+        match flow_rules::check_tree(root_path) {
+            Ok((n, f)) => {
+                files_scanned = n;
+                findings.extend(f);
+            }
+            Err(e) => {
+                eprintln!("spash-lint: cannot walk {root}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings.dedup();
+
+    if json || out_file.is_some() {
+        let report = report_json(&mode, files_scanned, &findings).render();
+        if let Some(path) = &out_file {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("spash-lint: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if json {
+            print!("{report}");
+        }
+    }
+    if !json {
+        for f in &findings {
+            println!("{f}");
+        }
     }
     if findings.is_empty() {
-        eprintln!("spash-lint: clean");
+        eprintln!("spash-lint[{mode}]: clean ({files_scanned} files)");
         ExitCode::SUCCESS
     } else {
-        eprintln!("spash-lint: {} violation(s)", findings.len());
+        eprintln!("spash-lint[{mode}]: {} violation(s)", findings.len());
         ExitCode::FAILURE
     }
 }

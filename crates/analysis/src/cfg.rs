@@ -1,0 +1,546 @@
+//! Intraprocedural control-flow graphs over persistence events.
+//!
+//! Each parsed function lowers to a graph whose nodes carry one [`Ev`]
+//! each. Only the events the flow rules care about survive; everything
+//! else becomes [`Ev::Call`] (resolved against interprocedural
+//! summaries) or [`Ev::Nop`].
+//!
+//! The event mapping mirrors the dynamic sanitizer's model
+//! (`spash_pmem::san`): stores are the `MemCtx` write methods,
+//! publication edges are exactly the dynamic `SyncEvent`s that trigger
+//! an `on_edge` check — atomic RMWs (`cas_u64` / `fetch_or_u64` /
+//! `fetch_and_u64`), lock releases (the ends of `VLock`/`VRwLock`
+//! closure regions and explicit `nontx_unlock`), and HTM commits (the
+//! end of an `htm.try_transaction` closure). Plain `read_u64`/Acquire
+//! loads are *not* edges, matching `san::on_edge`.
+//!
+//! Region closures lower with a dedicated exit node so `?`/`return`
+//! inside the closure still reaches the region's publication edge —
+//! which is exactly what happens dynamically: the closure unwinds, the
+//! region wrapper releases the lock / commits or aborts the transaction.
+
+use crate::parse::{Block, Call, Func, Stmt};
+
+/// Publication-edge kinds, matching `san::SyncEvent`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PubKind {
+    /// `cas_u64` / `fetch_or_u64` / `fetch_and_u64`.
+    Rmw,
+    /// End of a lock closure region or explicit `nontx_unlock`.
+    LockRelease,
+    /// End of an `htm.try_transaction` closure (commit).
+    HtmCommit,
+}
+
+impl PubKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            PubKind::Rmw => "atomic RMW",
+            PubKind::LockRelease => "lock release",
+            PubKind::HtmCommit => "HTM commit",
+        }
+    }
+}
+
+/// One persistence-relevant event.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    /// A PM store. `tgt` is the base identifier(s) of the address
+    /// expression (for the publish-before-init taint rule); `nt` marks
+    /// non-temporal stores, which bypass the cache but still need a
+    /// fence before publication.
+    Store { nt: bool, tgt: Vec<String> },
+    Flush { tgt: Vec<String> },
+    Fence,
+    /// A publication edge. `val` is the base identifier(s) of the value
+    /// being published (empty for lock release / HTM commit).
+    Publish { kind: PubKind, val: Vec<String> },
+    HtmBegin,
+    /// A call resolved via interprocedural summaries. `foreign` marks a
+    /// receiver other than `self`/`Self`/bare (`Arc::new`, `map.insert`,
+    /// `alloc.alloc_region`): the target is a method of *that* value or
+    /// type, so same-file-first resolution must not apply — a `fn new`
+    /// or `fn insert` in the calling file is a name collision, not the
+    /// callee. Only a globally unique name may resolve.
+    Call { name: String, foreign: bool },
+    /// `let var = init;` — `alloc` is true when the initializer calls
+    /// an allocator (fresh PM whose contents start unfenced).
+    Bind { var: String, alloc: bool },
+    Nop,
+}
+
+#[derive(Clone, Debug)]
+pub struct Node {
+    pub ev: Ev,
+    pub line: usize,
+}
+
+/// A function CFG. `entry` and `exit` are `Nop` nodes; edges are in
+/// `succs`. Nodes unreachable from `entry` (code after `return`) keep
+/// their slots but never receive dataflow facts.
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub succs: Vec<Vec<usize>>,
+    pub entry: usize,
+    pub exit: usize,
+}
+
+impl Cfg {
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut p = vec![Vec::new(); self.nodes.len()];
+        for (n, ss) in self.succs.iter().enumerate() {
+            for &s in ss {
+                p[s].push(n);
+            }
+        }
+        p
+    }
+}
+
+/// Identifiers that never name a PM address or published value.
+const NON_ADDR_IDENTS: &[&str] = &["ctx", "self", "tx"];
+
+fn addr_base(args: &[Vec<String>], skip_last: bool) -> Vec<String> {
+    // First non-context identifier of each relevant argument: the base
+    // of the address expression (`seg.slot_addr(b, s)` → `seg`).
+    let n = args.len().saturating_sub(skip_last as usize);
+    let mut out = Vec::new();
+    for a in &args[..n] {
+        if let Some(id) = a.iter().find(|i| !NON_ADDR_IDENTS.contains(&i.as_str())) {
+            out.push(id.clone());
+        }
+    }
+    out
+}
+
+fn val_base(args: &[Vec<String>]) -> Vec<String> {
+    args.last()
+        .and_then(|a| a.iter().find(|i| !NON_ADDR_IDENTS.contains(&i.as_str())))
+        .map(|s| vec![s.clone()])
+        .unwrap_or_default()
+}
+
+struct Lower {
+    nodes: Vec<Node>,
+    succs: Vec<Vec<usize>>,
+    fn_exit: usize,
+    /// (continue target, break target) per enclosing loop.
+    loop_stack: Vec<(usize, usize)>,
+    /// Exit node of the innermost enclosing closure (region end or
+    /// plain-closure merge); `return`/`?` route here when present.
+    closure_exit: Vec<usize>,
+}
+
+impl Lower {
+    fn node(&mut self, ev: Ev, line: usize) -> usize {
+        self.nodes.push(Node { ev, line });
+        self.succs.push(Vec::new());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, a: usize, b: usize) {
+        if !self.succs[a].contains(&b) {
+            self.succs[a].push(b);
+        }
+    }
+
+    fn early_exit_target(&self) -> usize {
+        *self.closure_exit.last().unwrap_or(&self.fn_exit)
+    }
+
+    fn lower_block(&mut self, b: &Block, mut cur: usize) -> usize {
+        for s in &b.0 {
+            cur = self.lower_stmt(s, cur);
+        }
+        cur
+    }
+
+    /// Lower a closure body with its own loop scope and exit node.
+    fn lower_closure(&mut self, b: &Block, entry: usize, exit: usize) {
+        let saved_loops = std::mem::take(&mut self.loop_stack);
+        self.closure_exit.push(exit);
+        let end = self.lower_block(b, entry);
+        self.edge(end, exit);
+        self.closure_exit.pop();
+        self.loop_stack = saved_loops;
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, cur: usize) -> usize {
+        match s {
+            Stmt::Call(c) => self.lower_call(c, cur),
+            Stmt::Bind {
+                name,
+                line,
+                init_calls,
+            } => {
+                let alloc = init_calls
+                    .iter()
+                    .any(|n| n.contains("alloc") && !n.contains("dealloc"));
+                let n = self.node(
+                    Ev::Bind {
+                        var: name.clone(),
+                        alloc,
+                    },
+                    *line,
+                );
+                self.edge(cur, n);
+                n
+            }
+            Stmt::If { cond, then, els } => {
+                let mut split = cur;
+                for c in cond {
+                    split = self.lower_stmt(c, split);
+                }
+                let line = self.nodes[split].line;
+                let merge = self.node(Ev::Nop, line);
+                let t_end = self.lower_block(then, split);
+                self.edge(t_end, merge);
+                match els {
+                    Some(e) => {
+                        let e_end = self.lower_block(e, split);
+                        self.edge(e_end, merge);
+                    }
+                    None => self.edge(split, merge),
+                }
+                merge
+            }
+            Stmt::Match { cond, arms } => {
+                let mut split = cur;
+                for c in cond {
+                    split = self.lower_stmt(c, split);
+                }
+                let line = self.nodes[split].line;
+                let merge = self.node(Ev::Nop, line);
+                if arms.is_empty() {
+                    self.edge(split, merge);
+                } else {
+                    for a in arms {
+                        let a_end = self.lower_block(a, split);
+                        self.edge(a_end, merge);
+                    }
+                }
+                merge
+            }
+            Stmt::Loop {
+                cond,
+                body,
+                exits_by_cond,
+            } => {
+                let line = self.nodes[cur].line;
+                let head = self.node(Ev::Nop, line);
+                self.edge(cur, head);
+                let mut c_end = head;
+                for c in cond {
+                    c_end = self.lower_stmt(c, c_end);
+                }
+                let exit = self.node(Ev::Nop, line);
+                // `while`/`for` may exit after evaluating the condition
+                // without running the body; a bare `loop` exits only
+                // through `break` edges.
+                if *exits_by_cond {
+                    self.edge(c_end, exit);
+                }
+                self.loop_stack.push((head, exit));
+                let b_end = self.lower_block(body, c_end);
+                self.edge(b_end, head);
+                self.loop_stack.pop();
+                exit
+            }
+            Stmt::Block(b) => self.lower_block(b, cur),
+            Stmt::MaybeBlock(b) => {
+                // A detached closure: may run zero or more times.
+                let line = self.nodes[cur].line;
+                let merge = self.node(Ev::Nop, line);
+                self.edge(cur, merge);
+                let entry = self.node(Ev::Nop, line);
+                self.edge(cur, entry);
+                self.lower_closure(b, entry, merge);
+                merge
+            }
+            Stmt::Return { line } => {
+                let t = self.early_exit_target();
+                self.edge(cur, t);
+                // Dead continuation node: no predecessors.
+                self.node(Ev::Nop, *line)
+            }
+            Stmt::Question { line } => {
+                let q = self.node(Ev::Nop, *line);
+                self.edge(cur, q);
+                let t = self.early_exit_target();
+                self.edge(q, t);
+                q
+            }
+            Stmt::Break { line } => {
+                let t = self
+                    .loop_stack
+                    .last()
+                    .map(|&(_, brk)| brk)
+                    .unwrap_or_else(|| self.early_exit_target());
+                self.edge(cur, t);
+                self.node(Ev::Nop, *line)
+            }
+            Stmt::Continue { line } => {
+                let t = self
+                    .loop_stack
+                    .last()
+                    .map(|&(head, _)| head)
+                    .unwrap_or_else(|| self.early_exit_target());
+                self.edge(cur, t);
+                self.node(Ev::Nop, *line)
+            }
+        }
+    }
+
+    fn lower_call(&mut self, c: &Call, cur: usize) -> usize {
+        let line = c.line;
+        let ev = match c.name.as_str() {
+            "write_u64" | "write_bytes" => Some(Ev::Store {
+                nt: false,
+                tgt: addr_base(&c.args, true),
+            }),
+            "ntstore_bytes" => Some(Ev::Store {
+                nt: true,
+                tgt: addr_base(&c.args, true),
+            }),
+            "flush" | "flush_range" => Some(Ev::Flush {
+                tgt: addr_base(&c.args, false),
+            }),
+            "fence" => Some(Ev::Fence),
+            "cas_u64" | "fetch_or_u64" | "fetch_and_u64" => Some(Ev::Publish {
+                kind: PubKind::Rmw,
+                val: val_base(&c.args),
+            }),
+            "nontx_unlock" => Some(Ev::Publish {
+                kind: PubKind::LockRelease,
+                val: vec![],
+            }),
+            // Sanitizer bookkeeping, not memory traffic.
+            "san_forgive" | "san_transient" | "san_ordered" | "san_tag" | "san_op_label" => {
+                Some(Ev::Nop)
+            }
+            _ => None,
+        };
+        if let Some(ev) = ev {
+            let n = self.node(ev, line);
+            self.edge(cur, n);
+            return n;
+        }
+        // Region calls: the closure body runs between an entry event
+        // and the region's publication edge.
+        if !c.closures.is_empty() {
+            match c.name.as_str() {
+                "try_transaction" => {
+                    let begin = self.node(Ev::HtmBegin, line);
+                    self.edge(cur, begin);
+                    let end = self.node(
+                        Ev::Publish {
+                            kind: PubKind::HtmCommit,
+                            val: vec![],
+                        },
+                        line,
+                    );
+                    for cl in &c.closures {
+                        self.lower_closure(cl, begin, end);
+                    }
+                    return end;
+                }
+                "read" | "write" => {
+                    // VLock / VRwLock / sharded-lock closure regions.
+                    let begin = self.node(Ev::Nop, line);
+                    self.edge(cur, begin);
+                    let end = self.node(
+                        Ev::Publish {
+                            kind: PubKind::LockRelease,
+                            val: vec![],
+                        },
+                        line,
+                    );
+                    for cl in &c.closures {
+                        self.lower_closure(cl, begin, end);
+                    }
+                    return end;
+                }
+                _ => {
+                    // Unknown higher-order call (`stats_span`, iterator
+                    // adapters…): closure may run; no region semantics.
+                    let merge = self.node(Ev::Nop, line);
+                    self.edge(cur, merge);
+                    for cl in &c.closures {
+                        let entry = self.node(Ev::Nop, line);
+                        self.edge(cur, entry);
+                        self.lower_closure(cl, entry, merge);
+                    }
+                    let n = self.node(
+                        Ev::Call {
+                            name: c.name.clone(),
+                            foreign: foreign_recv(&c.recv),
+                        },
+                        line,
+                    );
+                    self.edge(merge, n);
+                    return n;
+                }
+            }
+        }
+        let n = self.node(
+            Ev::Call {
+                name: c.name.clone(),
+                foreign: foreign_recv(&c.recv),
+            },
+            line,
+        );
+        self.edge(cur, n);
+        n
+    }
+}
+
+/// Does the receiver point outside the current file's own fn namespace?
+/// Bare calls and `self.helper`/`Self::helper` target functions the
+/// same-file resolution rule may claim; anything else (`Arc::new`,
+/// `map.insert`, `alloc.alloc_region`, `common::make_val`) targets some
+/// other type's method and must resolve by global uniqueness only.
+fn foreign_recv(recv: &str) -> bool {
+    !(recv.is_empty() || recv == "self" || recv == "Self")
+}
+
+/// Build the CFG for one parsed function.
+pub fn build_cfg(f: &Func) -> Cfg {
+    let mut l = Lower {
+        nodes: Vec::new(),
+        succs: Vec::new(),
+        fn_exit: 0,
+        loop_stack: Vec::new(),
+        closure_exit: Vec::new(),
+    };
+    let entry = l.node(Ev::Nop, f.line);
+    let exit = l.node(Ev::Nop, f.end_line);
+    l.fn_exit = exit;
+    let end = l.lower_block(&f.body, entry);
+    l.edge(end, exit);
+    Cfg {
+        nodes: l.nodes,
+        succs: l.succs,
+        entry,
+        exit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::strip_non_code;
+    use crate::parse::parse_functions;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let fs = parse_functions(&strip_non_code(src));
+        assert_eq!(fs.len(), 1, "expected one fn in {src}");
+        build_cfg(&fs[0])
+    }
+
+    fn count(cfg: &Cfg, pred: impl Fn(&Ev) -> bool) -> usize {
+        cfg.nodes.iter().filter(|n| pred(&n.ev)).count()
+    }
+
+    #[test]
+    fn straight_line_events() {
+        let cfg = cfg_of("fn f() { ctx.write_u64(a, v); ctx.flush(a); ctx.fence(); }");
+        assert_eq!(count(&cfg, |e| matches!(e, Ev::Store { .. })), 1);
+        assert_eq!(count(&cfg, |e| matches!(e, Ev::Flush { .. })), 1);
+        assert_eq!(count(&cfg, |e| matches!(e, Ev::Fence)), 1);
+    }
+
+    #[test]
+    fn branch_has_two_paths_to_merge() {
+        let cfg = cfg_of("fn f() { if c { ctx.flush(a); } ctx.fence(); }");
+        // The fence node must have the merge as its only pred path, and
+        // the merge two preds (then-branch end, condition skip).
+        let preds = cfg.preds();
+        let fence = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.ev, Ev::Fence))
+            .unwrap();
+        let merge = preds[fence][0];
+        assert_eq!(preds[merge].len(), 2);
+    }
+
+    #[test]
+    fn htm_region_brackets_body() {
+        let cfg = cfg_of(
+            "fn f() { self.htm.try_transaction(ctx, |tx, ctx| { tx.write_u64(ctx, a, v)?; Ok(()) }); }",
+        );
+        assert_eq!(count(&cfg, |e| matches!(e, Ev::HtmBegin)), 1);
+        assert_eq!(
+            count(
+                &cfg,
+                |e| matches!(e, Ev::Publish { kind: PubKind::HtmCommit, .. })
+            ),
+            1
+        );
+        // `?` inside the closure must reach the commit node, not fn exit.
+        let commit = cfg
+            .nodes
+            .iter()
+            .position(|n| matches!(n.ev, Ev::Publish { kind: PubKind::HtmCommit, .. }))
+            .unwrap();
+        let preds = cfg.preds();
+        assert!(preds[commit].len() >= 2, "early exit + fallthrough");
+    }
+
+    #[test]
+    fn lock_region_publishes_at_end() {
+        let cfg = cfg_of("fn f() { seg.rw.write(ctx, |ctx| { ctx.write_u64(a, v); }); }");
+        assert_eq!(
+            count(
+                &cfg,
+                |e| matches!(e, Ev::Publish { kind: PubKind::LockRelease, .. })
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn loop_back_edge_exists() {
+        let cfg = cfg_of("fn f() { loop { if done { break; } ctx.fence(); } }");
+        // Some node must have a successor with a smaller index (the
+        // back edge to the loop head).
+        let has_back = cfg
+            .succs
+            .iter()
+            .enumerate()
+            .any(|(i, ss)| ss.iter().any(|&s| s < i && s != cfg.exit));
+        assert!(has_back);
+    }
+
+    #[test]
+    fn return_routes_to_fn_exit() {
+        let cfg = cfg_of("fn f() { if c { return; } ctx.fence(); }");
+        let preds = cfg.preds();
+        assert!(preds[cfg.exit].len() >= 2, "{:?}", preds[cfg.exit]);
+    }
+
+    #[test]
+    fn rmw_is_publish_with_value() {
+        let cfg = cfg_of("fn f() { ctx.cas_u64(head, old, node.0); }");
+        let publish = cfg
+            .nodes
+            .iter()
+            .find(|n| matches!(n.ev, Ev::Publish { .. }))
+            .unwrap();
+        let Ev::Publish { kind, val } = &publish.ev else { unreachable!() };
+        assert_eq!(*kind, PubKind::Rmw);
+        assert_eq!(val, &["node".to_string()]);
+    }
+
+    #[test]
+    fn store_target_base_identifier() {
+        let cfg = cfg_of("fn f() { ctx.write_u64(seg.slot_addr(b, s), v); }");
+        let store = cfg
+            .nodes
+            .iter()
+            .find(|n| matches!(n.ev, Ev::Store { .. }))
+            .unwrap();
+        let Ev::Store { tgt, .. } = &store.ev else { unreachable!() };
+        assert_eq!(tgt, &["seg".to_string()]);
+    }
+}

@@ -1,0 +1,570 @@
+//! The `spash-lint flow` rules: path-sensitive persistence-ordering
+//! checks over the CFGs of [`crate::cfg`], parameterized by memory
+//! model. See DESIGN.md § "Static flush/fence dataflow analysis".
+//!
+//! Three rules:
+//!
+//! * [`RULE_FLUSH_FENCE`] — under ADR, every `MemCtx` store must be
+//!   flushed and fenced on *all* paths before any publication edge
+//!   (atomic RMW, lock release, HTM commit). Static twin of the PR 3
+//!   dynamic sanitizer's `on_edge` check.
+//! * [`RULE_HTM_CLWB`] — no flush reachable inside an
+//!   `htm.try_transaction` region, directly or through calls: a `clwb`
+//!   inside an HTM transaction aborts it (the paper's eADR/HTM
+//!   constraint). Checked under every model.
+//! * [`RULE_PUBLISH_INIT`] — under ADR, no publication of a value whose
+//!   pointed-to PM writes are not yet fenced on some path (the classic
+//!   "publish a half-initialized node via CAS" bug).
+//!
+//! **Memory models.** The analysis mirrors `san_mode_for`: the six
+//! baselines and the allocator are ADR-era flush+fence designs and get
+//! the strict rules; `crates/core` and `crates/htm` are the eADR-native
+//! Spash fast path, which *deliberately* never flushes before
+//! publication — there the ADR rules are off (its ADR downgrade path is
+//! data-dependent and owned by the dynamic sanitizer) and only the HTM
+//! rule applies. Everything else (platform, bench, tests) is exempt.
+//!
+//! **Waivers.** Findings reuse the classic `lint:allow(rule): reason`
+//! syntax. Flow waivers additionally must triage against the dynamic
+//! sanitizer: the reason must name the `san_forgive` site it shadows as
+//! `san=<file_stem>::<fn>`, or state `san=none(<why>)` when no dynamic
+//! counterpart exists. [`crosscheck`] enforces the mapping both ways.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::cfg::{Cfg, Ev};
+use crate::dataflow::{run, Analysis, Diag};
+use crate::lint::{cfg_test_lines, collect_rs_files, contains_token, strip_non_code, waived, Finding};
+use crate::parse::enclosing_fn;
+use crate::summaries::{self, Ob, ObSim, SummaryTable};
+
+pub const RULE_FLUSH_FENCE: &str = "flow-flush-fence";
+pub const RULE_HTM_CLWB: &str = "flow-htm-clwb";
+pub const RULE_PUBLISH_INIT: &str = "flow-publish-init";
+pub const RULE_WAIVER_XREF: &str = "flow-waiver-xref";
+
+/// Which ordering discipline a file is checked under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemModel {
+    /// Strict flush+fence-before-publish (baselines, allocator).
+    Adr,
+    /// eADR/HTM fast path: no flush obligation, HTM rule only.
+    Eadr,
+    /// Not on a PM data path (platform, bench, tests, tools).
+    Exempt,
+}
+
+/// Model per workspace-relative path. Mirrors `crate::san_mode_for`:
+/// strict for the ADR-era baselines (and the allocator they share),
+/// relaxed for the eADR-native Spash core.
+pub fn model_for(rel_path: &str) -> MemModel {
+    let p = rel_path.replace('\\', "/");
+    if p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/") {
+        return MemModel::Exempt;
+    }
+    if p.starts_with("crates/baselines/") || p.starts_with("crates/alloc/") {
+        MemModel::Adr
+    } else if p.starts_with("crates/core/") || p.starts_with("crates/htm/") {
+        MemModel::Eadr
+    } else {
+        MemModel::Exempt
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: htm-no-clwb.
+// ---------------------------------------------------------------------------
+
+/// Fact: may we be inside an HTM transaction? (true joins over false).
+struct HtmNoClwb<'a> {
+    table: &'a SummaryTable,
+    file: &'a str,
+}
+
+impl Analysis for HtmNoClwb<'_> {
+    type Fact = bool;
+
+    fn entry_fact(&self) -> bool {
+        false
+    }
+
+    fn join(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+
+    fn transfer(&self, ev: &Ev, line: usize, fact: &bool, sink: Option<&mut Vec<Diag>>) -> bool {
+        match ev {
+            Ev::HtmBegin => true,
+            Ev::Publish {
+                kind: crate::cfg::PubKind::HtmCommit,
+                ..
+            } => false,
+            Ev::Flush { .. } if *fact => {
+                if let Some(sink) = sink {
+                    sink.push(Diag {
+                        line,
+                        msg: "flush (clwb) inside an HTM transaction aborts it".into(),
+                    });
+                }
+                *fact
+            }
+            Ev::Call { name, foreign } if *fact => {
+                if self
+                    .table
+                    .resolve_call(self.file, name, *foreign)
+                    .is_some_and(|s| s.flushes)
+                {
+                    if let Some(sink) = sink {
+                        sink.push(Diag {
+                            line,
+                            msg: format!(
+                                "call to `{name}` may flush (clwb) inside an HTM transaction"
+                            ),
+                        });
+                    }
+                }
+                *fact
+            }
+            _ => *fact,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: publish-before-init.
+// ---------------------------------------------------------------------------
+
+/// Fact: per-variable obligation for PM regions reachable from a local
+/// binding (absent = clean). Join is pointwise-max over the union.
+struct PublishInit<'a> {
+    table: &'a SummaryTable,
+    file: &'a str,
+}
+
+type VarFacts = BTreeMap<String, Ob>;
+
+impl Analysis for PublishInit<'_> {
+    type Fact = VarFacts;
+
+    fn entry_fact(&self) -> VarFacts {
+        VarFacts::new()
+    }
+
+    fn join(&self, a: &VarFacts, b: &VarFacts) -> VarFacts {
+        let mut out = a.clone();
+        for (k, v) in b {
+            let e = out.entry(k.clone()).or_insert(*v);
+            *e = (*e).max(*v);
+        }
+        out
+    }
+
+    fn transfer(
+        &self,
+        ev: &Ev,
+        line: usize,
+        fact: &VarFacts,
+        sink: Option<&mut Vec<Diag>>,
+    ) -> VarFacts {
+        let mut out = fact.clone();
+        match ev {
+            Ev::Bind { var, alloc } => {
+                if *alloc {
+                    // Freshly allocated PM: contents unfenced until
+                    // proven otherwise.
+                    out.insert(var.clone(), Ob::Dirty);
+                } else {
+                    // Rebinding kills any stale obligation.
+                    out.remove(var);
+                }
+            }
+            Ev::Store { nt, tgt } => {
+                for t in tgt {
+                    let ob = if *nt { Ob::Flushed } else { Ob::Dirty };
+                    let e = out.entry(t.clone()).or_insert(ob);
+                    *e = (*e).max(ob);
+                }
+            }
+            Ev::Flush { tgt } => {
+                for t in tgt {
+                    if let Some(e) = out.get_mut(t) {
+                        if *e == Ob::Dirty {
+                            *e = Ob::Flushed;
+                        }
+                    }
+                }
+            }
+            Ev::Fence => {
+                out.retain(|_, v| *v != Ob::Flushed);
+            }
+            Ev::Publish { val, .. } => {
+                let mut sink = sink;
+                for v in val {
+                    if let Some(state) = out.get(v) {
+                        if let Some(s) = sink.as_mut() {
+                            s.push(Diag {
+                                line,
+                                msg: format!(
+                                    "`{v}` published while its PM writes are {} on some path",
+                                    state.label()
+                                ),
+                            });
+                        }
+                    }
+                }
+                for v in val {
+                    out.remove(v);
+                }
+            }
+            Ev::Call { name, foreign } => {
+                // A callee that fences discharges all pending
+                // obligations (it cannot fence selectively); one that
+                // only flushes downgrades Dirty to Flushed.
+                if let Some(sum) = self.table.resolve_call(self.file, name, *foreign) {
+                    if sum.fences {
+                        out.retain(|_, v| *v != Ob::Flushed);
+                    }
+                    if sum.flushes {
+                        for v in out.values_mut() {
+                            if *v == Ob::Dirty {
+                                *v = Ob::Flushed;
+                            }
+                        }
+                        if sum.fences {
+                            out.retain(|_, v| *v != Ob::Flushed);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+/// Run the flow rules over a set of (workspace-relative path, source)
+/// pairs. Waivers and `#[cfg(test)]` regions are honored per file.
+pub fn check_files(files: &[(String, String)]) -> Vec<Finding> {
+    let stripped: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, src)| (p.clone(), strip_non_code(src)))
+        .collect();
+    let lowered = summaries::lower_files(&stripped);
+    let table = summaries::compute(&lowered);
+
+    let mut out = Vec::new();
+    for (fc, (path, src)) in lowered.iter().zip(files) {
+        let model = model_for(path);
+        if model == MemModel::Exempt {
+            continue;
+        }
+        let original: Vec<&str> = src.lines().collect();
+        let strip = &stripped.iter().find(|(p, _)| p == path).expect("same set").1;
+        let test_region = cfg_test_lines(strip);
+        let in_test = |line: usize| test_region.get(line.saturating_sub(1)).copied().unwrap_or(false);
+
+        let mut push = |line: usize, rule: &'static str, msg: String| {
+            let idx = line.saturating_sub(1).min(original.len().saturating_sub(1));
+            if !in_test(line) && !waived(&original, idx, rule) {
+                out.push(Finding {
+                    file: path.clone(),
+                    line,
+                    rule,
+                    msg,
+                });
+            }
+        };
+
+        for (f, cfg) in &fc.fns {
+            if in_test(f.line) {
+                continue;
+            }
+            for d in rule_diags(&table, path, cfg, model) {
+                push(d.0, d.1, d.2);
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    out.dedup();
+    out
+}
+
+fn rule_diags(
+    table: &SummaryTable,
+    path: &str,
+    cfg: &Cfg,
+    model: MemModel,
+) -> Vec<(usize, &'static str, String)> {
+    let mut out = Vec::new();
+    if model == MemModel::Adr {
+        let sim = ObSim {
+            table,
+            file: path,
+            entry: Ob::Clean,
+        };
+        for d in run(cfg, &sim) {
+            out.push((d.line, RULE_FLUSH_FENCE, d.msg));
+        }
+        let pi = PublishInit { table, file: path };
+        for d in run(cfg, &pi) {
+            out.push((d.line, RULE_PUBLISH_INIT, d.msg));
+        }
+    }
+    let htm = HtmNoClwb { table, file: path };
+    for d in run(cfg, &htm) {
+        out.push((d.line, RULE_HTM_CLWB, d.msg));
+    }
+    out
+}
+
+/// Run the flow rules plus the waiver cross-check over every `.rs` file
+/// under `root`. Returns `(files_scanned, findings)`.
+pub fn check_tree(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let mut rel_files = Vec::new();
+    collect_rs_files(root, root, &mut rel_files)?;
+    rel_files.sort();
+    let mut files = Vec::new();
+    for rel in &rel_files {
+        let src = fs::read_to_string(root.join(rel))?;
+        files.push((rel.clone(), src));
+    }
+    let mut findings = check_files(&files);
+    findings.extend(crosscheck(&files));
+    findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings.dedup();
+    Ok((files.len(), findings))
+}
+
+// ---------------------------------------------------------------------------
+// Waiver / san_forgive cross-check.
+// ---------------------------------------------------------------------------
+
+fn file_stem(path: &str) -> &str {
+    let base = path.rsplit('/').next().unwrap_or(path);
+    base.strip_suffix(".rs").unwrap_or(base)
+}
+
+fn is_test_path(path: &str) -> bool {
+    path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/")
+}
+
+/// Keep the static and dynamic sanitizers honest about each other:
+///
+/// 1. every `flow-*` waiver must carry a `san=<file_stem>::<fn>`
+///    reference to the dynamic `san_forgive` site it shadows, or an
+///    explicit `san=none(<why>)`;
+/// 2. every referenced `san=` key must name a real `san_forgive` site;
+/// 3. every dynamic `san_forgive` site must be referenced by at least
+///    one static waiver — a forgiven idiom invisible to `flow` means
+///    the static rules have a blind spot worth recording.
+pub fn crosscheck(files: &[(String, String)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Dynamic sites: `.san_forgive(` calls in non-test source (the
+    // method definition in ctx.rs has no receiver dot and is skipped).
+    let mut dynamic: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for (path, src) in files {
+        if is_test_path(path) {
+            continue;
+        }
+        let stripped = strip_non_code(src);
+        let test_region = cfg_test_lines(&stripped);
+        let funcs = crate::parse::parse_functions(&stripped);
+        for (i, line) in stripped.lines().enumerate() {
+            if !line.contains(".san_forgive") || !contains_token(line, "san_forgive") {
+                continue;
+            }
+            if test_region.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let fn_name = enclosing_fn(&funcs, i + 1).unwrap_or("?");
+            let key = format!("{}::{}", file_stem(path), fn_name);
+            dynamic.entry(key).or_insert((path.clone(), i + 1));
+        }
+    }
+
+    // Static waivers: flow-rule allow-comments. Raw lines are scanned
+    // (waivers live in comments, which stripping blanks), but only the
+    // portion after `//` counts — a string literal quoting the syntax is
+    // not a waiver — and test regions, where lint fixtures quote waiver
+    // syntax, are skipped.
+    let mut referenced: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for (path, src) in files {
+        if is_test_path(path) {
+            continue;
+        }
+        let test_region = cfg_test_lines(&strip_non_code(src));
+        for (i, line) in src.lines().enumerate() {
+            if test_region.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let Some(cpos) = line.find("//") else {
+                continue;
+            };
+            let comment = &line[cpos..];
+            let Some(pos) = comment
+                .find("lint:allow(flow-")
+                .or_else(|| comment.find("lint:allow-file(flow-"))
+            else {
+                continue;
+            };
+            let reason = &comment[pos..];
+            if let Some(spos) = reason.find("san=") {
+                let rest = &reason[spos + 4..];
+                if let Some(why) = rest.strip_prefix("none(") {
+                    if why.split(')').next().map(str::trim).unwrap_or("").is_empty() {
+                        out.push(Finding {
+                            file: path.clone(),
+                            line: i + 1,
+                            rule: RULE_WAIVER_XREF,
+                            msg: "san=none() needs a reason why no dynamic counterpart exists"
+                                .into(),
+                        });
+                    }
+                } else {
+                    let key: String = rest
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
+                        .collect();
+                    referenced.entry(key).or_insert((path.clone(), i + 1));
+                }
+            } else {
+                out.push(Finding {
+                    file: path.clone(),
+                    line: i + 1,
+                    rule: RULE_WAIVER_XREF,
+                    msg: "flow waiver must cite its dynamic counterpart (san=<file>::<fn>) \
+                          or state san=none(<why>)"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    for (key, (path, line)) in &referenced {
+        if !dynamic.contains_key(key) {
+            out.push(Finding {
+                file: path.clone(),
+                line: *line,
+                rule: RULE_WAIVER_XREF,
+                msg: format!("waiver cites san={key}, but no such san_forgive site exists"),
+            });
+        }
+    }
+    for (key, (path, line)) in &dynamic {
+        if !referenced.contains_key(key) {
+            out.push(Finding {
+                file: path.clone(),
+                line: *line,
+                rule: RULE_WAIVER_XREF,
+                msg: format!(
+                    "dynamic san_forgive site {key} has no static flow waiver citing it \
+                     (add san={key} to the waiver covering the same idiom)"
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adr(src: &str) -> Vec<Finding> {
+        check_files(&[("crates/baselines/src/x.rs".to_string(), src.to_string())])
+    }
+
+    fn eadr(src: &str) -> Vec<Finding> {
+        check_files(&[("crates/core/src/x.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn clean_adr_sequence_passes() {
+        let f = adr("fn f(ctx: &mut MemCtx) { ctx.write_u64(a, v); ctx.flush(a); ctx.fence(); ctx.cas_u64(d, x, y); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn missing_fence_fires() {
+        let f = adr("fn f(ctx: &mut MemCtx) { ctx.write_u64(a, v); ctx.flush(a); ctx.cas_u64(d, x, y); }");
+        assert!(f.iter().any(|x| x.rule == RULE_FLUSH_FENCE), "{f:?}");
+    }
+
+    #[test]
+    fn eadr_core_is_exempt_from_flush_fence() {
+        let f = eadr("fn f(ctx: &mut MemCtx) { ctx.write_u64(a, v); ctx.cas_u64(d, x, y); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn htm_rule_applies_everywhere() {
+        let src = "fn f(ctx: &mut MemCtx) { self.htm.try_transaction(ctx, |tx, ctx| { ctx.flush(a); Ok(()) }); }";
+        assert!(eadr(src).iter().any(|x| x.rule == RULE_HTM_CLWB));
+    }
+
+    #[test]
+    fn waiver_suppresses_finding() {
+        let f = adr(
+            "fn f(ctx: &mut MemCtx) {\n  ctx.write_u64(a, v);\n  // lint:allow(flow-flush-fence): test waiver san=none(toy)\n  ctx.cas_u64(d, x, y);\n}",
+        );
+        assert!(f.iter().all(|x| x.rule != RULE_FLUSH_FENCE), "{f:?}");
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let f = adr(
+            "#[cfg(test)]\nmod tests {\n  fn f(ctx: &mut MemCtx) { ctx.write_u64(a, v); ctx.cas_u64(d, x, y); }\n}",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn crosscheck_both_directions() {
+        let files = vec![
+            (
+                "crates/baselines/src/dash.rs".to_string(),
+                "fn scrub(ctx: &mut MemCtx) { ctx.san_forgive(a, 8); }".to_string(),
+            ),
+            (
+                "crates/baselines/src/level.rs".to_string(),
+                "// lint:allow(flow-flush-fence): shadowed dynamically san=dash::scrub\nfn g() {}\n// lint:allow(flow-flush-fence): bogus ref san=dash::missing\nfn h() {}".to_string(),
+            ),
+        ];
+        let f = crosscheck(&files);
+        // `dash::scrub` is cited: no finding for it. `dash::missing` is
+        // cited but does not exist: one finding.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("dash::missing"));
+    }
+
+    #[test]
+    fn crosscheck_flags_unreferenced_dynamic_site() {
+        let files = vec![(
+            "crates/baselines/src/dash.rs".to_string(),
+            "fn scrub(ctx: &mut MemCtx) { ctx.san_forgive(a, 8); }".to_string(),
+        )];
+        let f = crosscheck(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("dash::scrub"));
+    }
+
+    #[test]
+    fn crosscheck_requires_san_ref_in_flow_waivers() {
+        let files = vec![(
+            "crates/baselines/src/dash.rs".to_string(),
+            "// lint:allow(flow-htm-clwb): because reasons\nfn g() {}".to_string(),
+        )];
+        let f = crosscheck(&files);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].msg.contains("san="));
+    }
+}

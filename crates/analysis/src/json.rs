@@ -1,4 +1,5 @@
-//! Minimal hand-rolled JSON, for the machine-readable bench reports.
+//! Minimal hand-rolled JSON, for the machine-readable bench reports and
+//! the `spash-lint --json` finding reports.
 //!
 //! The workspace is dependency-free by policy (ROADMAP.md), so `serde` is
 //! not an option; this module implements exactly the subset the

@@ -11,9 +11,24 @@
 //!   no host sync primitives or host clocks in sched-instrumented code,
 //!   busy-waits through `spin_wait()`, `// SAFETY:` on every `unsafe`,
 //!   and no raw arena stores outside the instrumented platform.
+//!
+//! `spash-lint flow` layers a path-sensitive static analyzer on top of
+//! the same tokenizer: [`parse`] recovers per-function statement/branch
+//! structure, [`cfg`] lowers it to a control-flow graph of persistence
+//! events, [`dataflow`] runs forward fixpoints over it, [`summaries`]
+//! propagates obligations bottom-up across the call graph, and
+//! [`flow_rules`] implements the three ordering rules (flush-fence
+//! obligation, no clwb in HTM, publish-before-init) plus the waiver
+//! cross-check against the dynamic sanitizer's `san_forgive` sites.
 
+pub mod cfg;
+pub mod dataflow;
+pub mod flow_rules;
+pub mod json;
 pub mod lint;
+pub mod parse;
 pub mod sandrive;
+pub mod summaries;
 
 use spash::{Spash, SpashConfig};
 use spash_baselines::{CLevel, Cceh, Dash, Halo, Level, Plush};

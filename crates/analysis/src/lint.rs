@@ -251,18 +251,54 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
 
 /// Lint every `.rs` file under `root` (skipping `target/` and `.git/`).
 pub fn lint_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(lint_tree_counted(root)?.1)
+}
+
+/// Like [`lint_tree`], also reporting how many files were scanned (for
+/// the `--json` report).
+pub fn lint_tree_counted(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut out = Vec::new();
-    for rel in files {
-        let src = fs::read_to_string(root.join(&rel))?;
-        out.extend(lint_source(&rel, &src));
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        out.extend(lint_source(rel, &src));
     }
-    Ok(out)
+    Ok((files.len(), out))
 }
 
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+/// Build the machine-readable `spash-lint --json` report. Deterministic:
+/// findings are emitted in their sorted order, keys in a fixed order, so
+/// the rendered bytes are stable for golden-fixture tests and CI diffs.
+pub fn report_json(mode: &str, files_scanned: usize, findings: &[Finding]) -> crate::json::Json {
+    use crate::json::Json;
+    Json::Obj(vec![
+        ("schema".into(), Json::Int(1)),
+        ("tool".into(), Json::Str("spash-lint".into())),
+        ("mode".into(), Json::Str(mode.into())),
+        ("files_scanned".into(), Json::Int(files_scanned as u64)),
+        ("violations".into(), Json::Int(findings.len() as u64)),
+        (
+            "findings".into(),
+            Json::Arr(
+                findings
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("file".into(), Json::Str(f.file.clone())),
+                            ("line".into(), Json::Int(f.line as u64)),
+                            ("rule".into(), Json::Str(f.rule.into())),
+                            ("msg".into(), Json::Str(f.msg.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+pub(crate) fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -329,16 +365,21 @@ pub fn strip_non_code(src: &str) -> String {
                     }
                 }
             }
-            '"' => i = skip_string(&b, i, &mut out),
+            '"' => i = skip_string(&b, i, &mut out, false),
             'r' | 'b' if is_raw_or_byte_string(&b, i) => {
-                // Emit the prefix chars as blanks, then the literal.
+                // Emit the prefix chars as blanks, then the literal. A
+                // raw prefix (any prefix containing `r`) disables escape
+                // processing: in `r"..."` a backslash is an ordinary
+                // character, and `r"\"` is a complete literal.
                 let mut j = i;
-                while j < b.len() && (b[j] == 'r' || b[j] == 'b') {
+                let mut raw = false;
+                while j < b.len() && (b[j] == 'r' || b[j] == 'b') && j - i < 2 {
+                    raw |= b[j] == 'r';
                     out.push(' ');
                     j += 1;
                 }
                 if b.get(j) == Some(&'"') {
-                    i = skip_string(&b, j, &mut out);
+                    i = skip_string(&b, j, &mut out, raw);
                 } else {
                     // r#"..."# raw string with hashes.
                     let mut hashes = 0;
@@ -424,18 +465,25 @@ pub fn strip_non_code(src: &str) -> String {
     out
 }
 
-/// At `b[i] == '"'`: blank the string literal (with escapes), return the
-/// index past its closing quote.
-fn skip_string(b: &[char], mut i: usize, out: &mut String) -> usize {
+/// At `b[i] == '"'`: blank the string literal, return the index past its
+/// closing quote. With `raw` the backslash is an ordinary character
+/// (`r"..."` has no escapes); otherwise `\X` is consumed as a pair so an
+/// escaped quote does not terminate the literal. Newlines are always
+/// preserved — including the one in a `\`-newline string continuation —
+/// so line numbers downstream stay aligned with the original source.
+fn skip_string(b: &[char], mut i: usize, out: &mut String, raw: bool) -> usize {
     debug_assert_eq!(b[i], '"');
     out.push(' ');
     i += 1;
     while i < b.len() {
         match b[i] {
-            '\\' => {
+            '\\' if !raw => {
                 out.push(' ');
-                out.push(' ');
-                i += 2;
+                i += 1;
+                if let Some(&esc) = b.get(i) {
+                    out.push(if esc == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
             }
             '"' => {
                 out.push(' ');
@@ -533,7 +581,7 @@ fn use_groups(stripped: &str, prefix: &str) -> Vec<(usize, String)> {
 
 /// Mark the lines inside `#[cfg(test)]`-gated items (brace-tracked from
 /// the attribute to the item's closing brace).
-fn cfg_test_lines(stripped: &str) -> Vec<bool> {
+pub(crate) fn cfg_test_lines(stripped: &str) -> Vec<bool> {
     let n_lines = stripped.lines().count();
     let mut marks = vec![false; n_lines];
     let mut start = 0;
@@ -624,7 +672,7 @@ fn enclosing_fn_is_fp_aware(stripped_lines: &[&str], idx: usize) -> bool {
 /// Is line `idx` covered by a reasoned `lint:allow(rule)` waiver — on the
 /// line itself, in the comment/attribute block directly above, or by a
 /// file-level `lint:allow-file(rule)` anywhere?
-fn waived(original: &[&str], idx: usize, rule: &str) -> bool {
+pub(crate) fn waived(original: &[&str], idx: usize, rule: &str) -> bool {
     let inline = format!("lint:allow({rule}):");
     let file_level = format!("lint:allow-file({rule}):");
     if has_reasoned_marker(original[idx], &inline) {
@@ -828,5 +876,99 @@ mod tests {
     fn file_level_waiver_covers_all_occurrences() {
         let src = "// lint:allow-file(host-time): harness-side timing only\nlet a = Instant::now();\nlet b = Instant::now();\n";
         assert!(lint_source("crates/index-api/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_string_backslash_is_not_an_escape() {
+        // In `r"\"` the backslash is a literal character and the quote
+        // closes the string; treating it as an escape used to swallow
+        // the close and blank the rest of the file.
+        let src = "let p = r\"\\\"; use std::sync::Mutex;\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/ops.rs", src)),
+            [RULE_STD_SYNC]
+        );
+        let stripped = strip_non_code(src);
+        assert!(stripped.contains("use std::sync::Mutex"), "{stripped:?}");
+    }
+
+    #[test]
+    fn string_continuation_escape_keeps_line_numbers() {
+        // A `\` before a newline inside a string continues it on the
+        // next line; the newline must survive blanking or every finding
+        // below the literal shifts up a line.
+        let src = "let s = \"a\\\n   b\";\nlet t = Instant::now();\n";
+        let f = lint_source("crates/core/src/ops.rs", src);
+        assert_eq!(rules_of(&f), [RULE_HOST_TIME]);
+        assert_eq!(f[0].line, 3, "{f:?}");
+    }
+
+    #[test]
+    fn raw_hash_string_with_embedded_quote_hash() {
+        // `br#"…"#` may contain `"` (and `"#` only terminates at the
+        // matching hash count).
+        let src = "let t = br##\"x \"# y\"##; let u = SystemTime::now();\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/ops.rs", src)),
+            [RULE_HOST_TIME]
+        );
+    }
+
+    #[test]
+    fn char_literal_quote_and_escaped_tick() {
+        // `'"'` and `'\''` are char literals, not string/lifetime starts.
+        let src = "let a = '\"'; let b = '\\''; let c = Instant::now();\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/core/src/ops.rs", src)),
+            [RULE_HOST_TIME]
+        );
+    }
+
+    #[test]
+    fn json_report_schema_is_stable() {
+        let findings = vec![
+            Finding {
+                file: "crates/core/src/ops.rs".into(),
+                line: 12,
+                rule: RULE_HOST_TIME,
+                msg: "host clock".into(),
+            },
+            Finding {
+                file: "crates/htm/src/lib.rs".into(),
+                line: 3,
+                rule: RULE_STD_SYNC,
+                msg: "host lock with \"quotes\"".into(),
+            },
+        ];
+        let got = report_json("classic", 42, &findings).render();
+        let want = concat!(
+            "{\n",
+            "  \"schema\": 1,\n",
+            "  \"tool\": \"spash-lint\",\n",
+            "  \"mode\": \"classic\",\n",
+            "  \"files_scanned\": 42,\n",
+            "  \"violations\": 2,\n",
+            "  \"findings\": [\n",
+            "    {\n",
+            "      \"file\": \"crates/core/src/ops.rs\",\n",
+            "      \"line\": 12,\n",
+            "      \"rule\": \"host-time\",\n",
+            "      \"msg\": \"host clock\"\n",
+            "    },\n",
+            "    {\n",
+            "      \"file\": \"crates/htm/src/lib.rs\",\n",
+            "      \"line\": 3,\n",
+            "      \"rule\": \"std-sync\",\n",
+            "      \"msg\": \"host lock with \\\"quotes\\\"\"\n",
+            "    }\n",
+            "  ]\n",
+            "}\n",
+        );
+        assert_eq!(got, want);
+        // And it parses back to the same document.
+        assert_eq!(
+            crate::json::Json::parse(&got).unwrap().render(),
+            got
+        );
     }
 }

@@ -1,0 +1,99 @@
+//! Static/dynamic sanitizer cross-check over the real workspace tree.
+//!
+//! The flow rules and the PR 3 runtime sanitizer describe the same
+//! persistence discipline from two sides; this test holds the actual
+//! source to the contract both ways:
+//!
+//! * the whole tree is flow-clean — every finding is either fixed or
+//!   carries a reasoned waiver;
+//! * every static `flow-*` waiver cites the `san_forgive` site it
+//!   shadows (or `san=none(<why>)`), and every dynamic `san_forgive`
+//!   site is cited by some static waiver, so neither analyzer quietly
+//!   grows a blind spot the other does not know about.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use spash_analysis::flow_rules::{check_tree, crosscheck};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn collect(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) {
+    for e in fs::read_dir(dir).unwrap() {
+        let p = e.unwrap().path();
+        let name = p.file_name().unwrap().to_string_lossy().to_string();
+        if p.is_dir() {
+            if name != "target" && name != ".git" && name != "related" {
+                collect(&p, root, out);
+            }
+        } else if name.ends_with(".rs") {
+            let rel = p.strip_prefix(root).unwrap().to_string_lossy().replace('\\', "/");
+            out.push((rel, fs::read_to_string(&p).unwrap()));
+        }
+    }
+}
+
+#[test]
+fn workspace_is_flow_clean_including_crosscheck() {
+    let (n, findings) = check_tree(&workspace_root()).unwrap();
+    assert!(n > 50, "walked only {n} files — wrong root?");
+    assert!(
+        findings.is_empty(),
+        "workspace must be flow-clean; found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn dropping_a_citation_orphans_the_dynamic_site() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect(&root, &root, &mut files);
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // The real tree cross-checks clean.
+    assert!(crosscheck(&files).is_empty());
+
+    // Erase every `san=level::remove` citation: the dynamic san_forgive
+    // site in level.rs::remove loses its static twin and must be
+    // reported as orphaned.
+    let mutated: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.clone(), s.replace("san=level::remove", "san=none(mutated)")))
+        .collect();
+    let f = crosscheck(&mutated);
+    assert!(
+        f.iter().any(|x| x.msg.contains("level::remove") && x.msg.contains("no static flow waiver")),
+        "{f:?}"
+    );
+}
+
+#[test]
+fn bogus_citation_is_reported() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect(&root, &root, &mut files);
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Point one citation at a san_forgive site that does not exist.
+    let mutated: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.clone(), s.replace("san=dash::update", "san=dash::no_such_fn")))
+        .collect();
+    let f = crosscheck(&mutated);
+    assert!(
+        f.iter().any(|x| x.msg.contains("dash::no_such_fn") && x.msg.contains("no such san_forgive site")),
+        "{f:?}"
+    );
+    // And the now-uncited `dash::update` site is orphaned.
+    assert!(
+        f.iter().any(|x| x.msg.contains("dash::update")),
+        "{f:?}"
+    );
+}

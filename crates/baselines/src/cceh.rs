@@ -211,6 +211,7 @@ impl Cceh {
             }
             let new_seg = Self::alloc_seg(ctx, &self.alloc, lock_ns)?;
             let mut homeless: Vec<(u64, u64, u64)> = Vec::new();
+            // lint:allow(flow-flush-fence): raced-split early return releases the seg lock while alloc_seg's zero-fill is unfenced; the fresh region is unreachable until write_seg_header's flush+fence commits it. san=none(zeros of an uncommitted region are recovery no-ops)
             let done = seg.lock.write(ctx, |ctx| {
                 let mut d = self.dir.write();
                 let depth_now = d.depth;
@@ -302,6 +303,7 @@ impl Cceh {
                 Full,
                 Moved,
             }
+            // lint:allow(flow-flush-fence): slot flush+fence are mutation-canary gated (cceh.insert.*), always enabled outside tests/sanitizer.rs. san=none(canary gate is on outside sanitizer canary tests)
             let out = seg.lock.write(ctx, |ctx| {
                 // Re-route under the lock: the segment may have split.
                 let d = self.dir.read();
@@ -497,6 +499,7 @@ impl PersistentIndex for Cceh {
         match self.insert_word(ctx, key, vw) {
             Ok(()) => Ok(()),
             Err(e) => {
+                // lint:allow(flow-flush-fence): free_val's allocator header CAS flips its own metadata word (flushed+fenced inside header_set under ADR); the entering residue is the canary-gated slot traffic of the failed insert. san=none(allocator metadata word on its own cacheline)
                 common::free_val(&self.alloc, ctx, vw);
                 Err(e)
             }

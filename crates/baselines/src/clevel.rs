@@ -101,6 +101,7 @@ impl CLevel {
         let lvl = Self::alloc_level(ctx, &alloc, 1 << pow)?;
         let log_len = ctx.device().arena().size() / 2;
         let log_base = alloc
+            // lint:allow(flow-flush-fence): format-time allocator header CAS; alloc_level's zero-fill is fenced below before the root magic publishes the table. san=none(region unreachable until root magic is flushed+fenced)
             .alloc_region(ctx, log_len)
             .map_err(|_| IndexError::OutOfMemory)?;
         // Publish the root last (magic after everything it governs).
@@ -393,6 +394,7 @@ impl CLevel {
                     }
                     // Freeze the slot: writers now wait for the new copy,
                     // readers may still follow the pointer.
+                    // lint:allow(flow-flush-fence): the freeze CAS may carry the unflushed unfreeze store of a prior migration round; the FROZEN bit is a recovery don't-care (both copies stay visible). san=clevel::help_migrate
                     if w & FROZEN == 0 && ctx.cas_u64(sa, w, w | FROZEN).is_err() {
                         continue; // raced with an update; re-read
                     }
@@ -583,11 +585,13 @@ impl PersistentIndex for CLevel {
         let word = item.0 | tag_of_key(key) << TAG_SHIFT;
         loop {
             let newest_n = self.snapshot()[0].n_buckets;
+            // lint:allow(flow-flush-fence): grow's alloc_level zero-fill residue; the persistent path fences it before the n_levels commit point, the transient (root==0) path has no recovery. san=none(zeros of a level unreachable until the fenced n_levels bump)
             if self.try_place(ctx, word, key) {
                 self.entries.fetch_add(1, Ordering::Relaxed);
                 self.help_migrate(ctx);
                 return Ok(());
             }
+            // lint:allow(flow-flush-fence): grow's alloc_level zero-fill residue; the persistent path fences it before the n_levels commit point, the transient (root==0) path has no recovery. san=none(zeros of a level unreachable until the fenced n_levels bump)
             self.grow(ctx, newest_n)?;
         }
     }

@@ -197,6 +197,7 @@ impl PmRwLock {
     /// Exclusive lock (2 PM writes).
     pub fn write<R>(&self, ctx: &mut MemCtx, f: impl FnOnce(&mut MemCtx) -> R) -> R {
         ctx.san_transient(self.word, 8);
+        // lint:allow(flow-flush-fence): the lock word is declared san_transient above -- recovery never trusts lock state, so its dirtiness at release is not a publication. san=none(lock word is transient by design)
         self.vrw.write(ctx, |ctx, _| {
             ctx.write_u64(self.word, 1);
             let r = f(ctx);

@@ -121,6 +121,7 @@ impl Plush {
             off += 256;
         }
         let level0_buckets = 1u64 << pow;
+        // lint:allow(flow-flush-fence): format-time allocator header CAS inside alloc_level flips its own metadata word; WAL and level zero-fills are fenced before the root magic publishes the structure. san=none(allocator metadata word on its own cacheline)
         let l0 = Self::alloc_level(ctx, &alloc, level0_buckets)?;
         let (r, root_len) = alloc.reserved();
         let root = if root_len >= ROOT_LEN { r } else { PmAddr(0) };
@@ -268,6 +269,7 @@ impl Plush {
                     return Err(IndexError::OutOfMemory);
                 }
                 let n = self.level0_buckets * FANOUT.pow(li as u32);
+                // lint:allow(flow-flush-fence): the allocator header CAS inside alloc_level flips its own metadata word; publish_level flushes+fences the descriptor before the level becomes reachable. san=none(allocator metadata word on its own cacheline)
                 let lvl = Self::alloc_level(ctx, &self.alloc, n)?;
                 self.publish_level(ctx, li, &lvl);
                 levels.push(lvl);

@@ -11,11 +11,16 @@
 pub mod experiments;
 pub mod harness;
 pub mod indexes;
-pub mod json;
 pub mod perf;
 pub mod report;
 pub mod scale;
 pub mod statskit;
+
+// The hand-rolled JSON writer moved to `spash-analysis` so the linter's
+// machine-readable reports can share it (bench already depends on
+// analysis; the reverse edge would be a cycle). Same module, same path
+// for downstream users.
+pub use spash_analysis::json;
 
 pub use harness::{print_table, run_phase, PhaseResult, Scale};
 pub use indexes::{bench_device, build_index, IndexKind};
