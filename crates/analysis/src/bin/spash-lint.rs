@@ -8,20 +8,26 @@
 //! * `flow` — the path-sensitive flush/fence dataflow rules of
 //!   `spash_analysis::flow_rules` (CFG + call-graph summaries), plus the
 //!   waiver/`san_forgive` cross-check.
-//! * `all` — both.
+//! * `conc` — the concurrency-discipline rules of
+//!   `spash_analysis::conc_rules` (interprocedural locksets,
+//!   check-then-act detection, sync-model cross-check) plus the
+//!   shared-PM-word inventory.
+//! * `all` — everything.
 //!
-//! `--json` prints a machine-readable report (schema 1) instead of text;
-//! `--out FILE` writes it to a file as well. Exits 0 when clean, 1 with
-//! one line per violation otherwise.
+//! `--json` prints a machine-readable report (schema 2: per-rule
+//! `rule_stats`, plus the shared-word `inventory` in conc/all mode)
+//! instead of text; `--out FILE` writes it to a file as well. Exits 0
+//! when clean, 1 with one line per violation otherwise.
 
 use std::path::Path;
 use std::process::ExitCode;
 
+use spash_analysis::conc_rules::{self, WordRow};
 use spash_analysis::flow_rules;
-use spash_analysis::lint::{lint_tree_counted, report_json, Finding, RULES};
+use spash_analysis::lint::{lint_tree_stats, report_json, Finding, StatsMap, RULES};
 
 fn usage() {
-    println!("usage: spash-lint [classic|flow|all] [--json] [--out FILE] [ROOT]");
+    println!("usage: spash-lint [classic|flow|conc|all] [--json] [--out FILE] [ROOT]");
     println!("classic rules: {}", RULES.join(", "));
     println!(
         "flow rules: {}, {}, {}, {}",
@@ -30,9 +36,20 @@ fn usage() {
         flow_rules::RULE_PUBLISH_INIT,
         flow_rules::RULE_WAIVER_XREF,
     );
+    println!("conc rules: {}", conc_rules::CONC_RULES.join(", "));
     println!("waive: // lint:allow(<rule>): <reason>   (line or block above)");
     println!("       // lint:allow-file(<rule>): <reason>");
     println!("flow waivers must cite their dynamic twin: san=<file>::<fn> or san=none(<why>)");
+    println!("conc waivers must cite theirs: sched=<index|testhook>, san=<file>::<fn>, or sched=none(<why>)");
+}
+
+fn merge_stats(into: &mut StatsMap, from: StatsMap) {
+    for (rule, s) in from {
+        let e = into.entry(rule).or_default();
+        e.findings += s.findings;
+        e.waived += s.waived;
+        e.virt_ns += s.virt_ns;
+    }
 }
 
 fn main() -> ExitCode {
@@ -47,7 +64,7 @@ fn main() -> ExitCode {
                 usage();
                 return ExitCode::SUCCESS;
             }
-            "classic" | "flow" | "all" => mode = a,
+            "classic" | "flow" | "conc" | "all" => mode = a,
             "--json" => json = true,
             "--out" => match args.next() {
                 Some(f) => out_file = Some(f),
@@ -63,11 +80,14 @@ fn main() -> ExitCode {
     let root_path = Path::new(&root);
     let mut files_scanned = 0usize;
     let mut findings: Vec<Finding> = Vec::new();
+    let mut stats = StatsMap::new();
+    let mut inventory: Option<Vec<WordRow>> = None;
     if mode == "classic" || mode == "all" {
-        match lint_tree_counted(root_path) {
-            Ok((n, f)) => {
+        match lint_tree_stats(root_path) {
+            Ok((n, f, s)) => {
                 files_scanned = n;
                 findings.extend(f);
+                merge_stats(&mut stats, s);
             }
             Err(e) => {
                 eprintln!("spash-lint: cannot walk {root}: {e}");
@@ -76,10 +96,25 @@ fn main() -> ExitCode {
         }
     }
     if mode == "flow" || mode == "all" {
-        match flow_rules::check_tree(root_path) {
-            Ok((n, f)) => {
+        match flow_rules::check_tree_stats(root_path) {
+            Ok((n, f, s)) => {
                 files_scanned = n;
                 findings.extend(f);
+                merge_stats(&mut stats, s);
+            }
+            Err(e) => {
+                eprintln!("spash-lint: cannot walk {root}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if mode == "conc" || mode == "all" {
+        match conc_rules::check_tree_conc(root_path) {
+            Ok((n, f, inv, s)) => {
+                files_scanned = n;
+                findings.extend(f);
+                inventory = Some(inv);
+                merge_stats(&mut stats, s);
             }
             Err(e) => {
                 eprintln!("spash-lint: cannot walk {root}: {e}");
@@ -91,7 +126,12 @@ fn main() -> ExitCode {
     findings.dedup();
 
     if json || out_file.is_some() {
-        let report = report_json(&mode, files_scanned, &findings).render();
+        let report = match &inventory {
+            Some(inv) => {
+                conc_rules::conc_report_json(&mode, files_scanned, &findings, &stats, inv).render()
+            }
+            None => report_json(&mode, files_scanned, &findings, &stats).render(),
+        };
         if let Some(path) = &out_file {
             if let Err(e) = std::fs::write(path, &report) {
                 eprintln!("spash-lint: cannot write {path}: {e}");

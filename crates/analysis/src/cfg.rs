@@ -46,16 +46,51 @@ impl PubKind {
 #[derive(Clone, Debug)]
 pub enum Ev {
     /// A PM store. `tgt` is the base identifier(s) of the address
-    /// expression (for the publish-before-init taint rule); `nt` marks
-    /// non-temporal stores, which bypass the cache but still need a
-    /// fence before publication.
-    Store { nt: bool, tgt: Vec<String> },
+    /// expression (for the publish-before-init taint rule); `via` the
+    /// helper calls inside the address expression (`seg.slot_addr(b, s)`
+    /// → `slot_addr`), which the concurrency analyzer uses to label the
+    /// word being written; `nt` marks non-temporal stores, which bypass
+    /// the cache but still need a fence before publication.
+    Store {
+        nt: bool,
+        tgt: Vec<String>,
+        via: Vec<String>,
+    },
+    /// A PM load (`read_u64` / `read_bytes`). Not a publication edge —
+    /// it exists for the concurrency rules (guarded reads, inventory).
+    Load { tgt: Vec<String>, via: Vec<String> },
     Flush { tgt: Vec<String> },
     Fence,
     /// A publication edge. `val` is the base identifier(s) of the value
-    /// being published (empty for lock release / HTM commit).
-    Publish { kind: PubKind, val: Vec<String> },
+    /// being published (empty for lock release / HTM commit); for RMWs
+    /// `tgt`/`via` describe the word operated on, like [`Ev::Store`].
+    Publish {
+        kind: PubKind,
+        val: Vec<String>,
+        tgt: Vec<String>,
+        via: Vec<String>,
+    },
     HtmBegin,
+    /// Entry into a lock region (`VLock::with`, `VRwLock::read`/`write`,
+    /// `nontx_lock`). `id` is the node's own index, so a matching
+    /// [`Ev::RegionExit`] — or a lockset fact — can name this exact
+    /// region instance. `writer` is false for read-side regions;
+    /// `sharded` marks an indexed receiver (`self.shards[i].with(…)`),
+    /// i.e. a per-shard lock rather than one global lock.
+    RegionEnter {
+        id: usize,
+        lock: String,
+        writer: bool,
+        sharded: bool,
+    },
+    /// Exit of a lock region. `enter` is the matching [`Ev::RegionEnter`]
+    /// node for closure regions; `None` for explicit `nontx_unlock`,
+    /// which releases whatever `lock`-named region is held.
+    RegionExit { enter: Option<usize>, lock: String },
+    /// Identifiers consulted by a branch condition (`if cond_idents { … }`);
+    /// the atomicity rule uses these to tie guarded reads to the
+    /// decisions they justify.
+    CondUse { idents: Vec<String> },
     /// A call resolved via interprocedural summaries. `foreign` marks a
     /// receiver other than `self`/`Self`/bare (`Arc::new`, `map.insert`,
     /// `alloc.alloc_region`): the target is a method of *that* value or
@@ -64,10 +99,32 @@ pub enum Ev {
     /// callee. Only a globally unique name may resolve.
     Call { name: String, foreign: bool },
     /// `let var = init;` — `alloc` is true when the initializer calls
-    /// an allocator (fresh PM whose contents start unfenced).
-    Bind { var: String, alloc: bool },
+    /// an allocator (fresh PM whose contents start unfenced);
+    /// `init_calls`/`init_idents` carry the initializer's calls and
+    /// identifiers for guard/alloc taint propagation.
+    Bind {
+        var: String,
+        alloc: bool,
+        init_calls: Vec<String>,
+        init_idents: Vec<String>,
+    },
     Nop,
 }
+
+/// The region-forming functions the CFG lowering recognizes, with the
+/// synchronization role each plays. `spash-lint conc` cross-checks this
+/// table against `// conc: region(<kind>) fn=<name>` annotations at the
+/// definitions in `crates/pmem` / `crates/htm` (rule `conc-sync-model`),
+/// so the static model cannot silently drift from the primitives.
+pub const REGION_FNS: &[(&str, &str)] = &[
+    ("with", "lock"),
+    ("write", "lock"),
+    ("read", "read-lock"),
+    ("try_transaction", "htm"),
+    ("run_two_phase", "htm"),
+    ("nontx_lock", "acquire"),
+    ("nontx_unlock", "release"),
+];
 
 #[derive(Clone, Debug)]
 pub struct Node {
@@ -77,12 +134,15 @@ pub struct Node {
 
 /// A function CFG. `entry` and `exit` are `Nop` nodes; edges are in
 /// `succs`. Nodes unreachable from `entry` (code after `return`) keep
-/// their slots but never receive dataflow facts.
+/// their slots but never receive dataflow facts. `in_cond[n]` is true
+/// when node `n` was lowered from a branch/loop condition expression
+/// (the "check" position of a check-then-act pattern).
 pub struct Cfg {
     pub nodes: Vec<Node>,
     pub succs: Vec<Vec<usize>>,
     pub entry: usize,
     pub exit: usize,
+    pub in_cond: Vec<bool>,
 }
 
 impl Cfg {
@@ -120,22 +180,55 @@ fn val_base(args: &[Vec<String>]) -> Vec<String> {
         .unwrap_or_default()
 }
 
+/// Helper-call names inside the address argument(s) of an access —
+/// the concurrency analyzer's word labels (`seg.slot_addr(b, s)` →
+/// `slot_addr`).
+fn via_calls(arg_calls: &[Vec<String>], skip_last: bool) -> Vec<String> {
+    let n = arg_calls.len().saturating_sub(skip_last as usize);
+    arg_calls[..n].iter().flatten().cloned().collect()
+}
+
 struct Lower {
     nodes: Vec<Node>,
     succs: Vec<Vec<usize>>,
+    in_cond: Vec<bool>,
     fn_exit: usize,
     /// (continue target, break target) per enclosing loop.
     loop_stack: Vec<(usize, usize)>,
     /// Exit node of the innermost enclosing closure (region end or
     /// plain-closure merge); `return`/`?` route here when present.
     closure_exit: Vec<usize>,
+    /// Nonzero while lowering a branch/loop condition expression.
+    cond_depth: usize,
+    /// Guard-style RAII regions (`let g = x.read();`) still open in the
+    /// current scope: (RegionEnter node id, lock name). Closures scope
+    /// them — guards acquired inside a closure drop at its exit.
+    guards: Vec<(usize, String)>,
 }
 
 impl Lower {
     fn node(&mut self, ev: Ev, line: usize) -> usize {
         self.nodes.push(Node { ev, line });
         self.succs.push(Vec::new());
+        self.in_cond.push(self.cond_depth > 0);
         self.nodes.len() - 1
+    }
+
+    /// A `RegionEnter` node whose `id` is its own index.
+    fn region_enter(&mut self, lock: String, writer: bool, sharded: bool, line: usize) -> usize {
+        let n = self.node(
+            Ev::RegionEnter {
+                id: 0,
+                lock,
+                writer,
+                sharded,
+            },
+            line,
+        );
+        if let Ev::RegionEnter { id, .. } = &mut self.nodes[n].ev {
+            *id = n;
+        }
+        n
     }
 
     fn edge(&mut self, a: usize, b: usize) {
@@ -158,8 +251,25 @@ impl Lower {
     /// Lower a closure body with its own loop scope and exit node.
     fn lower_closure(&mut self, b: &Block, entry: usize, exit: usize) {
         let saved_loops = std::mem::take(&mut self.loop_stack);
+        let guard_mark = self.guards.len();
         self.closure_exit.push(exit);
-        let end = self.lower_block(b, entry);
+        let mut end = self.lower_block(b, entry);
+        // RAII guards acquired inside the closure drop at its scope end:
+        // chain their release edges before the closure exit so the
+        // lockset does not leak into the caller's continuation.
+        while self.guards.len() > guard_mark {
+            let (enter, lock) = self.guards.pop().unwrap();
+            let line = self.nodes[end].line;
+            let x = self.node(
+                Ev::RegionExit {
+                    enter: Some(enter),
+                    lock,
+                },
+                line,
+            );
+            self.edge(end, x);
+            end = x;
+        }
         self.edge(end, exit);
         self.closure_exit.pop();
         self.loop_stack = saved_loops;
@@ -172,6 +282,7 @@ impl Lower {
                 name,
                 line,
                 init_calls,
+                init_idents,
             } => {
                 let alloc = init_calls
                     .iter()
@@ -180,17 +291,37 @@ impl Lower {
                     Ev::Bind {
                         var: name.clone(),
                         alloc,
+                        init_calls: init_calls.clone(),
+                        init_idents: init_idents.clone(),
                     },
                     *line,
                 );
                 self.edge(cur, n);
                 n
             }
-            Stmt::If { cond, then, els } => {
+            Stmt::If {
+                cond,
+                then,
+                els,
+                cond_idents,
+            } => {
                 let mut split = cur;
+                self.cond_depth += 1;
                 for c in cond {
                     split = self.lower_stmt(c, split);
                 }
+                if !cond_idents.is_empty() {
+                    let line = self.nodes[split].line;
+                    let n = self.node(
+                        Ev::CondUse {
+                            idents: cond_idents.clone(),
+                        },
+                        line,
+                    );
+                    self.edge(split, n);
+                    split = n;
+                }
+                self.cond_depth -= 1;
                 let line = self.nodes[split].line;
                 let merge = self.node(Ev::Nop, line);
                 let t_end = self.lower_block(then, split);
@@ -206,9 +337,11 @@ impl Lower {
             }
             Stmt::Match { cond, arms } => {
                 let mut split = cur;
+                self.cond_depth += 1;
                 for c in cond {
                     split = self.lower_stmt(c, split);
                 }
+                self.cond_depth -= 1;
                 let line = self.nodes[split].line;
                 let merge = self.node(Ev::Nop, line);
                 if arms.is_empty() {
@@ -230,9 +363,11 @@ impl Lower {
                 let head = self.node(Ev::Nop, line);
                 self.edge(cur, head);
                 let mut c_end = head;
+                self.cond_depth += 1;
                 for c in cond {
                     c_end = self.lower_stmt(c, c_end);
                 }
+                self.cond_depth -= 1;
                 let exit = self.node(Ev::Nop, line);
                 // `while`/`for` may exit after evaluating the condition
                 // without running the body; a bare `loop` exits only
@@ -297,10 +432,20 @@ impl Lower {
             "write_u64" | "write_bytes" => Some(Ev::Store {
                 nt: false,
                 tgt: addr_base(&c.args, true),
+                via: via_calls(&c.arg_calls, true),
             }),
             "ntstore_bytes" => Some(Ev::Store {
                 nt: true,
                 tgt: addr_base(&c.args, true),
+                via: via_calls(&c.arg_calls, true),
+            }),
+            "read_u64" => Some(Ev::Load {
+                tgt: addr_base(&c.args, false),
+                via: via_calls(&c.arg_calls, false),
+            }),
+            "read_bytes" => Some(Ev::Load {
+                tgt: addr_base(&c.args, true),
+                via: via_calls(&c.arg_calls, true),
             }),
             "flush" | "flush_range" => Some(Ev::Flush {
                 tgt: addr_base(&c.args, false),
@@ -309,10 +454,8 @@ impl Lower {
             "cas_u64" | "fetch_or_u64" | "fetch_and_u64" => Some(Ev::Publish {
                 kind: PubKind::Rmw,
                 val: val_base(&c.args),
-            }),
-            "nontx_unlock" => Some(Ev::Publish {
-                kind: PubKind::LockRelease,
-                val: vec![],
+                tgt: addr_base(&c.args[..c.args.len().min(1)], false),
+                via: c.arg_calls.first().cloned().unwrap_or_default(),
             }),
             // Sanitizer bookkeeping, not memory traffic.
             "san_forgive" | "san_transient" | "san_ordered" | "san_tag" | "san_op_label" => {
@@ -325,6 +468,67 @@ impl Lower {
             self.edge(cur, n);
             return n;
         }
+        // Explicit lock/unlock pairs. `nontx_lock` keeps its call node
+        // (its summary effect still applies); `nontx_unlock` keeps its
+        // publication edge, preceded by the region exit so the lockset
+        // analysis sees the release.
+        if c.name == "nontx_lock" {
+            let begin = self.region_enter("nontx".into(), true, false, line);
+            self.edge(cur, begin);
+            let n = self.node(
+                Ev::Call {
+                    name: c.name.clone(),
+                    foreign: foreign_recv(&c.recv),
+                },
+                line,
+            );
+            self.edge(begin, n);
+            return n;
+        }
+        if c.name == "nontx_unlock" {
+            let rel = self.node(
+                Ev::RegionExit {
+                    enter: None,
+                    lock: "nontx".into(),
+                },
+                line,
+            );
+            self.edge(cur, rel);
+            let pb = self.node(
+                Ev::Publish {
+                    kind: PubKind::LockRelease,
+                    val: vec![],
+                    tgt: vec![],
+                    via: vec![],
+                },
+                line,
+            );
+            self.edge(rel, pb);
+            return pb;
+        }
+        // Guard-style RAII acquisition (`let t = self.table.read();`,
+        // `let mut d = self.dir.write();`): a host RwLock guard held to
+        // the end of the enclosing scope. Lowered as a region whose exit
+        // the scope emits — the innermost closure's end, or the end of
+        // the function when acquired at top level — matching RAII
+        // drop-at-scope-end to the granularity the CFG models.
+        if c.closures.is_empty()
+            && c.args.is_empty()
+            && (c.name == "read" || c.name == "write")
+            && !c.recv.is_empty()
+        {
+            let lock = c
+                .recv
+                .rsplit('.')
+                .next()
+                .filter(|s| !s.is_empty())
+                .unwrap_or("lock")
+                .to_string();
+            let begin = self.region_enter(lock.clone(), c.name == "write", c.recv_indexed, line);
+            self.guards.push((begin, lock));
+            self.edge(cur, begin);
+            return begin;
+        }
         // Region calls: the closure body runs between an entry event
         // and the region's publication edge.
         if !c.closures.is_empty() {
@@ -336,6 +540,8 @@ impl Lower {
                         Ev::Publish {
                             kind: PubKind::HtmCommit,
                             val: vec![],
+                            tgt: vec![],
+                            via: vec![],
                         },
                         line,
                     );
@@ -344,14 +550,21 @@ impl Lower {
                     }
                     return end;
                 }
-                "read" | "write" => {
-                    // VLock / VRwLock / sharded-lock closure regions.
-                    let begin = self.node(Ev::Nop, line);
+                "run_two_phase" => {
+                    // The Spash two-phase protocol wrapper (core/ops.rs):
+                    // its closures run inside the wrapper's HTM
+                    // transaction or, on the fallback path, under the
+                    // nontx locks it acquires — either way writer-
+                    // protected. Modeled as one writer region named
+                    // "htm"; flow-neutral like `with` (the real
+                    // HtmBegin/commit are lowered from the wrapper's own
+                    // body, which is analyzed separately).
+                    let begin = self.region_enter("htm".into(), true, false, line);
                     self.edge(cur, begin);
                     let end = self.node(
-                        Ev::Publish {
-                            kind: PubKind::LockRelease,
-                            val: vec![],
+                        Ev::RegionExit {
+                            enter: Some(begin),
+                            lock: "htm".into(),
                         },
                         line,
                     );
@@ -359,6 +572,49 @@ impl Lower {
                         self.lower_closure(cl, begin, end);
                     }
                     return end;
+                }
+                "read" | "write" | "with" => {
+                    // VLock / VRwLock / sharded-lock closure regions.
+                    // The lock name is the last receiver segment
+                    // (`seg.bucket_locks[i].with(…)` → `bucket_locks`).
+                    let lock = c
+                        .recv
+                        .rsplit('.')
+                        .next()
+                        .filter(|s| !s.is_empty())
+                        .unwrap_or("lock")
+                        .to_string();
+                    let writer = c.name != "read";
+                    let begin = self.region_enter(lock.clone(), writer, c.recv_indexed, line);
+                    self.edge(cur, begin);
+                    let end = self.node(
+                        Ev::RegionExit {
+                            enter: Some(begin),
+                            lock,
+                        },
+                        line,
+                    );
+                    for cl in &c.closures {
+                        self.lower_closure(cl, begin, end);
+                    }
+                    // `VLock::with` returns the closure's value without a
+                    // publication edge of its own in the dynamic model's
+                    // eADR paths; the flow rules never treated it as one,
+                    // so only `read`/`write` keep their release edge.
+                    if c.name == "with" {
+                        return end;
+                    }
+                    let pb = self.node(
+                        Ev::Publish {
+                            kind: PubKind::LockRelease,
+                            val: vec![],
+                            tgt: vec![],
+                            via: vec![],
+                        },
+                        line,
+                    );
+                    self.edge(end, pb);
+                    return pb;
                 }
                 _ => {
                     // Unknown higher-order call (`stats_span`, iterator
@@ -408,9 +664,12 @@ pub fn build_cfg(f: &Func) -> Cfg {
     let mut l = Lower {
         nodes: Vec::new(),
         succs: Vec::new(),
+        in_cond: Vec::new(),
         fn_exit: 0,
         loop_stack: Vec::new(),
         closure_exit: Vec::new(),
+        cond_depth: 0,
+        guards: Vec::new(),
     };
     let entry = l.node(Ev::Nop, f.line);
     let exit = l.node(Ev::Nop, f.end_line);
@@ -422,6 +681,7 @@ pub fn build_cfg(f: &Func) -> Cfg {
         succs: l.succs,
         entry,
         exit,
+        in_cond: l.in_cond,
     }
 }
 
@@ -527,7 +787,7 @@ mod tests {
             .iter()
             .find(|n| matches!(n.ev, Ev::Publish { .. }))
             .unwrap();
-        let Ev::Publish { kind, val } = &publish.ev else { unreachable!() };
+        let Ev::Publish { kind, val, .. } = &publish.ev else { unreachable!() };
         assert_eq!(*kind, PubKind::Rmw);
         assert_eq!(val, &["node".to_string()]);
     }

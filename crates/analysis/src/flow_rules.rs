@@ -37,7 +37,10 @@ use std::path::Path;
 
 use crate::cfg::{Cfg, Ev};
 use crate::dataflow::{run, Analysis, Diag};
-use crate::lint::{cfg_test_lines, collect_rs_files, contains_token, strip_non_code, waived, Finding};
+use crate::lint::{
+    cfg_test_lines, collect_rs_files, contains_token, stats_virt, stats_waived, strip_non_code,
+    waived, Finding, StatsMap,
+};
 use crate::parse::enclosing_fn;
 use crate::summaries::{self, Ob, ObSim, SummaryTable};
 
@@ -171,7 +174,7 @@ impl Analysis for PublishInit<'_> {
     ) -> VarFacts {
         let mut out = fact.clone();
         match ev {
-            Ev::Bind { var, alloc } => {
+            Ev::Bind { var, alloc, .. } => {
                 if *alloc {
                     // Freshly allocated PM: contents unfenced until
                     // proven otherwise.
@@ -181,7 +184,7 @@ impl Analysis for PublishInit<'_> {
                     out.remove(var);
                 }
             }
-            Ev::Store { nt, tgt } => {
+            Ev::Store { nt, tgt, .. } => {
                 for t in tgt {
                     let ob = if *nt { Ob::Flushed } else { Ob::Dirty };
                     let e = out.entry(t.clone()).or_insert(ob);
@@ -252,6 +255,12 @@ impl Analysis for PublishInit<'_> {
 /// Run the flow rules over a set of (workspace-relative path, source)
 /// pairs. Waivers and `#[cfg(test)]` regions are honored per file.
 pub fn check_files(files: &[(String, String)]) -> Vec<Finding> {
+    check_files_stats(files, &mut StatsMap::new())
+}
+
+/// [`check_files`] plus per-rule counters: waived findings and virtual
+/// elapsed work (CFG nodes simulated per rule) accumulate in `stats`.
+pub fn check_files_stats(files: &[(String, String)], stats: &mut StatsMap) -> Vec<Finding> {
     let stripped: Vec<(String, String)> = files
         .iter()
         .map(|(p, src)| (p.clone(), strip_non_code(src)))
@@ -270,15 +279,21 @@ pub fn check_files(files: &[(String, String)]) -> Vec<Finding> {
         let test_region = cfg_test_lines(strip);
         let in_test = |line: usize| test_region.get(line.saturating_sub(1)).copied().unwrap_or(false);
 
+        let mut waived_here: Vec<&'static str> = Vec::new();
         let mut push = |line: usize, rule: &'static str, msg: String| {
             let idx = line.saturating_sub(1).min(original.len().saturating_sub(1));
-            if !in_test(line) && !waived(&original, idx, rule) {
+            if in_test(line) {
+                return;
+            }
+            if !waived(&original, idx, rule) {
                 out.push(Finding {
                     file: path.clone(),
                     line,
                     rule,
                     msg,
                 });
+            } else {
+                waived_here.push(rule);
             }
         };
 
@@ -286,9 +301,18 @@ pub fn check_files(files: &[(String, String)]) -> Vec<Finding> {
             if in_test(f.line) {
                 continue;
             }
+            let nodes = cfg.nodes.len() as u64;
+            if model == MemModel::Adr {
+                stats_virt(stats, RULE_FLUSH_FENCE, nodes);
+                stats_virt(stats, RULE_PUBLISH_INIT, nodes);
+            }
+            stats_virt(stats, RULE_HTM_CLWB, nodes);
             for d in rule_diags(&table, path, cfg, model) {
                 push(d.0, d.1, d.2);
             }
+        }
+        for rule in waived_here {
+            stats_waived(stats, rule);
         }
     }
     out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
@@ -327,6 +351,13 @@ fn rule_diags(
 /// Run the flow rules plus the waiver cross-check over every `.rs` file
 /// under `root`. Returns `(files_scanned, findings)`.
 pub fn check_tree(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let (n, f, _) = check_tree_stats(root)?;
+    Ok((n, f))
+}
+
+/// Like [`check_tree`], also accumulating per-rule counters for the
+/// `rule_stats` report section.
+pub fn check_tree_stats(root: &Path) -> io::Result<(usize, Vec<Finding>, StatsMap)> {
     let mut rel_files = Vec::new();
     collect_rs_files(root, root, &mut rel_files)?;
     rel_files.sort();
@@ -335,11 +366,17 @@ pub fn check_tree(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
         let src = fs::read_to_string(root.join(rel))?;
         files.push((rel.clone(), src));
     }
-    let mut findings = check_files(&files);
+    let mut stats = StatsMap::new();
+    let mut findings = check_files_stats(&files, &mut stats);
+    for (path, src) in &files {
+        if !is_test_path(path) {
+            stats_virt(&mut stats, RULE_WAIVER_XREF, src.lines().count() as u64);
+        }
+    }
     findings.extend(crosscheck(&files));
     findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     findings.dedup();
-    Ok((files.len(), findings))
+    Ok((files.len(), findings, stats))
 }
 
 // ---------------------------------------------------------------------------
@@ -355,20 +392,13 @@ fn is_test_path(path: &str) -> bool {
     path.contains("/tests/") || path.contains("/benches/") || path.contains("/examples/")
 }
 
-/// Keep the static and dynamic sanitizers honest about each other:
-///
-/// 1. every `flow-*` waiver must carry a `san=<file_stem>::<fn>`
-///    reference to the dynamic `san_forgive` site it shadows, or an
-///    explicit `san=none(<why>)`;
-/// 2. every referenced `san=` key must name a real `san_forgive` site;
-/// 3. every dynamic `san_forgive` site must be referenced by at least
-///    one static waiver — a forgiven idiom invisible to `flow` means
-///    the static rules have a blind spot worth recording.
-pub fn crosscheck(files: &[(String, String)]) -> Vec<Finding> {
-    let mut out = Vec::new();
-
-    // Dynamic sites: `.san_forgive(` calls in non-test source (the
-    // method definition in ctx.rs has no receiver dot and is skipped).
+/// All dynamic `san_forgive` call sites in non-test source, keyed
+/// `<file_stem>::<fn>` → (path, line). The `san=` citations of both the
+/// flow and conc waiver cross-checks validate against this one map, so
+/// the two static layers cannot disagree about what the dynamic
+/// sanitizer forgives. (The method definition in ctx.rs has no receiver
+/// dot and is skipped.)
+pub fn dynamic_san_sites(files: &[(String, String)]) -> BTreeMap<String, (String, usize)> {
     let mut dynamic: BTreeMap<String, (String, usize)> = BTreeMap::new();
     for (path, src) in files {
         if is_test_path(path) {
@@ -389,6 +419,21 @@ pub fn crosscheck(files: &[(String, String)]) -> Vec<Finding> {
             dynamic.entry(key).or_insert((path.clone(), i + 1));
         }
     }
+    dynamic
+}
+
+/// Keep the static and dynamic sanitizers honest about each other:
+///
+/// 1. every `flow-*` waiver must carry a `san=<file_stem>::<fn>`
+///    reference to the dynamic `san_forgive` site it shadows, or an
+///    explicit `san=none(<why>)`;
+/// 2. every referenced `san=` key must name a real `san_forgive` site;
+/// 3. every dynamic `san_forgive` site must be referenced by at least
+///    one static waiver — a forgiven idiom invisible to `flow` means
+///    the static rules have a blind spot worth recording.
+pub fn crosscheck(files: &[(String, String)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let dynamic = dynamic_san_sites(files);
 
     // Static waivers: flow-rule allow-comments. Raw lines are scanned
     // (waivers live in comments, which stripping blanks), but only the

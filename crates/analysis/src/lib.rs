@@ -20,8 +20,16 @@
 //! [`flow_rules`] implements the three ordering rules (flush-fence
 //! obligation, no clwb in HTM, publish-before-init) plus the waiver
 //! cross-check against the dynamic sanitizer's `san_forgive` sites.
+//!
+//! `spash-lint conc` reuses the same CFG and call-graph summaries for
+//! concurrency discipline: [`conc_rules`] computes interprocedural
+//! locksets over the lock/HTM regions the lowering models, flags
+//! unprotected shared-PM writes and check-then-act races, emits a
+//! machine-readable shared-word inventory, and cross-checks every
+//! waiver against the dynamic scheduler/sanitizer twins.
 
 pub mod cfg;
+pub mod conc_rules;
 pub mod dataflow;
 pub mod flow_rules;
 pub mod json;

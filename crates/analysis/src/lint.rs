@@ -58,6 +58,31 @@ pub const RULES: [&str; 6] = [
     RULE_FP_PROBE,
 ];
 
+/// Per-rule counters for the `--json` report's `rule_stats` section
+/// (schema 2). `virt_ns` is *virtual* elapsed work in deterministic
+/// units — lines scanned for the token rules, CFG nodes simulated for
+/// the flow/conc rules — so the reports stay byte-identical across
+/// machines and runs (a wall clock would not).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    pub findings: u64,
+    pub waived: u64,
+    pub virt_ns: u64,
+}
+
+/// rule name → counters, ordered for deterministic rendering.
+pub type StatsMap = std::collections::BTreeMap<String, RuleStats>;
+
+/// Record `n` units of virtual work against `rule`.
+pub fn stats_virt(stats: &mut StatsMap, rule: &str, n: u64) {
+    stats.entry(rule.to_string()).or_default().virt_ns += n;
+}
+
+/// Record one waived finding against `rule`.
+pub fn stats_waived(stats: &mut StatsMap, rule: &str) {
+    stats.entry(rule.to_string()).or_default().waived += 1;
+}
+
 /// One rule violation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
@@ -84,11 +109,22 @@ impl fmt::Display for Finding {
 /// Lint one file's source. `rel_path` decides rule applicability (which
 /// crate, test context) and is echoed into findings.
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let mut scratch = StatsMap::new();
+    lint_source_stats(rel_path, src, &mut scratch)
+}
+
+/// [`lint_source`] plus per-rule counters: waived findings and virtual
+/// elapsed work (stripped lines scanned per rule) accumulate in `stats`.
+pub fn lint_source_stats(rel_path: &str, src: &str, stats: &mut StatsMap) -> Vec<Finding> {
     let path = rel_path.replace('\\', "/");
     let original: Vec<&str> = src.lines().collect();
     let stripped = strip_non_code(src);
     let stripped_lines: Vec<&str> = stripped.lines().collect();
     let test_region = cfg_test_lines(&stripped);
+    for rule in RULES {
+        stats_virt(stats, rule, stripped_lines.len() as u64);
+    }
+    let waived_count: std::cell::RefCell<Vec<&'static str>> = Default::default();
 
     let is_test_file = path.contains("/tests/")
         || path.contains("/benches/")
@@ -112,6 +148,8 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                 rule,
                 msg,
             });
+        } else {
+            waived_count.borrow_mut().push(rule);
         }
     };
 
@@ -246,6 +284,9 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out.dedup();
+    for rule in waived_count.into_inner() {
+        stats_waived(stats, rule);
+    }
     out
 }
 
@@ -257,28 +298,69 @@ pub fn lint_tree(root: &Path) -> io::Result<Vec<Finding>> {
 /// Like [`lint_tree`], also reporting how many files were scanned (for
 /// the `--json` report).
 pub fn lint_tree_counted(root: &Path) -> io::Result<(usize, Vec<Finding>)> {
+    let (n, f, _) = lint_tree_stats(root)?;
+    Ok((n, f))
+}
+
+/// Like [`lint_tree_counted`], also accumulating per-rule counters for
+/// the `rule_stats` report section.
+pub fn lint_tree_stats(root: &Path) -> io::Result<(usize, Vec<Finding>, StatsMap)> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut out = Vec::new();
+    let mut stats = StatsMap::new();
     for rel in &files {
         let src = fs::read_to_string(root.join(rel))?;
-        out.extend(lint_source(rel, &src));
+        out.extend(lint_source_stats(rel, &src, &mut stats));
     }
-    Ok((files.len(), out))
+    Ok((files.len(), out, stats))
 }
 
 /// Build the machine-readable `spash-lint --json` report. Deterministic:
 /// findings are emitted in their sorted order, keys in a fixed order, so
 /// the rendered bytes are stable for golden-fixture tests and CI diffs.
-pub fn report_json(mode: &str, files_scanned: usize, findings: &[Finding]) -> crate::json::Json {
+///
+/// Schema history: schema 1 had no `rule_stats`; schema 2 adds it — a
+/// per-rule object of `findings` (counted from the final, deduplicated
+/// finding list so it always matches `violations`), `waived`, and
+/// `virt_ns` (virtual elapsed work; see [`RuleStats`]).
+pub fn report_json(
+    mode: &str,
+    files_scanned: usize,
+    findings: &[Finding],
+    stats: &StatsMap,
+) -> crate::json::Json {
     use crate::json::Json;
+    let mut rules: Vec<String> = stats.keys().cloned().collect();
+    for f in findings {
+        if !rules.iter().any(|r| r == f.rule) {
+            rules.push(f.rule.to_string());
+        }
+    }
+    rules.sort();
+    let rule_stats = rules
+        .iter()
+        .map(|rule| {
+            let s = stats.get(rule).cloned().unwrap_or_default();
+            let n = findings.iter().filter(|f| f.rule == rule).count() as u64;
+            (
+                rule.clone(),
+                Json::Obj(vec![
+                    ("findings".into(), Json::Int(n)),
+                    ("waived".into(), Json::Int(s.waived)),
+                    ("virt_ns".into(), Json::Int(s.virt_ns)),
+                ]),
+            )
+        })
+        .collect();
     Json::Obj(vec![
-        ("schema".into(), Json::Int(1)),
+        ("schema".into(), Json::Int(2)),
         ("tool".into(), Json::Str("spash-lint".into())),
         ("mode".into(), Json::Str(mode.into())),
         ("files_scanned".into(), Json::Int(files_scanned as u64)),
         ("violations".into(), Json::Int(findings.len() as u64)),
+        ("rule_stats".into(), Json::Obj(rule_stats)),
         (
             "findings".into(),
             Json::Arr(
@@ -940,14 +1022,29 @@ mod tests {
                 msg: "host lock with \"quotes\"".into(),
             },
         ];
-        let got = report_json("classic", 42, &findings).render();
+        let mut stats = StatsMap::new();
+        stats_virt(&mut stats, RULE_HOST_TIME, 640);
+        stats_waived(&mut stats, RULE_HOST_TIME);
+        let got = report_json("classic", 42, &findings, &stats).render();
         let want = concat!(
             "{\n",
-            "  \"schema\": 1,\n",
+            "  \"schema\": 2,\n",
             "  \"tool\": \"spash-lint\",\n",
             "  \"mode\": \"classic\",\n",
             "  \"files_scanned\": 42,\n",
             "  \"violations\": 2,\n",
+            "  \"rule_stats\": {\n",
+            "    \"host-time\": {\n",
+            "      \"findings\": 1,\n",
+            "      \"waived\": 1,\n",
+            "      \"virt_ns\": 640\n",
+            "    },\n",
+            "    \"std-sync\": {\n",
+            "      \"findings\": 1,\n",
+            "      \"waived\": 0,\n",
+            "      \"virt_ns\": 0\n",
+            "    }\n",
+            "  },\n",
             "  \"findings\": [\n",
             "    {\n",
             "      \"file\": \"crates/core/src/ops.rs\",\n",

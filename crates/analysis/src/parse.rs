@@ -117,8 +117,16 @@ pub struct Call {
     /// Identifiers appearing in each non-closure argument, in argument
     /// order (call names excluded, closure args contribute an empty set).
     pub args: Vec<Vec<String>>,
+    /// Names of calls appearing inside each argument, aligned with
+    /// `args` (closure args contribute an empty set). The concurrency
+    /// analyzer labels PM words by the address-helper call in argument
+    /// position (`ctx.write_u64(seg.slot_addr(b, s), v)` → `slot_addr`).
+    pub arg_calls: Vec<Vec<String>>,
     /// Bodies of closure arguments, in argument order.
     pub closures: Vec<Block>,
+    /// The receiver chain passed through an index expression
+    /// (`self.shards[i].write(…)`): a per-shard lock, not a global one.
+    pub recv_indexed: bool,
 }
 
 /// A statement in the recovered subset. Expression statements flatten
@@ -132,11 +140,17 @@ pub enum Stmt {
         line: usize,
         /// Names of calls appearing anywhere in the initializer.
         init_calls: Vec<String>,
+        /// Identifiers appearing in the initializer (for taint
+        /// propagation through rebindings like `let b = a + 8;`).
+        init_idents: Vec<String>,
     },
     If {
         cond: Vec<Stmt>,
         then: Block,
         els: Option<Block>,
+        /// Identifiers appearing in the condition expression (guard-use
+        /// tracking for the check-then-act rule).
+        cond_idents: Vec<String>,
     },
     Match {
         cond: Vec<Stmt>,
@@ -221,7 +235,7 @@ pub fn call_names(stmts: &[Stmt]) -> Vec<String> {
                         walk(&b.0, out);
                     }
                 }
-                Stmt::If { cond, then, els } => {
+                Stmt::If { cond, then, els, .. } => {
                     walk(cond, out);
                     walk(&then.0, out);
                     if let Some(e) = els {
@@ -484,7 +498,7 @@ impl<'a> P<'a> {
         }
         self.i += 1;
         let mark = out.len();
-        self.scan_expr(out, Stop::Stmt);
+        let init_idents = self.scan_expr(out, Stop::Stmt);
         if self.at(";") {
             self.i += 1;
         }
@@ -494,6 +508,7 @@ impl<'a> P<'a> {
                 name,
                 line,
                 init_calls,
+                init_idents,
             });
         }
     }
@@ -501,12 +516,13 @@ impl<'a> P<'a> {
     fn parse_if(&mut self, out: &mut Vec<Stmt>) {
         self.i += 1; // if
         let mut cond = Vec::new();
-        self.scan_expr(&mut cond, Stop::LBrace);
+        let cond_idents = self.scan_expr(&mut cond, Stop::LBrace);
         if !self.at("{") {
             out.push(Stmt::If {
                 cond,
                 then: Block::default(),
                 els: None,
+                cond_idents,
             });
             return;
         }
@@ -525,7 +541,12 @@ impl<'a> P<'a> {
         } else {
             None
         };
-        out.push(Stmt::If { cond, then, els });
+        out.push(Stmt::If {
+            cond,
+            then,
+            els,
+            cond_idents,
+        });
     }
 
     fn parse_match(&mut self, out: &mut Vec<Stmt>) {
@@ -838,6 +859,7 @@ impl<'a> P<'a> {
     /// calls. Receiver identifiers land in `idents`.
     fn scan_chain(&mut self, out: &mut Vec<Stmt>, idents: &mut Vec<String>) {
         let mut chain: Vec<String> = Vec::new();
+        let mut chain_indexed = false;
         loop {
             if self.t.get(self.i).map(|t| t.is_ident) != Some(true) {
                 return;
@@ -885,15 +907,18 @@ impl<'a> P<'a> {
                 continue;
             }
             if self.at("(") {
-                let (args, closures) = self.parse_args(out, idents);
+                let (args, arg_calls, closures) = self.parse_args(out, idents);
                 out.push(Stmt::Call(Call {
                     name,
                     recv: chain.join("."),
                     line,
                     args,
+                    arg_calls,
                     closures,
+                    recv_indexed: chain_indexed,
                 }));
                 chain.clear();
+                chain_indexed = false;
                 // Postfix continuation: `f(x).g(y)`, `f(x)?`, `f(x)[i]`.
                 loop {
                     if self.at("?") {
@@ -939,6 +964,7 @@ impl<'a> P<'a> {
                     idents.push(name.clone());
                 }
                 chain.push(name);
+                chain_indexed = true;
                 self.i += 1;
                 idents.extend(self.scan_expr(out, Stop::Arg));
                 if self.at("]") {
@@ -961,10 +987,15 @@ impl<'a> P<'a> {
     /// At `(` of a call: parse the arguments. Closure bodies are
     /// returned separately; each contributes an empty ident set so
     /// argument positions stay aligned.
-    fn parse_args(&mut self, out: &mut Vec<Stmt>, idents: &mut Vec<String>) -> (Vec<Vec<String>>, Vec<Block>) {
+    fn parse_args(
+        &mut self,
+        out: &mut Vec<Stmt>,
+        idents: &mut Vec<String>,
+    ) -> (Vec<Vec<String>>, Vec<Vec<String>>, Vec<Block>) {
         debug_assert!(self.at("("));
         self.i += 1;
         let mut args = Vec::new();
+        let mut arg_calls = Vec::new();
         let mut closures = Vec::new();
         loop {
             if self.eof() || self.at(")") {
@@ -982,10 +1013,13 @@ impl<'a> P<'a> {
                 let body = self.parse_closure(out);
                 closures.push(body);
                 args.push(Vec::new());
+                arg_calls.push(Vec::new());
             } else {
+                let mark = out.len();
                 let arg_idents = self.scan_expr(out, Stop::Arg);
                 idents.extend(arg_idents.iter().cloned());
                 args.push(arg_idents);
+                arg_calls.push(call_names(&out[mark..]));
             }
             if self.at(",") {
                 self.i += 1;
@@ -1002,7 +1036,7 @@ impl<'a> P<'a> {
                 break;
             }
         }
-        (args, closures)
+        (args, arg_calls, closures)
     }
 
     /// At the opening `|` of a closure: skip the parameter list, then

@@ -65,6 +65,12 @@ pub struct FnSummary {
     pub flushes: bool,
     pub fences: bool,
     pub may_publish: bool,
+    /// Reads PM (`read_u64`/`read_bytes`), transitively.
+    pub reads_pm: bool,
+    /// Plain-stores to PM whose address is not a fresh local allocation,
+    /// transitively — the accesses the lockset rule cares about (RMWs
+    /// are their own synchronization and are excluded).
+    pub writes_shared: bool,
 }
 
 /// `apply` entries start at bottom (`Unreached`) so recursion seeds
@@ -120,6 +126,18 @@ impl SummaryTable {
             self.resolve(file, name)
         }
     }
+
+    /// Like [`Self::resolve_call`] but returns the resolved `(file, fn)`
+    /// key — the concurrency analyzer's call-graph edges.
+    pub fn resolve_call_key(&self, file: &str, name: &str, foreign: bool) -> Option<(String, String)> {
+        if !foreign && self.fns.contains_key(&(file.to_string(), name.to_string())) {
+            return Some((file.to_string(), name.to_string()));
+        }
+        match self.by_name.get(name)?.as_slice() {
+            [only] => Some((only.clone(), name.to_string())),
+            _ => None,
+        }
+    }
 }
 
 /// Apply one event to an obligation state. Returns the next state and
@@ -161,7 +179,13 @@ pub fn ob_step(table: &SummaryTable, file: &str, ev: &Ev, s: Ob) -> (Ob, bool) {
             Some(sum) => (sum.apply[s as usize].or(s), sum.viol[s as usize]),
             None => (s, false),
         },
-        Ev::HtmBegin | Ev::Bind { .. } | Ev::Nop => (s, false),
+        Ev::HtmBegin
+        | Ev::Bind { .. }
+        | Ev::Load { .. }
+        | Ev::RegionEnter { .. }
+        | Ev::RegionExit { .. }
+        | Ev::CondUse { .. }
+        | Ev::Nop => (s, false),
     }
 }
 
@@ -304,9 +328,19 @@ fn simulate(table: &SummaryTable, file: &str, cfg: &Cfg) -> FnSummary {
         sum.viol[entry as usize] = viol;
     }
     // Event reachability (transitive through resolvable callees).
+    let fresh = alloc_tainted(cfg);
     for node in &cfg.nodes {
         match &node.ev {
-            Ev::Store { .. } => sum.writes_pm = true,
+            Ev::Store { tgt, .. } => {
+                sum.writes_pm = true;
+                // A store whose address base is a fresh local allocation
+                // is thread-private until published; anything else may
+                // hit shared PM.
+                if tgt.is_empty() || tgt.iter().any(|t| !fresh.contains(t)) {
+                    sum.writes_shared = true;
+                }
+            }
+            Ev::Load { .. } => sum.reads_pm = true,
             Ev::Flush { .. } => sum.flushes = true,
             Ev::Fence => sum.fences = true,
             Ev::Publish { .. } => sum.may_publish = true,
@@ -316,12 +350,53 @@ fn simulate(table: &SummaryTable, file: &str, cfg: &Cfg) -> FnSummary {
                     sum.flushes |= callee.flushes;
                     sum.fences |= callee.fences;
                     sum.may_publish |= callee.may_publish;
+                    sum.reads_pm |= callee.reads_pm;
+                    sum.writes_shared |= callee.writes_shared;
                 }
             }
             _ => {}
         }
     }
     sum
+}
+
+/// Variables bound (directly or transitively) to a fresh allocation in
+/// this function: `let node = alloc.alloc_region(…); let p = node.addr;`
+/// taints both `node` and `p`. Stores through tainted bases are
+/// thread-private until the fresh memory is published.
+/// Host-atomic claim operations: `let off = head.fetch_add(n, …)` hands
+/// the caller exclusive ownership of `[off, off+n)` until it is
+/// published, so stores through claim-derived addresses are not shared.
+const CLAIM_FNS: &[&str] = &["fetch_add", "fetch_update", "compare_exchange", "compare_exchange_weak"];
+
+pub fn alloc_tainted(cfg: &Cfg) -> std::collections::BTreeSet<String> {
+    let mut tainted = std::collections::BTreeSet::new();
+    loop {
+        let mut changed = false;
+        for node in &cfg.nodes {
+            if let Ev::Bind {
+                var,
+                alloc,
+                init_calls,
+                init_idents,
+            } = &node.ev
+            {
+                // A bind is thread-private when it names a fresh local
+                // allocation, space claimed by an atomic counter bump /
+                // compare-exchange (exclusively owned until published),
+                // or an address derived from either.
+                let claimed = init_calls.iter().any(|c| CLAIM_FNS.contains(&c.as_str()));
+                let hit = *alloc || claimed || init_idents.iter().any(|i| tainted.contains(i));
+                if hit && tainted.insert(var.clone()) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
 }
 
 #[cfg(test)]

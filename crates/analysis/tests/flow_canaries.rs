@@ -8,7 +8,7 @@
 //! any of these pass silently, the analyzer has lost teeth.
 
 use spash_analysis::flow_rules::{
-    check_files, RULE_FLUSH_FENCE, RULE_HTM_CLWB, RULE_PUBLISH_INIT,
+    check_files, check_files_stats, RULE_FLUSH_FENCE, RULE_HTM_CLWB, RULE_PUBLISH_INIT,
 };
 use spash_analysis::lint::{report_json, Finding};
 
@@ -149,18 +149,43 @@ fn canary_early_return_crosses_lock_release() {
 }
 
 // The machine-readable report for flow findings is byte-stable: golden
-// fixture over canary 1's output.
+// fixture over canary 1's output (schema 2: per-rule stats included).
 #[test]
 fn flow_json_report_is_byte_stable() {
-    let f = adr("fn f(ctx: &mut MemCtx) {\n  ctx.write_u64(a, v);\n  ctx.cas_u64(d, x, y);\n}");
-    let got = report_json("flow", 1, &f).render();
+    let mut stats = spash_analysis::lint::StatsMap::new();
+    let f = check_files_stats(
+        &[(
+            "crates/baselines/src/x.rs".to_string(),
+            "fn f(ctx: &mut MemCtx) {\n  ctx.write_u64(a, v);\n  ctx.cas_u64(d, x, y);\n}"
+                .to_string(),
+        )],
+        &mut stats,
+    );
+    let got = report_json("flow", 1, &f, &stats).render();
     let want = concat!(
         "{\n",
-        "  \"schema\": 1,\n",
+        "  \"schema\": 2,\n",
         "  \"tool\": \"spash-lint\",\n",
         "  \"mode\": \"flow\",\n",
         "  \"files_scanned\": 1,\n",
         "  \"violations\": 1,\n",
+        "  \"rule_stats\": {\n",
+        "    \"flow-flush-fence\": {\n",
+        "      \"findings\": 1,\n",
+        "      \"waived\": 0,\n",
+        "      \"virt_ns\": 4\n",
+        "    },\n",
+        "    \"flow-htm-clwb\": {\n",
+        "      \"findings\": 0,\n",
+        "      \"waived\": 0,\n",
+        "      \"virt_ns\": 4\n",
+        "    },\n",
+        "    \"flow-publish-init\": {\n",
+        "      \"findings\": 0,\n",
+        "      \"waived\": 0,\n",
+        "      \"virt_ns\": 4\n",
+        "    }\n",
+        "  },\n",
         "  \"findings\": [\n",
         "    {\n",
         "      \"file\": \"crates/baselines/src/x.rs\",\n",

@@ -1,0 +1,229 @@
+//! Property-style fuzzing for the dependency-free Rust-subset parser
+//! and the CFG lowering behind `spash-lint flow`/`conc`.
+//!
+//! A seeded LCG drives a small statement grammar — nested closures,
+//! `if`/`else`, loops with `break`/`continue`, `?`-propagated calls,
+//! binds, number and string literals, region wrappers — and every
+//! generated source must satisfy the parser's recovery contract:
+//!
+//! * `parse_functions` never panics and recovers every top-level `fn`
+//!   by name, in order;
+//! * each function's `[line, end_line]` span is sane and the spans of
+//!   sibling functions do not overlap;
+//! * `build_cfg` on every parsed function yields a well-formed graph
+//!   (edges in range, exit reachable from entry);
+//! * parsing is insensitive to a trailing garbage item (recovery must
+//!   not eat the next `fn`).
+//!
+//! The generator is deterministic (fixed seeds), so a failure here is a
+//! reproducible parser regression, not flake.
+
+use spash_analysis::cfg::build_cfg;
+use spash_analysis::lint::strip_non_code;
+use spash_analysis::parse::parse_functions;
+
+/// The real pipeline always blanks comments and string literals before
+/// parsing (`strip_non_code`); the fuzz contract mirrors it.
+fn parse(src: &str) -> Vec<spash_analysis::parse::Func> {
+    parse_functions(&strip_non_code(src))
+}
+
+/// Minimal deterministic LCG (numerical recipes constants).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn pick<'a>(&mut self, xs: &[&'a str]) -> &'a str {
+        xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+fn gen_expr(r: &mut Rng, depth: usize) -> String {
+    match r.below(6) {
+        0 => format!("{}", r.below(1000)),
+        1 => format!("0x{:x}u64", r.below(1 << 20)),
+        2 => format!("self.slot_addr(k{})", r.below(4)),
+        3 => format!("ctx.read_u64(self.slot_addr(k{}))", r.below(4)),
+        4 if depth > 0 => format!("({} + {})", gen_expr(r, depth - 1), r.below(9)),
+        _ => format!("k{}", r.below(4)),
+    }
+}
+
+fn gen_stmt(r: &mut Rng, depth: usize, out: &mut String, indent: usize) {
+    let pad = "  ".repeat(indent);
+    match r.below(10) {
+        0 => out.push_str(&format!("{pad}ctx.write_u64({}, {});\n", gen_expr(r, 1), gen_expr(r, 1))),
+        1 => out.push_str(&format!("{pad}let v{} = {};\n", r.below(8), gen_expr(r, 2))),
+        2 => out.push_str(&format!(
+            "{pad}let v{} = self.helper(ctx, {})?;\n",
+            r.below(8),
+            gen_expr(r, 1)
+        )),
+        3 if depth > 0 => {
+            out.push_str(&format!("{pad}if {} == 0 {{\n", gen_expr(r, 1)));
+            gen_block(r, depth - 1, out, indent + 1);
+            if r.below(2) == 0 {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                gen_block(r, depth - 1, out, indent + 1);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        4 if depth > 0 => {
+            out.push_str(&format!("{pad}loop {{\n"));
+            gen_block(r, depth - 1, out, indent + 1);
+            if r.below(3) == 0 {
+                out.push_str(&format!("{pad}  if retry {{ continue; }}\n"));
+            }
+            out.push_str(&format!("{pad}  if done {{ break; }}\n"));
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        5 if depth > 0 => {
+            let region = r.pick(&[
+                "self.shards[0].with(ctx, |ctx, _| {",
+                "self.rw.write(ctx, |ctx, _| {",
+                "self.rw.read(ctx, |ctx, _| {",
+                "self.htm.try_transaction(ctx, |tx, ctx| {",
+            ]);
+            out.push_str(&format!("{pad}{region}\n"));
+            gen_block(r, depth - 1, out, indent + 1);
+            out.push_str(&format!("{pad}}});\n"));
+        }
+        6 if depth > 0 => {
+            out.push_str(&format!("{pad}let agg = items.iter().map(|x| {{\n"));
+            gen_block(r, depth - 1, out, indent + 1);
+            out.push_str(&format!("{pad}}}).count();\n"));
+        }
+        7 => out.push_str(&format!("{pad}ctx.cas_u64({}, 0, {});\n", gen_expr(r, 1), gen_expr(r, 1))),
+        8 => out.push_str(&format!("{pad}return;\n")),
+        _ => out.push_str(&format!(
+            "{pad}log(\"s{} }}{{ unbalanced-in-string\", {});\n",
+            r.below(9),
+            gen_expr(r, 1)
+        )),
+    }
+}
+
+fn gen_block(r: &mut Rng, depth: usize, out: &mut String, indent: usize) {
+    for _ in 0..(1 + r.below(3)) {
+        gen_stmt(r, depth, out, indent);
+    }
+}
+
+/// Generate one file with `n_fns` top-level functions; returns (source,
+/// expected fn names).
+fn gen_file(seed: u64, n_fns: usize) -> (String, Vec<String>) {
+    let mut r = Rng(seed);
+    let mut src = String::new();
+    let mut names = Vec::new();
+    for i in 0..n_fns {
+        let name = format!("op_{seed}_{i}");
+        src.push_str(&format!("fn {name}(&self, ctx: &mut MemCtx, k0: u64) {{\n"));
+        gen_block(&mut r, 3, &mut src, 1);
+        src.push_str("}\n\n");
+        names.push(name);
+    }
+    (src, names)
+}
+
+/// Exit must be reachable from entry; all edges in range.
+fn cfg_well_formed(src_fn: &spash_analysis::parse::Func) {
+    let cfg = build_cfg(src_fn);
+    let n = cfg.nodes.len();
+    assert!(cfg.entry < n && cfg.exit < n, "{}: entry/exit oob", src_fn.name);
+    for (i, ss) in cfg.succs.iter().enumerate() {
+        for &s in ss {
+            assert!(s < n, "{}: edge {i}->{s} out of range", src_fn.name);
+        }
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![cfg.entry];
+    while let Some(x) = stack.pop() {
+        if std::mem::replace(&mut seen[x], true) {
+            continue;
+        }
+        stack.extend(cfg.succs[x].iter().copied());
+    }
+    assert!(seen[cfg.exit], "{}: exit unreachable from entry", src_fn.name);
+}
+
+#[test]
+fn fuzz_parser_recovers_every_fn() {
+    for seed in 0..200u64 {
+        let n_fns = 1 + (seed as usize % 4);
+        let (src, names) = gen_file(seed, n_fns);
+        let fns = parse(&src);
+        let got: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(got, names, "seed {seed}: parser lost a function\n{src}");
+        let total_lines = src.lines().count();
+        let mut prev_end = 0usize;
+        for f in &fns {
+            assert!(f.line <= f.end_line, "seed {seed}: inverted span in {}", f.name);
+            assert!(f.end_line <= total_lines, "seed {seed}: span past EOF in {}", f.name);
+            assert!(f.line > prev_end, "seed {seed}: overlapping spans at {}", f.name);
+            prev_end = f.end_line;
+        }
+    }
+}
+
+#[test]
+fn fuzz_cfg_is_well_formed() {
+    for seed in 200..400u64 {
+        let (src, _) = gen_file(seed, 2);
+        for f in parse(&src) {
+            cfg_well_formed(&f);
+        }
+    }
+}
+
+// Recovery: an unbalanced garbage item between two functions must not
+// swallow the second one.
+#[test]
+fn fuzz_recovery_across_garbage_items() {
+    for seed in 400..480u64 {
+        let (a, mut names_a) = gen_file(seed, 1);
+        let (b, names_b) = gen_file(seed + 10_000, 1);
+        let garbage = match seed % 4 {
+            0 => "impl Foo for Bar { type T = ((); }\n",
+            1 => "static X: &str = \"fn not_a_fn() {\";\n",
+            2 => "macro_rules! m { ($x:expr) => { $x } }\n",
+            _ => "const N: usize = 1 << 9;\n",
+        };
+        let src = format!("{a}{garbage}{b}");
+        let fns = parse(&src);
+        names_a.extend(names_b);
+        let got: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(got, names_a, "seed {seed}: recovery lost a fn\n{src}");
+    }
+}
+
+// Hardening: literal forms that have historically broken handwritten
+// tokenizers — char literals (the apostrophe must not open a string),
+// lifetimes, underscored/suffixed/float numbers, byte strings.
+#[test]
+fn tricky_literals_do_not_derail_the_parser() {
+    let src = "fn first<'a>(&'a self, ctx: &mut MemCtx) {\n  \
+                 let c = 'x';\n  \
+                 let nl = '\\n';\n  \
+                 let brace = '{';\n  \
+                 let n = 1_000_000u64;\n  \
+                 let f = 0.5f64;\n  \
+                 let bs = b\"fn fake() {\";\n  \
+                 let shift = 1u64 << 9;\n  \
+                 ctx.write_u64(self.slot_addr(n), n);\n\
+               }\n\
+               fn second(&self, ctx: &mut MemCtx) {\n  \
+                 ctx.fence();\n\
+               }\n";
+    let fns = parse(src);
+    let got: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+    assert_eq!(got, vec!["first", "second"], "{fns:?}");
+    for f in &fns {
+        cfg_well_formed(f);
+    }
+}

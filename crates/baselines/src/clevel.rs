@@ -588,10 +588,12 @@ impl PersistentIndex for CLevel {
             // lint:allow(flow-flush-fence): grow's alloc_level zero-fill residue; the persistent path fences it before the n_levels commit point, the transient (root==0) path has no recovery. san=none(zeros of a level unreachable until the fenced n_levels bump)
             if self.try_place(ctx, word, key) {
                 self.entries.fetch_add(1, Ordering::Relaxed);
+                // lint:allow(conc-atomicity): rides the unguarded duplicate probe at the top of insert — CLevel's lock-free protocol admits the duplicate-insert window by design (dedup happens on lookup/migration); explored sched=CLevel
                 self.help_migrate(ctx);
                 return Ok(());
             }
             // lint:allow(flow-flush-fence): grow's alloc_level zero-fill residue; the persistent path fences it before the n_levels commit point, the transient (root==0) path has no recovery. san=none(zeros of a level unreachable until the fenced n_levels bump)
+            // lint:allow(conc-atomicity): try_place's failure snapshot can be invalidated by a concurrent grow; grow itself revalidates n_buckets under the freeze CAS before committing, so the stale retry is only wasted work; explored sched=CLevel
             self.grow(ctx, newest_n)?;
         }
     }

@@ -160,6 +160,7 @@ impl Halo {
     fn log_invalidate(&self, ctx: &mut MemCtx, off: u64, len: u32) {
         let a = self.log_base.0 + off + 8;
         let w = ctx.read_u64(PmAddr(a));
+        // lint:allow(conc-lockset): the header read-or-DEAD_FLAG write is idempotent and the entry is already unreachable from the DRAM index when invalidated (update/remove hold the shard lock over the index swing); the sweep explores it sched=Halo
         ctx.write_u64(PmAddr(a), w | DEAD_FLAG);
         ctx.flush(PmAddr(a));
         ctx.fence();
@@ -292,6 +293,7 @@ impl PersistentIndex for Halo {
         }
         let h = hash_key(key);
         let len = value.len() as u32;
+        // lint:allow(conc-atomicity): deliberately split dup-check/append critical sections — checker-validation variant gated off in production, pinned to its witness sched=halo_racy_insert
         if crate::testhooks::halo_racy_insert() {
             // Deliberately broken variant (checker validation only): the
             // duplicate check and the append are in separate critical

@@ -475,6 +475,7 @@ impl Spash {
     /// This is the §IV-A protocol: explicit (validation) aborts restart
     /// preparation immediately; conflict aborts retry up to
     /// `max_tx_retries` times and then take the directory-partition lock.
+    // conc: region(htm) fn=run_two_phase
     pub(crate) fn run_two_phase<P, R>(
         &self,
         ctx: &mut MemCtx,

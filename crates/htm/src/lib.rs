@@ -175,6 +175,7 @@ impl Htm {
     /// and the clock has been charged the abort penalty; the caller decides
     /// whether to retry, re-run its preparation phase, or take a fallback
     /// lock ([`Htm::nontx_lock`]).
+    // conc: region(htm) fn=try_transaction
     pub fn try_transaction<R>(
         &self,
         ctx: &mut MemCtx,
@@ -235,6 +236,7 @@ impl Htm {
     /// segment lock stored in the first bit of its corresponding directory
     /// entry"). Spins until acquired; concurrent transactions touching the
     /// line abort. The caller's clock jumps to the previous release time.
+    // conc: region(acquire) fn=nontx_lock
     pub fn nontx_lock(&self, ctx: &mut MemCtx, id: LineId) {
         self.stats.nontx_locks.fetch_add(1, Ordering::Relaxed);
         let cost_lock = ctx.device().config().cost.lock_ns;
@@ -265,6 +267,7 @@ impl Htm {
     /// Release a line taken with [`Htm::nontx_lock`], bumping its version
     /// so that any transaction that read it before the lock fails
     /// validation.
+    // conc: region(release) fn=nontx_unlock
     pub fn nontx_unlock(&self, ctx: &mut MemCtx, id: LineId) {
         let slot = self.slot(id);
         let s = slot.state.load(Ordering::Acquire);

@@ -54,6 +54,7 @@ impl<T> VLock<T> {
     /// Under a scheduler hook the acquisition is cooperative (the inner
     /// [`Mutex`] spins with yields), and the release is itself a sync
     /// point so waiters can be scheduled immediately after.
+    // conc: region(lock) fn=with
     pub fn with<C: HasClock, R>(&self, c: &mut C, f: impl FnOnce(&mut C, &mut T) -> R) -> R {
         let mut guard = self.inner.lock();
         let release = self.release_t.load(Ordering::Acquire);
@@ -91,6 +92,7 @@ impl<T> VRwLock<T> {
     }
 
     /// Run `f` holding a shared (read) lock.
+    // conc: region(read-lock) fn=read
     pub fn read<C: HasClock, R>(&self, c: &mut C, f: impl FnOnce(&mut C, &T) -> R) -> R {
         let guard = self.inner.read();
         let release = self.write_release_t.load(Ordering::Acquire);
@@ -107,6 +109,7 @@ impl<T> VRwLock<T> {
     }
 
     /// Run `f` holding the exclusive (write) lock.
+    // conc: region(lock) fn=write
     pub fn write<C: HasClock, R>(&self, c: &mut C, f: impl FnOnce(&mut C, &mut T) -> R) -> R {
         let mut guard = self.inner.write();
         let release = self
