@@ -14,6 +14,7 @@ pub mod indexes;
 pub mod perf;
 pub mod report;
 pub mod scale;
+pub mod service;
 pub mod statskit;
 
 // The hand-rolled JSON writer moved to `spash-analysis` so the linter's

@@ -780,6 +780,64 @@ fn scale_cmd(args: &[String]) {
     );
 }
 
+/// `spash-bench service [--out <path>] [--lin-check]`: the sharded
+/// batched KV front-end suite — open-loop tail latency and saturation
+/// throughput per shard count, byte-deterministic per seed. Knobs:
+/// `SPASH_SERVICE_KEYS` / `SPASH_SERVICE_OPS` / `SPASH_SERVICE_SHARDS`
+/// (comma-separated ladder) / `SPASH_SERVICE_BATCH` /
+/// `SPASH_SERVICE_SEED` / `SPASH_SERVICE_PREEMPTIONS` /
+/// `SPASH_SERVICE_GAP`.
+fn service_cmd(args: &[String]) {
+    use spash_bench::service;
+    let mut out: Option<String> = None;
+    let mut lin_check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().cloned(),
+            "--lin-check" => lin_check = true,
+            other => {
+                eprintln!("service: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if lin_check {
+        let cfg = spash_service::lincheck::ServiceLinConfig::default();
+        println!(
+            "# service lin-check: {} shards x {} ops, {} keys, {} schedules/index",
+            cfg.shards, cfg.ops, cfg.keys, cfg.schedules
+        );
+        let failures = service::lin_check_all(&cfg);
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        if !failures.is_empty() {
+            std::process::exit(1);
+        }
+        println!("# service lin-check: every index linearizes through the batched front-end");
+        return;
+    }
+    let cfg = service::ServiceSuiteConfig::from_env();
+    println!(
+        "# service: keys={} ops={} shards={:?} batch_max={} seed={:#x} gap={}ns",
+        cfg.keys, cfg.ops, cfg.shards, cfg.batch_max, cfg.seed, cfg.mean_gap_ns
+    );
+    let report = match service::run_suite(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("service: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = out.unwrap_or_else(|| format!("BENCH_service_{}.json", report.rev));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("service: writing {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("# service: {} rows -> {path}", report.rows.len());
+}
+
 /// `spash-bench compare <old.json> <new.json> [--virtual-only|--wall-tol F]`:
 /// diff two reports; exit non-zero on any regression.
 fn compare_cmd(args: &[String]) {
@@ -839,13 +897,14 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("perf") => return perf_cmd(&args[1..]),
         Some("scale") => return scale_cmd(&args[1..]),
+        Some("service") => return service_cmd(&args[1..]),
         Some("compare") => return compare_cmd(&args[1..]),
         _ => {}
     }
     let scale = Scale::from_env();
     if args.is_empty() {
         eprintln!(
-            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|ext|crashpoints|san|sched [--seeds N]|perf [--out P]|scale [--out P] [--assert] [--lin-check]|compare OLD NEW> ...\n\
+            "usage: spash-bench <fig1|fig7|fig8|fig9|fig10|fig11|fig12[a-d]|all|ext|crashpoints|san|sched [--seeds N]|perf [--out P]|scale [--out P] [--assert] [--lin-check]|service [--out P] [--lin-check]|compare OLD NEW> ...\n\
              scale: SPASH_BENCH_KEYS={} SPASH_BENCH_OPS={} SPASH_BENCH_THREADS={:?}\n\
              report: SPASH_BENCH_REPORT=<path> or --report <path> writes machine-readable rows",
             scale.keys, scale.ops, scale.threads

@@ -167,7 +167,7 @@ fn maybe_inflate(ctx: &mut MemCtx) {
 /// Deterministic scheduler seed for one cell × phase. Everything that
 /// identifies the cell goes in, so no two phases share an interleaving
 /// stream and the whole suite is a pure function of `cfg.seed`.
-fn phase_seed(base: u64, series: usize, domain: usize, threads: usize, phase: usize) -> u64 {
+pub(crate) fn phase_seed(base: u64, series: usize, domain: usize, threads: usize, phase: usize) -> u64 {
     hash_key(
         base ^ ((series as u64) << 48)
             ^ ((domain as u64) << 40)
@@ -183,7 +183,7 @@ fn phase_seed(base: u64, series: usize, domain: usize, threads: usize, phase: us
 ///
 /// Per-task contexts are created before spawning, in task order, so
 /// simulated-thread ids are a pure function of the configuration.
-fn measure_batch<'a>(
+pub(crate) fn measure_batch<'a>(
     dev: &Arc<PmDevice>,
     sched: &SchedConfig,
     bodies: Vec<Box<dyn FnOnce(&mut MemCtx) -> u64 + Send + 'a>>,
@@ -206,18 +206,7 @@ fn measure_batch<'a>(
             t
         })
         .collect();
-    let out = run_batch(sched, None, tasks);
-    if !out.sched.panics.is_empty() {
-        return Err(format!("task panic under schedule: {:?}", out.sched.panics));
-    }
-    if let Some(why) = out.sched.stopped {
-        return Err(format!("scheduler stopped: {why}"));
-    }
-    let results: Vec<(u64, u64)> = out
-        .results
-        .into_iter()
-        .map(|r| r.ok_or("task finished without a result".to_string()))
-        .collect::<Result<_, _>>()?;
+    let results: Vec<(u64, u64)> = run_batch(sched, None, tasks).into_complete()?;
 
     dev.quiesce();
     let delta = dev.snapshot().since(&before);

@@ -227,8 +227,9 @@ impl SweepReport {
 }
 
 /// The shadow model: apply a committed prefix with the same semantics the
-/// trait promises.
-fn apply_shadow(model: &mut HashMap<u64, Vec<u8>>, op: &SweepOp) {
+/// trait promises. Public because the service-layer sweep
+/// (`spash-service::sweep`) replays acked batches through the same model.
+pub fn apply_shadow(model: &mut HashMap<u64, Vec<u8>>, op: &SweepOp) {
     match op {
         SweepOp::Insert(k, v) => {
             model.entry(*k).or_insert_with(|| v.clone());
@@ -526,7 +527,9 @@ fn summarize(v: &[u8]) -> String {
     format!("{}B:{head:02x?}", v.len())
 }
 
-fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort text of a caught panic payload (shared with the service
+/// sweep's replay driver).
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -71,6 +71,44 @@ pub enum OpResult {
 }
 
 impl OpResult {
+    /// Classify an insert outcome (shared by [`Recorder::run_op`] and
+    /// the service front-end, which observes results batch-at-a-time).
+    pub fn of_insert(r: Result<(), IndexError>) -> Self {
+        match r {
+            Ok(()) => OpResult::Ok,
+            Err(IndexError::DuplicateKey) => OpResult::Dup,
+            Err(IndexError::NotFound) => OpResult::NotFound,
+            Err(IndexError::OutOfMemory) | Err(IndexError::ValueTooLarge) => OpResult::Full,
+        }
+    }
+
+    /// Classify an update outcome.
+    pub fn of_update(r: Result<(), IndexError>) -> Self {
+        match r {
+            Ok(()) => OpResult::Ok,
+            Err(IndexError::NotFound) => OpResult::NotFound,
+            Err(IndexError::DuplicateKey) => OpResult::Dup,
+            Err(IndexError::OutOfMemory) | Err(IndexError::ValueTooLarge) => OpResult::Full,
+        }
+    }
+
+    /// Classify a get outcome from the fingerprint of the bytes read.
+    pub fn of_get(fp: Option<u64>) -> Self {
+        match fp {
+            Some(fp) => OpResult::Found(fp),
+            None => OpResult::Miss,
+        }
+    }
+
+    /// Classify a remove outcome.
+    pub fn of_remove(hit: bool) -> Self {
+        if hit {
+            OpResult::Removed
+        } else {
+            OpResult::Absent
+        }
+    }
+
     fn tag(self) -> u8 {
         match self {
             OpResult::Ok => 0,
@@ -130,33 +168,14 @@ impl Recorder {
     ) -> HistOp {
         let inv = self.tick();
         let result = match op {
-            SweepOp::Insert(k, v) => match idx.insert(ctx, *k, v) {
-                Ok(()) => OpResult::Ok,
-                Err(IndexError::DuplicateKey) => OpResult::Dup,
-                Err(IndexError::NotFound) => OpResult::NotFound,
-                Err(IndexError::OutOfMemory) | Err(IndexError::ValueTooLarge) => OpResult::Full,
-            },
-            SweepOp::Update(k, v) => match idx.update(ctx, *k, v) {
-                Ok(()) => OpResult::Ok,
-                Err(IndexError::NotFound) => OpResult::NotFound,
-                Err(IndexError::DuplicateKey) => OpResult::Dup,
-                Err(IndexError::OutOfMemory) | Err(IndexError::ValueTooLarge) => OpResult::Full,
-            },
+            SweepOp::Insert(k, v) => OpResult::of_insert(idx.insert(ctx, *k, v)),
+            SweepOp::Update(k, v) => OpResult::of_update(idx.update(ctx, *k, v)),
             SweepOp::Get(k) => {
                 let mut buf = Vec::new();
-                if idx.get(ctx, *k, &mut buf) {
-                    OpResult::Found(fingerprint(&buf))
-                } else {
-                    OpResult::Miss
-                }
+                let hit = idx.get(ctx, *k, &mut buf);
+                OpResult::of_get(hit.then(|| fingerprint(&buf)))
             }
-            SweepOp::Remove(k) => {
-                if idx.remove(ctx, *k) {
-                    OpResult::Removed
-                } else {
-                    OpResult::Absent
-                }
-            }
+            SweepOp::Remove(k) => OpResult::of_remove(idx.remove(ctx, *k)),
         };
         let resp = self.tick();
         HistOp {

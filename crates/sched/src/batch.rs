@@ -38,6 +38,27 @@ impl<T> BatchOutcome<T> {
             && self.sched.injected_crash.is_none()
             && self.results.iter().all(Option::is_some)
     }
+
+    /// Unwrap a fully completed batch into its per-task results, or say
+    /// what went wrong (task panic, valve stop, injected crash, missing
+    /// slot). The shared happy-path plumbing of every batch driver: the
+    /// scale sweep's measured phases and the service front-end's
+    /// lin-check both refuse partial batches through this.
+    pub fn into_complete(self) -> Result<Vec<T>, String> {
+        if !self.sched.panics.is_empty() {
+            return Err(format!("task panic under schedule: {:?}", self.sched.panics));
+        }
+        if let Some(why) = self.sched.stopped {
+            return Err(format!("scheduler stopped: {why}"));
+        }
+        if self.sched.injected_crash.is_some() {
+            return Err("batch ended by injected crash".to_string());
+        }
+        self.results
+            .into_iter()
+            .map(|r| r.ok_or_else(|| "task finished without a result".to_string()))
+            .collect()
+    }
 }
 
 /// Run `bodies` to completion as cooperatively scheduled tasks and

@@ -1,0 +1,64 @@
+//! The reclamation use-after-free canary (DESIGN.md §11): the epoch
+//! pool's invariant is that a slot retired at epoch `e` recycles only
+//! once `e < min(active pins)`. The `reclaim_early` hook makes the pool
+//! ignore pins — exactly the use-after-free window the generation check
+//! in `BatchPool::resolve` exists to catch.
+
+use spash_service::pool::BatchPool;
+use spash_service::testhooks;
+
+/// Serializes hook-arming tests: the canary hooks are process-global.
+fn hook_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[test]
+fn reclamation_window_canary_is_caught() {
+    let _guard = hook_lock();
+
+    // Clean run: a pinned consumer's reference survives retirement — the
+    // pin blocks recycling, so the resolve sees the original bytes.
+    {
+        let pool = BatchPool::new(1, 1);
+        pool.pin(0);
+        let buf = pool.acquire().expect("fresh pool must have a free slot");
+        let r = pool.append(&buf, b"pinned bytes");
+        pool.retire(buf);
+        assert!(
+            pool.acquire().is_none(),
+            "recycling must stall while a pin covers the retired epoch"
+        );
+        let mut out = Vec::new();
+        pool.resolve(&r, &mut out).expect("pin-protected ref must resolve");
+        assert_eq!(out, b"pinned bytes");
+        pool.unpin(0);
+    }
+
+    // Armed run: reclamation ignores the pin, the slot recycles under
+    // the reader's feet, and the generation check must report the
+    // violation instead of silently serving recycled bytes.
+    assert!(!testhooks::set_reclaim_early(true), "hook already armed");
+    let outcome = std::panic::catch_unwind(|| {
+        let pool = BatchPool::new(1, 1);
+        pool.pin(0);
+        let buf = pool.acquire().unwrap();
+        let r = pool.append(&buf, b"pinned bytes");
+        pool.retire(buf);
+        let stolen = pool.acquire();
+        (stolen.is_some(), pool.resolve(&r, &mut Vec::new()))
+    });
+    testhooks::set_reclaim_early(false);
+
+    let (recycled_despite_pin, resolve) = outcome.expect("armed pool run panicked");
+    assert!(
+        recycled_despite_pin,
+        "canary armed but the retired slot was not recycled early"
+    );
+    let violation = resolve.expect_err("use-after-reclaim went undetected");
+    assert_eq!(violation.slot, 0);
+    assert!(
+        violation.slot_gen > violation.ref_gen,
+        "violation must show the slot moved past the reference's generation"
+    );
+}

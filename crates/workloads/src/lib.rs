@@ -11,6 +11,7 @@
 //! reproducible, and expose the true hot set for the oracle hotspot
 //! detector ablation (Fig 12a).
 
+pub mod openloop;
 pub mod zipf;
 
 pub use zipf::{Rng64, Zipfian};

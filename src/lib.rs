@@ -11,4 +11,5 @@ pub use spash_htm as htm;
 pub use spash_index_api as index_api;
 pub use spash_pmem as pmem;
 pub use spash_sched as sched;
+pub use spash_service as service;
 pub use spash_workloads as workloads;

@@ -82,6 +82,92 @@ fn allocations_never_overlap() {
     }
 }
 
+/// Regression fold: this op sequence is the shrunk counterexample a
+/// historical `proptest` run committed to
+/// `tests/proptest_substrates.proptest-regressions` (case
+/// `bdbb6713…`). The sidecar file only replays under the external
+/// `proptest` crate, which this repo does not depend on — so the case
+/// lives here as a named deterministic test instead, replayed verbatim
+/// through the same non-overlap invariant as `allocations_never_overlap`.
+#[test]
+fn allocator_replays_committed_proptest_regression_bdbb6713() {
+    use AllocOp::{Alloc, FreeNth, Segment};
+    let ops = [
+        FreeNth(16701081738728192446),
+        FreeNth(12354613919706890624),
+        Alloc(3059),
+        Alloc(424),
+        FreeNth(16303687453031340777),
+        Segment,
+        Alloc(588),
+        Alloc(3038),
+        FreeNth(5127063043839354733),
+        Segment,
+        Alloc(776),
+        FreeNth(7202538386660187843),
+        FreeNth(13545775493721812760),
+        Alloc(663),
+        Segment,
+        FreeNth(981265159642951288),
+        Segment,
+        FreeNth(6683846365249495928),
+        FreeNth(9089806919916521098),
+        Alloc(3866),
+        FreeNth(10572921898858816580),
+        Alloc(1321),
+        Segment,
+        Alloc(1310),
+        FreeNth(3431931130934428990),
+        Alloc(979),
+        FreeNth(16196689071358775967),
+        Alloc(798),
+    ];
+    let dev = PmDevice::new(PmConfig {
+        arena_size: 32 << 20,
+        ..PmConfig::small_test()
+    });
+    let mut ctx = dev.ctx();
+    let alloc = PmAllocator::format(&mut ctx, 0);
+    let mut live: Vec<(u64, u64, bool)> = Vec::new();
+    for op in &ops {
+        match op {
+            AllocOp::Alloc(size) => {
+                if let Ok(a) = alloc.alloc(&mut ctx, *size) {
+                    live.push((a.addr.0, *size, false));
+                }
+            }
+            AllocOp::Segment => {
+                if let Ok(a) = alloc.alloc_segment(&mut ctx) {
+                    assert_eq!(a.0 % CHUNK, 0, "segments are XPLine-aligned");
+                    live.push((a.0, 256, true));
+                }
+            }
+            AllocOp::FreeNth(n) => {
+                if !live.is_empty() {
+                    let (addr, size, is_seg) = live.swap_remove(n % live.len());
+                    if is_seg {
+                        alloc.free_segment(&mut ctx, PmAddr(addr));
+                    } else {
+                        alloc.free(&mut ctx, PmAddr(addr), size);
+                    }
+                }
+            }
+        }
+        let mut sorted: Vec<(u64, u64)> = live.iter().map(|&(a, s, _)| (a, s)).collect();
+        sorted.sort_unstable();
+        for w in sorted.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 <= w[1].0,
+                "regression bdbb6713: allocation [{:#x}+{}] overlaps [{:#x}+{}]",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+}
+
 #[test]
 fn htm_transactions_are_all_or_nothing() {
     for case in 0..48u64 {
